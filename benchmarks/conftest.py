@@ -1,0 +1,23 @@
+"""Shared configuration for the per-figure benchmark harness.
+
+Each benchmark regenerates one of the paper's tables/figures and prints the
+rows the paper reports.  By default a representative benchmark subset is
+used so the whole harness completes in minutes; set ``REPRO_FULL_BENCH=1``
+to sweep the full suites (as EXPERIMENTS.md does).
+"""
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_FULL_BENCH", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return not FULL
+
+
+def show(table) -> None:
+    print()
+    print(table.render())

@@ -1,0 +1,24 @@
+"""Figure 10: performance cost of the warp-disable and replay-queue
+pipelines (normalized to baseline, no faults).
+
+Paper: wd-commit 84%, wd-lastcheck 90%, replay-queue 94% geomean;
+lbm is the outlier (replay-queue ~60%)."""
+
+from conftest import show
+
+from repro.harness import run_fig10
+
+
+def test_bench_fig10(benchmark, quick):
+    table = benchmark.pedantic(
+        lambda: run_fig10(quick=quick), rounds=1, iterations=1
+    )
+    show(table)
+    gm = dict(zip(table.columns, table.geomeans()))
+    # the paper's ordering must hold
+    assert gm["wd-commit"] < gm["wd-lastcheck"] <= gm["replay-queue"] <= 1.02
+    # rough magnitudes
+    assert 0.6 < gm["wd-commit"] < 0.95
+    if "lbm" in table.rows:
+        idx = table.columns.index("replay-queue")
+        assert table.rows["lbm"][idx] < 0.8  # the paper's 0.60 outlier

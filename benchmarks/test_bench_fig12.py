@@ -1,0 +1,28 @@
+"""Figure 12: thread-block switching on faults during demand paging
+(use case 1), NVLink and PCIe, normal and ideal context switching.
+
+Paper: sgemm +13%, histo +11%, stencil +7% on NVLink; mri-gridding
+degrades to 0.85; geomean about flat; ideal switching close to normal."""
+
+from conftest import FULL, show
+
+from repro.harness import run_fig12
+
+BENCHES = None if FULL else ["sgemm", "stencil", "histo", "mri-gridding"]
+
+
+def test_bench_fig12(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_fig12(workloads=BENCHES), rounds=1, iterations=1
+    )
+    show(table)
+    nv = table.columns.index("nvlink")
+    # the paper's NVLink winners must win here too
+    for bench in ("histo", "stencil"):
+        if bench in table.rows:
+            assert table.rows[bench][nv] > 1.0
+    # normal switching tracks ideal switching (the scheduler avoids
+    # wasteful switches)
+    nv_ideal = table.columns.index("nvlink-ideal")
+    for bench, row in table.rows.items():
+        assert row[nv] > 0.6 * row[nv_ideal]

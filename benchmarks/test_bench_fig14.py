@@ -1,0 +1,22 @@
+"""Figure 14: GPU-local handling of first-touch faults to kernel output
+pages (while input migrations keep the CPU/link busy), Parboil suite.
+
+Paper: geomean +5% NVLink, +8% PCIe; PCIe gains more because its higher
+per-fault cost contends the interconnect harder; lbm and histo largest."""
+
+from conftest import FULL, show
+
+from repro.harness import run_fig14
+
+BENCHES = None if FULL else ["lbm", "histo", "sgemm", "mri-q"]
+
+
+def test_bench_fig14(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_fig14(workloads=BENCHES), rounds=1, iterations=1
+    )
+    show(table)
+    gm = dict(zip(table.columns, table.geomeans()))
+    # the PCIe > NVLink crossover is the paper's headline observation here
+    assert gm["pcie"] > gm["nvlink"]
+    assert gm["pcie"] > 0.9

@@ -1,0 +1,20 @@
+"""Section 5.5 ablation: scheme performance gap vs the number of SMs.
+
+The paper notes the gap between the schemes widens when the workload does
+not scale with the GPU (lower effective occupancy)."""
+
+from conftest import show
+
+from repro.harness import run_scalability
+
+
+def test_bench_scalability(benchmark):
+    table = benchmark.pedantic(
+        lambda: run_scalability(workload="lbm", sm_counts=(8, 16)),
+        rounds=1,
+        iterations=1,
+    )
+    show(table)
+    wd = table.columns.index("wd-commit")
+    for row in table.rows.values():
+        assert 0 < row[wd] <= 1.05

@@ -1,0 +1,17 @@
+"""Table 1: simulation parameters of the baseline GPU."""
+
+from conftest import show
+
+from repro.harness import run_table1
+from repro.system import GPUConfig
+
+
+def test_bench_table1(benchmark):
+    text = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print()
+    print("== table1: simulation parameters ==")
+    print(text)
+    cfg = GPUConfig()
+    assert cfg.num_sms == 16
+    assert cfg.register_file_bytes == 256 * 1024
+    assert cfg.walk_latency == 500

@@ -1,0 +1,25 @@
+"""Table 2: operand-log area and power overheads (CACTI-calibrated model).
+
+Paper: 8KB = 1.04% SM area / 0.47% GPU area / 1.82% SM power / 1.28% GPU
+power, up to 32KB = 2.36 / 1.08 / 3.38 / 2.37."""
+
+import pytest
+from conftest import show
+
+from repro.harness import run_table2
+
+PAPER = {
+    "8KB": (1.04, 0.47, 1.82, 1.28),
+    "16KB": (1.47, 0.67, 2.34, 1.64),
+    "20KB": (1.67, 0.76, 2.61, 1.83),
+    "32KB": (2.36, 1.08, 3.38, 2.37),
+}
+
+
+def test_bench_table2(benchmark):
+    table = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    show(table)
+    for label, expect in PAPER.items():
+        got = table.rows[label]
+        for g, e in zip(got, expect):
+            assert g == pytest.approx(e, abs=0.06)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Use case 2 demo: handling first-touch page faults on the GPU itself.
+
+Runs the quad-tree allocator benchmark (device-side malloc -> lazily backed
+heap pages) with faults handled by the CPU driver vs. by a handler running
+on the faulting SM, and reports the throughput win (paper Section 4.2 /
+Figure 13).
+
+Run:  python examples/local_fault_handling.py
+"""
+
+from repro.core import make_scheme
+from repro.harness import DEFAULT_TIME_SCALE
+from repro.system import GPUConfig, GpuSimulator, INTERCONNECTS
+from repro.workloads import get_workload
+
+
+def simulate(wl, config, interconnect, local):
+    sim = GpuSimulator(
+        kernel=wl.kernel,
+        trace=wl.trace(),
+        address_space=wl.make_address_space(),
+        config=config,
+        scheme=make_scheme("replay-queue"),
+        paging="demand-heap",
+        interconnect=interconnect,
+        local_handling=local,
+    )
+    return sim.run()
+
+
+def main():
+    ts = DEFAULT_TIME_SCALE
+    config = GPUConfig().time_scaled(ts)
+    wl = get_workload("quad-tree")
+    print(f"quad-tree: every level allocates its children with device "
+          f"malloc;\nfirst stores to fresh heap granules fault "
+          f"(handler latency: CPU {INTERCONNECTS['nvlink'].alloc_cost/1000:.0f}us"
+          f" unloaded vs GPU {GPUConfig().gpu_handler_latency/1000:.0f}us)\n")
+
+    for ic_name in ("nvlink", "pcie"):
+        ic = INTERCONNECTS[ic_name].scaled(ts)
+        cpu = simulate(wl, config, ic, local=False)
+        gpu = simulate(wl, config, ic, local=True)
+        fs = gpu.fault_stats
+        print(f"[{ic_name}] CPU handling: {cpu.cycles:9.0f} cycles | "
+              f"GPU-local: {gpu.cycles:9.0f} cycles "
+              f"({fs.handled_locally} faults handled on-SM) "
+              f"-> speedup {cpu.cycles / gpu.cycles:.2f}x")
+    print("\nDespite the 10x higher per-fault latency, local handling wins "
+          "on throughput:\nthe faults no longer serialize on the "
+          "interconnect and the single CPU handler.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Print the paper's pipeline timing diagrams (Figures 3, 4, 6 and 7):
+the 4-instruction example program under each preemptible-exception scheme.
+
+Run:  python examples/pipeline_diagrams.py
+"""
+
+from repro.harness.diagrams import render_all
+
+if __name__ == "__main__":
+    print(render_all())
+    print()
+    print("Legend: F fetch, I issue, O operand read, E execute, C commit,")
+    print("        . issue stall.  The warp-disable gap after a load and")
+    print("        the delayed issue of D (replay queue) are the paper's")
+    print("        Figures 4 and 6; the operand log restores Figure 3's")
+    print("        baseline timing.")

@@ -1,0 +1,24 @@
+"""repro — reproduction of "Efficient Exception Handling Support for GPUs"
+(Tanasic et al., MICRO 2017).
+
+A cycle-level GPU simulator with the paper's three preemptible-exception
+pipeline schemes (warp disable, replay queue, operand log) and its two use
+cases (thread-block switching on fault, GPU-local fault handling), plus the
+substrates they need: a mini GPU ISA and functional SIMT simulator, a
+virtual-memory stack, and a timing model of the memory hierarchy.
+
+Quickstart::
+
+    from repro.workloads import get_workload
+    from repro.core import make_scheme
+    from repro.system import GpuSimulator
+
+    wl = get_workload("saxpy")
+    sim = GpuSimulator(wl.kernel, wl.trace(), wl.make_address_space(),
+                       scheme=make_scheme("replay-queue"))
+    print(sim.run().cycles)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

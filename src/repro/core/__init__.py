@@ -1,0 +1,43 @@
+"""The paper's contribution: preemptible-exception schemes, the block
+switching local scheduler (use case 1), GPU-local fault handling (use case 2,
+implemented in :mod:`repro.system.faults`), and the operand-log area/power
+model."""
+
+from .area_power import LogOverheads, format_table2, overheads, table2
+from .local_scheduler import LocalScheduler
+from .preemption import (
+    PreemptionReport,
+    measure_preemption_latency,
+    preemption_latency_experiment,
+)
+from .schemes import (
+    LOAD_LOG_BYTES,
+    STORE_LOG_BYTES,
+    BaselineStallOnFault,
+    OperandLog,
+    PipelineScheme,
+    ReplayQueue,
+    WarpDisableCommit,
+    WarpDisableLastCheck,
+    make_scheme,
+)
+
+__all__ = [
+    "LogOverheads",
+    "format_table2",
+    "overheads",
+    "table2",
+    "LocalScheduler",
+    "PreemptionReport",
+    "measure_preemption_latency",
+    "preemption_latency_experiment",
+    "LOAD_LOG_BYTES",
+    "STORE_LOG_BYTES",
+    "BaselineStallOnFault",
+    "OperandLog",
+    "PipelineScheme",
+    "ReplayQueue",
+    "WarpDisableCommit",
+    "WarpDisableLastCheck",
+    "make_scheme",
+]

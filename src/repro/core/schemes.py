@@ -1,0 +1,187 @@
+"""The paper's three preemptible-exception pipeline schemes (Section 3).
+
+Each scheme is a strategy object the SM pipeline consults at the points where
+the designs differ:
+
+============================  ==========================================
+hook                          what it controls
+============================  ==========================================
+``fetch_disable_until``       warp-disable window after a global-memory
+                              instruction issues (Approach 1)
+``source_release_time``       when source-operand scoreboards of a
+                              global-memory instruction are released
+                              (Approach 2's conservative release)
+``log_bytes_needed``          operand-log space the instruction occupies
+                              until its last TLB check (Approach 3)
+``context_extra_bytes``       replay-queue / operand-log state that joins
+                              the thread-block context on a switch
+``preemptible``               whether faulted thread blocks can be
+                              context switched (use cases 1 and 2)
+============================  ==========================================
+
+The baseline (stall-on-fault) SM takes none of these restrictions but cannot
+preempt a faulted warp.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: one operand-log entry: 8B source address x 32 lanes (paper Section 5.2)
+LOAD_LOG_BYTES = 256
+#: stores log source data and destination address: 2 entries
+STORE_LOG_BYTES = 512
+#: one replay-queue slot: a pre-decoded instruction, no operand data
+REPLAY_QUEUE_ENTRY_BYTES = 16
+
+
+class PipelineScheme:
+    """Interface + baseline behaviour (stall-on-fault pipeline)."""
+
+    name = "baseline"
+    preemptible = False
+    log_bytes = 0
+    #: warp-disable anchor: None (no disable), "commit" or "lastcheck"
+    disable_anchor = None
+    #: extend the scheme to arithmetic exceptions (paper Sections 3.1/3.2:
+    #: "this scheme is also applicable to other types of exceptions, such
+    #: as divide-by-zero, by treating the instructions that may trigger the
+    #: exception as code barriers" / "source operands of instructions that
+    #: can possibly cause an exception must be released only after making
+    #: sure that they will not raise an exception")
+    cover_arithmetic = False
+
+    def fetch_disable_until(
+        self, completion: float, last_check_ok: float
+    ) -> Optional[float]:
+        """Return the time until which the issuing warp's fetch stays
+        disabled after a global-memory instruction, or ``None``."""
+        return None
+
+    def source_release_time(self, oprd_time: float, last_check_ok: float) -> float:
+        """When the source-operand scoreboards of a global-memory
+        instruction are released (baseline: at operand read)."""
+        return oprd_time
+
+    def log_bytes_needed(self, is_store: bool) -> int:
+        """Operand-log bytes this instruction occupies (0 = no log)."""
+        return 0
+
+    def context_extra_bytes(self, block) -> int:
+        """Scheme state saved with the thread-block context on a switch."""
+        return 0
+
+    def __repr__(self) -> str:
+        return f"<scheme {self.name}>"
+
+
+class BaselineStallOnFault(PipelineScheme):
+    """The conventional GPU: full ILP, faults stall in the pipeline and the
+    faulting thread block cannot be preempted."""
+
+    name = "baseline"
+    preemptible = False
+
+
+class WarpDisableCommit(PipelineScheme):
+    """Approach 1 (``wd-commit``): a global-memory instruction acts as an
+    instruction barrier for its warp — fetch is disabled until it commits.
+    No hardware added; at most one in-flight instruction per warp can fault,
+    and it is always the youngest, so squash + replay is trivial.
+
+    With ``cover_arithmetic=True`` the barrier also covers potentially
+    excepting arithmetic (divide-by-zero on the SFU divide)."""
+
+    name = "wd-commit"
+    preemptible = True
+    disable_anchor = "commit"
+
+    def __init__(self, cover_arithmetic: bool = False) -> None:
+        self.cover_arithmetic = cover_arithmetic
+
+    def fetch_disable_until(self, completion, last_check_ok):
+        return completion
+
+
+class WarpDisableLastCheck(PipelineScheme):
+    """Approach 1 optimized (``wd-lastcheck``): re-enable the warp right
+    after the last coalesced request of the instruction passed its TLB check
+    — the earliest point where the instruction is guaranteed not to fault."""
+
+    name = "wd-lastcheck"
+    preemptible = True
+    disable_anchor = "lastcheck"
+
+    def __init__(self, cover_arithmetic: bool = False) -> None:
+        self.cover_arithmetic = cover_arithmetic
+
+    def fetch_disable_until(self, completion, last_check_ok):
+        return last_check_ok
+
+
+class ReplayQueue(PipelineScheme):
+    """Approach 2: younger instructions flow freely; issued global-memory
+    instructions sit in a replay queue until commit (fixing *sparse replay*),
+    and their source scoreboards are released only after the last TLB check
+    (fixing *RAW on replay*) instead of at operand read."""
+
+    name = "replay-queue"
+    preemptible = True
+
+    def __init__(self, cover_arithmetic: bool = False) -> None:
+        self.cover_arithmetic = cover_arithmetic
+
+    def source_release_time(self, oprd_time, last_check_ok):
+        return max(oprd_time, last_check_ok)
+
+    def context_extra_bytes(self, block) -> int:
+        # The queue contents (in-flight global-memory instructions) are part
+        # of the context; no operand data is held.
+        return len(block.faulted_inflight) * REPLAY_QUEUE_ENTRY_BYTES
+
+
+class OperandLog(ReplayQueue):
+    """Approach 3: baseline scoreboarding is restored — source operands of
+    global-memory instructions are copied to a per-SM SRAM log at operand
+    read, so a replayed instruction reads sources from the log.  The log is
+    partitioned among the resident thread blocks at launch; an instruction
+    that cannot get a log entry stalls at issue.  Entries are released once
+    the instruction passes its last TLB check."""
+
+    name = "operand-log"
+    preemptible = True
+
+    def __init__(self, log_kbytes: int = 16, cover_arithmetic: bool = False) -> None:
+        if log_kbytes <= 0:
+            raise ValueError("log size must be positive")
+        super().__init__(cover_arithmetic=cover_arithmetic)
+        self.log_kbytes = log_kbytes
+        self.log_bytes = log_kbytes * 1024
+        self.name = f"operand-log-{log_kbytes}kb"
+
+    def source_release_time(self, oprd_time, last_check_ok):
+        return oprd_time  # baseline release: the log preserves replay data
+
+    def log_bytes_needed(self, is_store: bool) -> int:
+        return STORE_LOG_BYTES if is_store else LOAD_LOG_BYTES
+
+    def context_extra_bytes(self, block) -> int:
+        # The block's log partition is saved/restored with its context.
+        return block.log_capacity
+
+
+def make_scheme(name: str, **kwargs) -> PipelineScheme:
+    """Factory: ``baseline``, ``wd-commit``, ``wd-lastcheck``,
+    ``replay-queue``, ``operand-log`` (+ ``log_kbytes=``)."""
+    table = {
+        "baseline": BaselineStallOnFault,
+        "wd-commit": WarpDisableCommit,
+        "wd-lastcheck": WarpDisableLastCheck,
+        "replay-queue": ReplayQueue,
+        "operand-log": OperandLog,
+    }
+    try:
+        cls = table[name]
+    except KeyError:
+        raise ValueError(f"unknown scheme {name!r}; choose from {sorted(table)}")
+    return cls(**kwargs)

@@ -1,0 +1,460 @@
+"""Execution-driven SIMT functional simulator.
+
+Executes kernels of the mini ISA with full register/memory values, 32-lane
+warps, a per-warp SIMT divergence (reconvergence) stack, predication, shared
+memory, block barriers, global atomics, and device-side ``malloc`` backed by
+the :class:`~repro.vm.heap.DeviceHeap`.  While executing it emits the dynamic
+per-warp traces that drive the timing simulator.
+
+The divergence model is the classic PDOM stack: each entry is
+``(pc, reconvergence_pc, active_mask)``; a divergent branch converts the
+current entry into the reconvergence entry and pushes one entry per path;
+an entry whose pc reaches its reconvergence pc is popped.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.isa import Instruction, Kernel, Opcode, Param, Pred, Reg, Special, SReg
+from repro.vm import AddressSpace, DeviceHeap, SparseMemory
+
+from .trace import BlockTrace, KernelTrace, TraceInst, WarpTrace
+
+WARP_SIZE = 32
+
+
+class FunctionalError(Exception):
+    """Raised on malformed programs or runtime errors (e.g. bad free)."""
+
+
+class TrapRaised(Exception):
+    """Raised when a kernel executes TRAP with any active lane."""
+
+
+@dataclass
+class Launch:
+    """A kernel launch: grid/block geometry plus parameter values."""
+
+    kernel: Kernel
+    grid_dim: int
+    block_dim: int
+    params: Sequence[float] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.block_dim <= 0 or self.block_dim % WARP_SIZE:
+            raise ValueError("block_dim must be a positive multiple of 32")
+        if self.grid_dim <= 0:
+            raise ValueError("grid_dim must be positive")
+
+    @property
+    def warps_per_block(self) -> int:
+        return self.block_dim // WARP_SIZE
+
+
+class _StackEntry:
+    __slots__ = ("pc", "rpc", "mask")
+
+    def __init__(self, pc: int, rpc: Optional[int], mask: np.ndarray) -> None:
+        self.pc = pc
+        self.rpc = rpc
+        self.mask = mask
+
+
+class WarpState:
+    """Architectural state of one warp (registers, predicates, SIMT stack)."""
+
+    def __init__(self, warp_id: int, block_id: int, launch: Launch) -> None:
+        self.warp_id = warp_id
+        self.block_id = block_id
+        self.launch = launch
+        kernel = launch.kernel
+        self.regs = np.zeros((WARP_SIZE, max(kernel.regs_per_thread, 1)), dtype=float)
+        self.preds = np.zeros((WARP_SIZE, 8), dtype=bool)
+        first_thread = warp_id * WARP_SIZE
+        live = min(WARP_SIZE, launch.block_dim - first_thread)
+        mask = np.zeros(WARP_SIZE, dtype=bool)
+        mask[:live] = True
+        self.stack: List[_StackEntry] = [_StackEntry(0, None, mask)]
+        self.at_barrier = False
+        self.done = False
+        self.tid = np.arange(first_thread, first_thread + WARP_SIZE)
+        self.lane = np.arange(WARP_SIZE)
+
+    @property
+    def global_warp_id(self) -> int:
+        return self.block_id * self.launch.warps_per_block + self.warp_id
+
+
+class Interpreter:
+    """Executes launches and collects :class:`KernelTrace` objects."""
+
+    def __init__(
+        self,
+        memory: Optional[SparseMemory] = None,
+        address_space: Optional[AddressSpace] = None,
+        heap: Optional[DeviceHeap] = None,
+        collect_trace: bool = True,
+        max_dynamic_instructions: int = 50_000_000,
+    ) -> None:
+        self.memory = memory if memory is not None else SparseMemory()
+        self.address_space = address_space
+        self.heap = heap
+        self.collect_trace = collect_trace
+        self.max_dynamic_instructions = max_dynamic_instructions
+        self._executed = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run(self, launch: Launch) -> KernelTrace:
+        """Execute every block of ``launch`` and return its trace."""
+        launch.kernel.validate()
+        trace = KernelTrace(
+            kernel_name=launch.kernel.name,
+            grid_dim=launch.grid_dim,
+            block_dim=launch.block_dim,
+        )
+        for block_id in range(launch.grid_dim):
+            trace.blocks.append(self.run_block(launch, block_id))
+        return trace
+
+    def run_block(self, launch: Launch, block_id: int) -> BlockTrace:
+        """Execute one thread block (all its warps, honouring barriers)."""
+        warps = [
+            WarpState(w, block_id, launch) for w in range(launch.warps_per_block)
+        ]
+        shared = SparseMemory()
+        block_trace = BlockTrace(block_id=block_id)
+        wtraces = [WarpTrace(warp_id=w.warp_id) for w in warps]
+
+        while not all(w.done for w in warps):
+            progressed = False
+            for warp, wtrace in zip(warps, wtraces):
+                if warp.done or warp.at_barrier:
+                    continue
+                progressed = True
+                # Run the warp until it blocks (barrier) or finishes.
+                while not warp.done and not warp.at_barrier:
+                    self._step(warp, shared, wtrace)
+            if all(w.at_barrier for w in warps if not w.done):
+                for w in warps:
+                    w.at_barrier = False
+            elif not progressed:  # pragma: no cover - deadlock guard
+                raise FunctionalError(
+                    f"block {block_id}: deadlock (barrier divergence?)"
+                )
+        block_trace.warps = wtraces
+        return block_trace
+
+    # ------------------------------------------------------------------
+    # single-step execution (also used directly by replay-semantics tests)
+    # ------------------------------------------------------------------
+
+    def _step(self, warp: WarpState, shared: SparseMemory, wtrace: WarpTrace) -> None:
+        stack = warp.stack
+        # Pop reconverged / emptied entries.
+        while stack and (
+            not stack[-1].mask.any() or stack[-1].pc == stack[-1].rpc
+        ):
+            stack.pop()
+        if not stack:
+            warp.done = True
+            return
+        top = stack[-1]
+        program = warp.launch.kernel.instructions
+        if not 0 <= top.pc < len(program):
+            raise FunctionalError(f"pc {top.pc} out of range")
+        inst = program[top.pc]
+
+        exec_mask = top.mask.copy()
+        if inst.guard is not None:
+            guard_vals = warp.preds[:, inst.guard.index]
+            if inst.guard_negate:
+                guard_vals = ~guard_vals
+            exec_mask &= guard_vals
+
+        self._executed += 1
+        if self._executed > self.max_dynamic_instructions:
+            raise FunctionalError("dynamic instruction budget exceeded")
+
+        addresses = self.execute(inst, warp, exec_mask, shared)
+
+        if self.collect_trace and inst.op is not Opcode.NOP:
+            wtrace.append(
+                TraceInst(
+                    pc=top.pc,
+                    inst=inst,
+                    active=int(exec_mask.sum()),
+                    addresses=addresses,
+                )
+            )
+
+        self._advance(inst, warp, top, exec_mask)
+
+    def _advance(
+        self,
+        inst: Instruction,
+        warp: WarpState,
+        top: _StackEntry,
+        exec_mask: np.ndarray,
+    ) -> None:
+        if inst.op is Opcode.EXIT:
+            if exec_mask.any():
+                for entry in warp.stack:
+                    entry.mask = entry.mask & ~exec_mask
+            if not any(e.mask.any() for e in warp.stack):
+                warp.done = True
+                return
+            top.pc += 1
+            return
+        if inst.op is Opcode.BAR:
+            warp.at_barrier = True
+            top.pc += 1
+            return
+        if inst.op is Opcode.BRA:
+            taken = exec_mask  # guard already applied: guarded lanes take it
+            active = top.mask
+            not_taken = active & ~taken
+            if not taken.any():
+                top.pc += 1
+            elif not not_taken.any():
+                top.pc = inst.target
+            else:
+                if inst.reconv is None:
+                    raise FunctionalError(
+                        f"divergent branch at pc {top.pc} without reconvergence"
+                    )
+                fall_pc = top.pc + 1
+                top.pc = inst.reconv  # current entry becomes the join point
+                warp.stack.append(_StackEntry(fall_pc, inst.reconv, not_taken))
+                warp.stack.append(_StackEntry(inst.target, inst.reconv, taken))
+            return
+        top.pc += 1
+
+    # ------------------------------------------------------------------
+    # instruction semantics
+    # ------------------------------------------------------------------
+
+    def _read(self, operand, warp: WarpState):
+        if isinstance(operand, Reg):
+            return warp.regs[:, operand.index]
+        if isinstance(operand, Pred):
+            return warp.preds[:, operand.index]
+        if isinstance(operand, SReg):
+            launch = warp.launch
+            kind = operand.kind
+            if kind is Special.TID:
+                return warp.tid
+            if kind is Special.CTAID:
+                return warp.block_id
+            if kind is Special.NTID:
+                return launch.block_dim
+            if kind is Special.NCTAID:
+                return launch.grid_dim
+            if kind is Special.LANE:
+                return warp.lane
+            if kind is Special.WARPID:
+                return warp.warp_id
+            raise FunctionalError(f"unknown special register {kind}")
+        if isinstance(operand, Param):
+            try:
+                return warp.launch.params[operand.index]
+            except IndexError:
+                raise FunctionalError(
+                    f"kernel reads param[{operand.index}] but launch has "
+                    f"{len(warp.launch.params)} params"
+                ) from None
+        # Imm
+        return operand.value
+
+    def _write_reg(self, dest: Reg, warp: WarpState, mask: np.ndarray, value) -> None:
+        col = warp.regs[:, dest.index]
+        warp.regs[:, dest.index] = np.where(mask, value, col)
+
+    def _write_pred(self, dest: Pred, warp: WarpState, mask: np.ndarray, value) -> None:
+        col = warp.preds[:, dest.index]
+        warp.preds[:, dest.index] = np.where(mask, value, col)
+
+    _CMP = {
+        "lt": np.less,
+        "le": np.less_equal,
+        "gt": np.greater,
+        "ge": np.greater_equal,
+        "eq": np.equal,
+        "ne": np.not_equal,
+    }
+
+    def execute(
+        self,
+        inst: Instruction,
+        warp: WarpState,
+        mask: np.ndarray,
+        shared: SparseMemory,
+    ):
+        """Apply ``inst``'s semantics for lanes in ``mask``.
+
+        Returns the tuple of byte addresses accessed (memory instructions
+        with at least one active lane) or ``None``.
+        """
+        op = inst.op
+        srcs = inst.srcs
+
+        if op in _INT_BINOPS:
+            a = self._read(srcs[0], warp)
+            b = self._read(srcs[1], warp)
+            self._write_reg(inst.dest, warp, mask, _INT_BINOPS[op](a, b))
+            return None
+        if op in _FLOAT_BINOPS:
+            a = self._read(srcs[0], warp)
+            b = self._read(srcs[1], warp)
+            self._write_reg(inst.dest, warp, mask, _FLOAT_BINOPS[op](a, b))
+            return None
+        if op in (Opcode.IMAD, Opcode.FFMA):
+            a = self._read(srcs[0], warp)
+            b = self._read(srcs[1], warp)
+            c = self._read(srcs[2], warp)
+            val = a * b + c
+            if op is Opcode.IMAD:
+                val = np.floor(val + 0.5 * np.sign(val))
+            self._write_reg(inst.dest, warp, mask, val)
+            return None
+        if op in _SFU_OPS:
+            a = self._read(srcs[0], warp)
+            if op is Opcode.FDIV:
+                b = self._read(srcs[1], warp)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    val = np.where(np.asarray(b) != 0, a / np.where(b == 0, 1, b), 0.0)
+            else:
+                val = _SFU_OPS[op](np.asarray(a, dtype=float))
+            self._write_reg(inst.dest, warp, mask, val)
+            return None
+        if op is Opcode.MOV:
+            val = self._read(srcs[0], warp)
+            if isinstance(inst.dest, Pred):
+                self._write_pred(inst.dest, warp, mask, val)
+            else:
+                self._write_reg(inst.dest, warp, mask, val)
+            return None
+        if op is Opcode.I2F or op is Opcode.F2I:
+            val = self._read(srcs[0], warp)
+            if op is Opcode.F2I:
+                val = np.trunc(val)
+            self._write_reg(inst.dest, warp, mask, val)
+            return None
+        if op is Opcode.SEL:
+            p = self._read(srcs[0], warp)
+            a = self._read(srcs[1], warp)
+            b = self._read(srcs[2], warp)
+            self._write_reg(inst.dest, warp, mask, np.where(p, a, b))
+            return None
+        if op in (Opcode.ISETP, Opcode.FSETP):
+            a = self._read(srcs[0], warp)
+            b = self._read(srcs[1], warp)
+            if inst.cmp not in self._CMP:
+                raise FunctionalError(f"bad comparison {inst.cmp!r}")
+            self._write_pred(inst.dest, warp, mask, self._CMP[inst.cmp](a, b))
+            return None
+        if op in (Opcode.LD_GLOBAL, Opcode.LD_SHARED):
+            mem = self.memory if op is Opcode.LD_GLOBAL else shared
+            base = self._read(srcs[0], warp)
+            addrs = self._lane_addresses(base, inst, mask)
+            lanes = np.flatnonzero(mask)
+            vals = warp.regs[:, inst.dest.index].copy()
+            for lane, addr in zip(lanes, addrs):
+                vals[lane] = mem.load(addr, inst.width)
+            warp.regs[:, inst.dest.index] = vals
+            return tuple(addrs) if addrs else None
+        if op in (Opcode.ST_GLOBAL, Opcode.ST_SHARED):
+            mem = self.memory if op is Opcode.ST_GLOBAL else shared
+            base = self._read(srcs[0], warp)
+            value = self._read(srcs[1], warp)
+            value = np.broadcast_to(np.asarray(value, dtype=float), (WARP_SIZE,))
+            addrs = self._lane_addresses(base, inst, mask)
+            lanes = np.flatnonzero(mask)
+            for lane, addr in zip(lanes, addrs):
+                mem.store(addr, float(value[lane]), inst.width)
+            return tuple(addrs) if addrs else None
+        if op is Opcode.ATOM_GLOBAL:
+            base = self._read(srcs[0], warp)
+            value = self._read(srcs[1], warp)
+            value = np.broadcast_to(np.asarray(value, dtype=float), (WARP_SIZE,))
+            addrs = self._lane_addresses(base, inst, mask)
+            lanes = np.flatnonzero(mask)
+            old_vals = warp.regs[:, inst.dest.index].copy() if inst.dest else None
+            for lane, addr in zip(lanes, addrs):
+                old = self.memory.atomic(addr, inst.atom or "add", float(value[lane]))
+                if old_vals is not None:
+                    old_vals[lane] = old
+            if inst.dest is not None:
+                warp.regs[:, inst.dest.index] = old_vals
+            return tuple(addrs) if addrs else None
+        if op is Opcode.MALLOC:
+            if self.heap is None:
+                raise FunctionalError("MALLOC executed but no device heap attached")
+            size = self._read(srcs[0], warp)
+            size = np.broadcast_to(np.asarray(size, dtype=float), (WARP_SIZE,))
+            ptrs = warp.regs[:, inst.dest.index].copy()
+            for lane in np.flatnonzero(mask):
+                ptrs[lane] = self.heap.malloc(warp.global_warp_id, int(size[lane]))
+            warp.regs[:, inst.dest.index] = ptrs
+            return None
+        if op is Opcode.FREE:
+            if self.heap is None:
+                raise FunctionalError("FREE executed but no device heap attached")
+            ptr = self._read(srcs[0], warp)
+            ptr = np.broadcast_to(np.asarray(ptr, dtype=float), (WARP_SIZE,))
+            for lane in np.flatnonzero(mask):
+                self.heap.free(warp.global_warp_id, int(ptr[lane]))
+            return None
+        if op is Opcode.TRAP:
+            if mask.any():
+                raise TrapRaised(
+                    f"trap in block {warp.block_id} warp {warp.warp_id}"
+                )
+            return None
+        if op in (Opcode.BRA, Opcode.BAR, Opcode.EXIT, Opcode.NOP):
+            return None
+        raise FunctionalError(f"unimplemented opcode {op}")
+
+    def _lane_addresses(self, base, inst: Instruction, mask: np.ndarray) -> list:
+        base = np.broadcast_to(np.asarray(base, dtype=float), (WARP_SIZE,))
+        lanes = np.flatnonzero(mask)
+        return [int(base[lane]) + inst.offset for lane in lanes]
+
+
+_INT_BINOPS = {
+    Opcode.IADD: np.add,
+    Opcode.ISUB: np.subtract,
+    Opcode.IMUL: np.multiply,
+    Opcode.IMIN: np.minimum,
+    Opcode.IMAX: np.maximum,
+    Opcode.SHL: lambda a, b: np.asarray(a, dtype=np.int64) << np.asarray(b, dtype=np.int64),
+    Opcode.SHR: lambda a, b: np.asarray(a, dtype=np.int64) >> np.asarray(b, dtype=np.int64),
+    Opcode.AND: lambda a, b: np.asarray(a, dtype=np.int64) & np.asarray(b, dtype=np.int64),
+    Opcode.OR: lambda a, b: np.asarray(a, dtype=np.int64) | np.asarray(b, dtype=np.int64),
+    Opcode.XOR: lambda a, b: np.asarray(a, dtype=np.int64) ^ np.asarray(b, dtype=np.int64),
+}
+
+_FLOAT_BINOPS = {
+    Opcode.FADD: np.add,
+    Opcode.FSUB: np.subtract,
+    Opcode.FMUL: np.multiply,
+    Opcode.FMIN: np.minimum,
+    Opcode.FMAX: np.maximum,
+}
+
+_SFU_OPS = {
+    Opcode.FDIV: None,  # handled inline (two sources)
+    Opcode.FSQRT: lambda a: np.sqrt(np.abs(a)),
+    Opcode.FRSQRT: lambda a: 1.0 / np.sqrt(np.maximum(np.abs(a), 1e-30)),
+    Opcode.FSIN: np.sin,
+    Opcode.FCOS: np.cos,
+    Opcode.FEXP: lambda a: np.exp(np.clip(a, -80, 80)),
+    Opcode.FLOG: lambda a: np.log(np.maximum(np.abs(a), 1e-30)),
+}

@@ -1,0 +1,30 @@
+"""Experiment harness: one runner per paper table/figure + result tables."""
+
+from .experiments import (
+    ALL_EXPERIMENTS,
+    DEFAULT_TIME_SCALE,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_scalability,
+    run_table1,
+    run_table2,
+)
+from .results import ExperimentTable, geomean
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "DEFAULT_TIME_SCALE",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_scalability",
+    "run_table1",
+    "run_table2",
+    "ExperimentTable",
+    "geomean",
+]

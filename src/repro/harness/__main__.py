@@ -1,0 +1,70 @@
+"""Command-line entry point: ``python -m repro.harness <experiment>``.
+
+Examples::
+
+    python -m repro.harness table1
+    python -m repro.harness fig10 --quick
+    python -m repro.harness fig12 --workloads sgemm histo
+    python -m repro.harness all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (
+    ALL_EXPERIMENTS,
+    run_table1,
+)
+from .diagrams import render_all
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["table1", "diagrams", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="representative benchmark subset instead of the full suite",
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", default=None,
+        help="explicit benchmark names (overrides --quick)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "table1":
+        print(run_table1())
+        return 0
+    if args.experiment == "diagrams":
+        print(render_all())
+        return 0
+
+    names = (
+        sorted(ALL_EXPERIMENTS) if args.experiment == "all"
+        else [args.experiment]
+    )
+    for name in names:
+        runner = ALL_EXPERIMENTS[name]
+        start = time.time()
+        kwargs = {}
+        if name not in ("table2",):
+            kwargs["quick"] = args.quick
+            if args.workloads:
+                kwargs["workloads"] = args.workloads
+        table = runner(**kwargs)
+        print(table.render())
+        print(f"  ({time.time() - start:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

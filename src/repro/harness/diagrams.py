@@ -1,0 +1,172 @@
+"""Pipeline timing diagrams (paper Figures 3, 4, 6 and 7).
+
+Reproduces the paper's 4-instruction example under each scheme as an ASCII
+pipeline diagram.  The example program (Section 2.5):
+
+    A:  R3 <- ld [R2]      (global load, long latency, may fault)
+    B:  R9 <- sub R9, 4    (independent ALU)
+    C:  R8 <- ld [R4]      (global load, reads R4)
+    D:  R4 <- add R7, 8    (writes R4 -> WAR with C)
+
+The model here is the single-warp, in-order-issue pipeline of the paper's
+figures: fetch (F) -> issue (I) -> operand read (O) -> execute (E..E) ->
+commit (C), memory execute latency 6 cycles with the last TLB check two
+cycles into execution, ALU latency 1.  It exists to *illustrate and test*
+the per-scheme issue rules — the full timing simulator is in
+:mod:`repro.timing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+MEM_LATENCY = 6  # E stages of the global-memory pipeline in the figures
+TLB_CHECK_AT = 3  # last TLB check happens this many E-stages in
+ALU_LATENCY = 1
+
+
+@dataclass
+class ExampleInst:
+    """One instruction of the example program."""
+
+    label: str
+    text: str
+    is_mem: bool
+    srcs: tuple
+    dests: tuple
+
+
+EXAMPLE_PROGRAM = [
+    ExampleInst("A", "R3 <- ld [R2]", True, ("R2",), ("R3",)),
+    ExampleInst("B", "R9 <- sub R9, 4", False, ("R9",), ("R9",)),
+    ExampleInst("C", "R8 <- ld [R4]", True, ("R4",), ("R8",)),
+    ExampleInst("D", "R4 <- add R7, 8", False, ("R7",), ("R4",)),
+]
+
+
+@dataclass
+class _Timing:
+    fetch: int
+    issue: int
+    opread: int
+    exec_end: int
+    commit: int
+    last_check: int
+
+
+def _schedule(scheme: str) -> List[_Timing]:
+    """Cycle-accurate schedule of the example under ``scheme``.
+
+    Schemes: ``baseline`` (early source release at operand read),
+    ``wd-commit``, ``wd-lastcheck`` (fetch disabled after a memory
+    instruction until commit / last TLB check), ``replay-queue`` (source
+    release of memory instructions at last TLB check), ``operand-log``
+    (baseline timing; sources preserved in the log).
+    """
+    if scheme not in (
+        "baseline", "wd-commit", "wd-lastcheck", "replay-queue", "operand-log"
+    ):
+        raise ValueError(f"unknown scheme {scheme!r}")
+    timings: List[_Timing] = []
+    fetch_free = 1  # next cycle the fetch stage is available
+    # register -> release time of pending reads (WAR) / writes (RAW/WAW)
+    pending_read: Dict[str, int] = {}
+    pending_write: Dict[str, int] = {}
+    for inst in EXAMPLE_PROGRAM:
+        fetch = fetch_free
+        issue = fetch + 1
+        # scoreboard: wait out hazards
+        for reg in inst.srcs:
+            issue = max(issue, pending_write.get(reg, 0) + 1)  # RAW
+        for reg in inst.dests:
+            issue = max(issue, pending_write.get(reg, 0) + 1)  # WAW
+            issue = max(issue, pending_read.get(reg, 0) + 1)  # WAR
+        opread = issue + 1
+        latency = MEM_LATENCY if inst.is_mem else ALU_LATENCY
+        exec_end = opread + latency
+        commit = exec_end + 1
+        last_check = opread + TLB_CHECK_AT if inst.is_mem else opread
+
+        # source-operand scoreboard release point
+        if inst.is_mem and scheme == "replay-queue":
+            release = last_check
+        else:
+            release = opread  # baseline early release (also operand-log)
+        for reg in inst.srcs:
+            pending_read[reg] = max(pending_read.get(reg, 0), release)
+        for reg in inst.dests:
+            pending_write[reg] = max(pending_write.get(reg, 0), commit)
+
+        # fetch-disable window (warp disable schemes; figures show the
+        # barrier starting after the memory instruction is fetched)
+        if inst.is_mem and scheme == "wd-commit":
+            fetch_free = commit + 1
+        elif inst.is_mem and scheme == "wd-lastcheck":
+            fetch_free = last_check + 1
+        else:
+            fetch_free = fetch + 1
+
+        timings.append(
+            _Timing(fetch, issue, opread, exec_end, commit, last_check)
+        )
+    return timings
+
+
+def render(scheme: str) -> str:
+    """Render the example program's pipeline diagram for ``scheme``."""
+    timings = _schedule(scheme)
+    horizon = max(t.commit for t in timings)
+    header = "    " + "".join(f"{c:>3d}" for c in range(1, horizon + 1))
+    lines = [f"[{scheme}]", header]
+    for inst, t in zip(EXAMPLE_PROGRAM, timings):
+        cells = []
+        for cycle in range(1, horizon + 1):
+            if cycle == t.fetch:
+                cells.append("F")
+            elif cycle == t.issue:
+                cells.append("I")
+            elif cycle == t.opread:
+                cells.append("O")
+            elif t.opread < cycle <= t.exec_end:
+                cells.append("E")
+            elif cycle == t.commit:
+                cells.append("C")
+            elif t.fetch < cycle < t.issue:
+                cells.append(".")  # issue stall
+            else:
+                cells.append(" ")
+        row = "".join(f"{c:>3s}" for c in cells)
+        lines.append(f"{inst.label}:  {row}   {inst.text}")
+    return "\n".join(lines)
+
+
+def completion_cycle(scheme: str) -> int:
+    """Cycle when the example's last instruction commits under ``scheme``."""
+    return max(t.commit for t in _schedule(scheme))
+
+
+def issue_cycles(scheme: str) -> Dict[str, int]:
+    """Label -> issue cycle (used by tests to check the figures' facts)."""
+    return {
+        inst.label: t.issue
+        for inst, t in zip(EXAMPLE_PROGRAM, _schedule(scheme))
+    }
+
+
+def render_all() -> str:
+    """All four figures' diagrams, in paper order."""
+    parts = [
+        "Figure 3 (baseline; the culprits of non-preemptible faults):",
+        render("baseline"),
+        "",
+        "Figure 4 (warp disable):",
+        render("wd-commit"),
+        "",
+        "Figure 6 (replay queue):",
+        render("replay-queue"),
+        "",
+        "Figure 7 (operand log):",
+        render("operand-log"),
+    ]
+    return "\n".join(parts)

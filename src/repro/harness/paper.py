@@ -1,0 +1,94 @@
+"""The paper's published numbers, as structured data.
+
+Every quantitative claim of the evaluation section that this reproduction
+targets, in one place — used by EXPERIMENTS.md, the benchmark assertions
+and the comparison helper below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .results import ExperimentTable
+
+#: Figure 10 geomeans (normalized performance, no faults)
+FIG10_GEOMEANS = {
+    "wd-commit": 0.84,
+    "wd-lastcheck": 0.90,
+    "replay-queue": 0.94,
+}
+#: the lbm outlier under the replay queue
+FIG10_LBM_REPLAY_QUEUE = 0.60
+
+#: Figure 11 geomeans (operand log, normalized performance)
+FIG11_GEOMEANS = {"log-8KB": 0.966, "log-16KB": 0.992}
+#: lbm with a 16KB log ("improves the performance from 60% to 97%")
+FIG11_LBM_16KB = 0.97
+
+#: Table 2 rows: log KB -> (SM area %, GPU area %, SM power %, GPU power %)
+TABLE2 = {
+    8: (1.04, 0.47, 1.82, 1.28),
+    16: (1.47, 0.67, 2.34, 1.64),
+    20: (1.67, 0.76, 2.61, 1.83),
+    32: (2.36, 1.08, 3.38, 2.37),
+}
+
+#: Figure 12 NVLink speedups the text calls out
+FIG12_NVLINK = {"sgemm": 1.13, "stencil": 1.07, "histo": 1.11,
+                "mri-gridding": 0.85}
+#: best PCIe improvement ("histo is the highest with 5%")
+FIG12_PCIE_HISTO = 1.05
+
+#: Figure 13 geomeans (local handling of heap faults)
+FIG13_GEOMEANS = {"nvlink": 1.56, "pcie": 1.75}
+
+#: Figure 14 geomeans (local handling of output-page faults)
+FIG14_GEOMEANS = {"nvlink": 1.05, "pcie": 1.08}
+
+#: measured fault costs (cycles at 1 GHz): (migrate, alloc-only)
+FAULT_COSTS = {"nvlink": (12_000, 10_000), "pcie": (25_000, 12_000)}
+#: handler latency estimates (cycles)
+HANDLER_LATENCY = {"cpu": 2_000, "gpu": 20_000}
+
+
+@dataclass
+class Comparison:
+    """Paper-vs-measured for one series."""
+
+    name: str
+    paper: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.paper if self.paper else float("inf")
+
+    @property
+    def within(self) -> float:
+        """Absolute deviation from the paper's value."""
+        return abs(self.measured - self.paper)
+
+
+def compare_geomeans(
+    table: ExperimentTable, paper: Dict[str, float]
+) -> Dict[str, Comparison]:
+    """Match a measured table's geomeans against the paper's, by column."""
+    out: Dict[str, Comparison] = {}
+    geomeans = dict(zip(table.columns, table.geomeans()))
+    for column, expected in paper.items():
+        if column in geomeans:
+            out[column] = Comparison(
+                name=column, paper=expected, measured=geomeans[column]
+            )
+    return out
+
+
+def format_comparison(comps: Dict[str, Comparison]) -> str:
+    lines = [f"{'series':>14s} {'paper':>8s} {'measured':>9s} {'delta':>7s}"]
+    for comp in comps.values():
+        lines.append(
+            f"{comp.name:>14s} {comp.paper:8.3f} {comp.measured:9.3f} "
+            f"{comp.measured - comp.paper:+7.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Result tables for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of the positive entries of ``values`` (0.0 if none)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class ExperimentTable:
+    """A named table of per-benchmark series (one column per variant)."""
+
+    name: str
+    description: str
+    columns: List[str]
+    rows: Dict[str, List[float]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, label: str, values: Sequence[float]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"{self.name}: row {label!r} has {len(values)} values for "
+                f"{len(self.columns)} columns"
+            )
+        self.rows[label] = list(values)
+
+    def column(self, name: str) -> List[float]:
+        idx = self.columns.index(name)
+        return [vals[idx] for vals in self.rows.values()]
+
+    def geomeans(self) -> List[float]:
+        return [geomean(self.column(c)) for c in self.columns]
+
+    def render(self, fmt: str = "{:.3f}", label_width: int = 14) -> str:
+        col_w = max(9, max(len(c) for c in self.columns) + 1)
+        out = [f"== {self.name}: {self.description} =="]
+        header = " " * label_width + "".join(f"{c:>{col_w}}" for c in self.columns)
+        out.append(header)
+        for label, vals in self.rows.items():
+            cells = "".join(f"{fmt.format(v):>{col_w}}" for v in vals)
+            out.append(f"{label:<{label_width}}{cells}")
+        gm = self.geomeans()
+        cells = "".join(f"{fmt.format(v):>{col_w}}" for v in gm)
+        out.append(f"{'GEOMEAN':<{label_width}}{cells}")
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def render_bars(self, column: str, width: int = 40,
+                    reference: float = 1.0) -> str:
+        """Render one column as a horizontal bar chart (figure-like view).
+
+        ``reference`` draws a marker at the normalization point (1.0 for
+        the paper's normalized-performance figures).
+        """
+        values = self.column(column)
+        vmax = max(list(values) + [reference]) or 1.0
+        out = [f"== {self.name} / {column} =="]
+        ref_pos = int(round(width * reference / vmax))
+        for label, value in zip(self.rows, values):
+            length = int(round(width * value / vmax))
+            bar = list("#" * length + " " * (width - length))
+            if 0 <= ref_pos < len(bar) and bar[ref_pos] == " ":
+                bar[ref_pos] = "|"
+            out.append(f"{label:<14}{''.join(bar)} {value:.3f}")
+        gm = geomean(values)
+        out.append(f"{'GEOMEAN':<14}{'':<{width}} {gm:.3f}")
+        return "\n".join(out)
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "columns": self.columns,
+            "rows": self.rows,
+            "geomeans": self.geomeans(),
+            "notes": self.notes,
+        }

@@ -1,0 +1,99 @@
+"""Parameter-sweep utilities: vary one configuration knob across runs.
+
+Used by the ablation benchmarks and handy for exploring the design space,
+e.g. how the wd-commit penalty depends on the L1 MSHR count, or how block
+switching responds to the threshold::
+
+    from repro.harness.sweeps import sweep_config
+    table = sweep_config(
+        "lbm", scheme="wd-commit", field="l1_mshrs", values=[16, 32, 64]
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core import make_scheme
+from repro.system import GPUConfig, GpuSimulator, INTERCONNECTS
+from repro.workloads import get_workload
+
+from .results import ExperimentTable
+
+
+def sweep_config(
+    workload: str,
+    scheme: str,
+    field: str,
+    values: Sequence,
+    paging: str = "premapped",
+    interconnect: str = "nvlink",
+    time_scale: float = 1.0,
+    normalize: bool = True,
+) -> ExperimentTable:
+    """Simulate ``workload`` under ``scheme`` for each value of the
+    :class:`~repro.system.config.GPUConfig` field ``field``.
+
+    Returns a one-row table (columns = values).  With ``normalize`` the
+    cycles are reported relative to the first value.
+    """
+    if not hasattr(GPUConfig(), field):
+        raise ValueError(f"GPUConfig has no field {field!r}")
+    wl = get_workload(workload)
+    ic = INTERCONNECTS[interconnect].scaled(time_scale)
+    cycles = []
+    for value in values:
+        config = GPUConfig().with_(**{field: value}).time_scaled(time_scale)
+        sim = GpuSimulator(
+            kernel=wl.kernel,
+            trace=wl.trace(),
+            address_space=wl.make_address_space(),
+            config=config,
+            scheme=make_scheme(scheme),
+            paging=paging,
+            interconnect=ic,
+        )
+        cycles.append(sim.run().cycles)
+    table = ExperimentTable(
+        name=f"sweep-{field}",
+        description=f"{workload} / {scheme}: cycles vs {field}",
+        columns=[str(v) for v in values],
+    )
+    if normalize and cycles and cycles[0]:
+        table.add_row(workload, [cycles[0] / c for c in cycles])
+        table.notes.append("values are speedups relative to the first point")
+    else:
+        table.add_row(workload, cycles)
+    return table
+
+
+def sweep_schemes(
+    workload: str,
+    schemes: Sequence[str] = (
+        "baseline", "wd-commit", "wd-lastcheck", "replay-queue",
+    ),
+    paging: str = "premapped",
+    config: Optional[GPUConfig] = None,
+) -> ExperimentTable:
+    """One row comparing every scheme on one workload (normalized to the
+    first scheme)."""
+    wl = get_workload(workload)
+    cfg = config if config is not None else GPUConfig()
+    cycles = []
+    for name in schemes:
+        sim = GpuSimulator(
+            kernel=wl.kernel,
+            trace=wl.trace(),
+            address_space=wl.make_address_space(),
+            config=cfg,
+            scheme=make_scheme(name),
+            paging=paging,
+        )
+        cycles.append(sim.run().cycles)
+    table = ExperimentTable(
+        name="sweep-schemes",
+        description=f"{workload}: scheme comparison",
+        columns=list(schemes),
+    )
+    table.add_row(workload, [cycles[0] / c for c in cycles])
+    return table

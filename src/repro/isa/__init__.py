@@ -1,0 +1,28 @@
+"""Mini GPU ISA: opcodes, operands, instructions, kernels and the builder DSL."""
+
+from .dsl import KernelBuilder
+from .instructions import Instruction, uses_global_memory
+from .opcodes import OP_INFO, Opcode, OpInfo, Unit, op_info
+from .program import Kernel, Label, Param
+from .registers import Imm, P, Pred, R, Reg, Special, SReg
+
+__all__ = [
+    "KernelBuilder",
+    "Instruction",
+    "uses_global_memory",
+    "Opcode",
+    "OpInfo",
+    "OP_INFO",
+    "Unit",
+    "op_info",
+    "Kernel",
+    "Label",
+    "Param",
+    "Imm",
+    "Pred",
+    "Reg",
+    "SReg",
+    "Special",
+    "R",
+    "P",
+]

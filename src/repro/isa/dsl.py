@@ -1,0 +1,381 @@
+"""Kernel-building DSL.
+
+Kernels are written in Python with a small assembler-like builder that
+provides structured control flow (``if_`` / ``else_`` / ``while_`` /
+``for_range``) on top of raw branches.  The builder computes branch targets
+*and* reconvergence points (the immediate post-dominator of each potentially
+divergent branch), which the SIMT divergence stack of the functional
+simulator requires — mirroring the "explicit management of the divergence
+stack" the paper's ISA provides.
+
+Example::
+
+    kb = KernelBuilder("saxpy", regs_per_thread=8)
+    tid = kb.global_thread_id(R(0))
+    kb.imad(R(1), R(0), Imm(4), kb.param(0))       # &x[tid]
+    kb.imad(R(2), R(0), Imm(4), kb.param(1))       # &y[tid]
+    kb.ld_global(R(3), R(1))
+    kb.ld_global(R(4), R(2))
+    kb.ffma(R(5), R(3), kb.param(2), R(4))
+    kb.st_global(R(2), R(5))
+    kb.exit()
+    kernel = kb.build()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Optional, Sequence, Union
+
+from .instructions import Instruction
+from .opcodes import Opcode
+from .program import Kernel, Label, Param
+from .registers import Imm, Pred, Reg, Special, SReg
+
+OperandLike = Union[Reg, Pred, Imm, SReg, Param, int, float]
+
+
+def _as_operand(value: OperandLike):
+    """Coerce raw Python numbers to immediates, pass operands through."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return Imm(value)
+    if isinstance(value, (Reg, Pred, Imm, SReg, Param)):
+        return value
+    raise TypeError(f"not an operand: {value!r}")
+
+
+class KernelBuilder:
+    """Incrementally builds a :class:`~repro.isa.program.Kernel`."""
+
+    def __init__(
+        self,
+        name: str,
+        regs_per_thread: int = 16,
+        smem_bytes_per_block: int = 0,
+    ) -> None:
+        self.name = name
+        self.regs_per_thread = regs_per_thread
+        self.smem_bytes_per_block = smem_bytes_per_block
+        self._insts: list = []
+        self._labels: list = []
+        self._fixups: list = []  # (inst, attr, label)
+
+    # ------------------------------------------------------------------
+    # low-level emission
+    # ------------------------------------------------------------------
+
+    @property
+    def pc(self) -> int:
+        """The pc the next emitted instruction will occupy."""
+        return len(self._insts)
+
+    def emit(self, inst: Instruction) -> Instruction:
+        self._insts.append(inst)
+        return inst
+
+    def label(self, name: str = "") -> Label:
+        """Create an unbound label for manual branch construction."""
+        label = Label(name)
+        self._labels.append(label)
+        return label
+
+    def bind(self, label: Label) -> None:
+        """Bind ``label`` to the current pc."""
+        label.resolve(self.pc)
+
+    def param(self, index: int) -> Param:
+        return Param(index)
+
+    def _alu(self, op: Opcode, dest, *srcs, guard=None, guard_negate=False):
+        return self.emit(
+            Instruction(
+                op,
+                dest=dest,
+                srcs=tuple(_as_operand(s) for s in srcs),
+                guard=guard,
+                guard_negate=guard_negate,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # named helpers (one per opcode family)
+    # ------------------------------------------------------------------
+
+    def iadd(self, d, a, b, **kw):
+        return self._alu(Opcode.IADD, d, a, b, **kw)
+
+    def isub(self, d, a, b, **kw):
+        return self._alu(Opcode.ISUB, d, a, b, **kw)
+
+    def imul(self, d, a, b, **kw):
+        return self._alu(Opcode.IMUL, d, a, b, **kw)
+
+    def imad(self, d, a, b, c, **kw):
+        return self._alu(Opcode.IMAD, d, a, b, c, **kw)
+
+    def imin(self, d, a, b, **kw):
+        return self._alu(Opcode.IMIN, d, a, b, **kw)
+
+    def imax(self, d, a, b, **kw):
+        return self._alu(Opcode.IMAX, d, a, b, **kw)
+
+    def shl(self, d, a, b, **kw):
+        return self._alu(Opcode.SHL, d, a, b, **kw)
+
+    def shr(self, d, a, b, **kw):
+        return self._alu(Opcode.SHR, d, a, b, **kw)
+
+    def and_(self, d, a, b, **kw):
+        return self._alu(Opcode.AND, d, a, b, **kw)
+
+    def or_(self, d, a, b, **kw):
+        return self._alu(Opcode.OR, d, a, b, **kw)
+
+    def xor(self, d, a, b, **kw):
+        return self._alu(Opcode.XOR, d, a, b, **kw)
+
+    def fadd(self, d, a, b, **kw):
+        return self._alu(Opcode.FADD, d, a, b, **kw)
+
+    def fsub(self, d, a, b, **kw):
+        return self._alu(Opcode.FSUB, d, a, b, **kw)
+
+    def fmul(self, d, a, b, **kw):
+        return self._alu(Opcode.FMUL, d, a, b, **kw)
+
+    def ffma(self, d, a, b, c, **kw):
+        return self._alu(Opcode.FFMA, d, a, b, c, **kw)
+
+    def fmin(self, d, a, b, **kw):
+        return self._alu(Opcode.FMIN, d, a, b, **kw)
+
+    def fmax(self, d, a, b, **kw):
+        return self._alu(Opcode.FMAX, d, a, b, **kw)
+
+    def fdiv(self, d, a, b, **kw):
+        return self._alu(Opcode.FDIV, d, a, b, **kw)
+
+    def fsqrt(self, d, a, **kw):
+        return self._alu(Opcode.FSQRT, d, a, **kw)
+
+    def frsqrt(self, d, a, **kw):
+        return self._alu(Opcode.FRSQRT, d, a, **kw)
+
+    def fsin(self, d, a, **kw):
+        return self._alu(Opcode.FSIN, d, a, **kw)
+
+    def fcos(self, d, a, **kw):
+        return self._alu(Opcode.FCOS, d, a, **kw)
+
+    def fexp(self, d, a, **kw):
+        return self._alu(Opcode.FEXP, d, a, **kw)
+
+    def flog(self, d, a, **kw):
+        return self._alu(Opcode.FLOG, d, a, **kw)
+
+    def mov(self, d, a, **kw):
+        return self._alu(Opcode.MOV, d, a, **kw)
+
+    def i2f(self, d, a, **kw):
+        return self._alu(Opcode.I2F, d, a, **kw)
+
+    def f2i(self, d, a, **kw):
+        return self._alu(Opcode.F2I, d, a, **kw)
+
+    def sel(self, d, p, a, b, **kw):
+        return self._alu(Opcode.SEL, d, p, a, b, **kw)
+
+    def isetp(self, d: Pred, cmp: str, a, b, **kw):
+        inst = self._alu(Opcode.ISETP, d, a, b, **kw)
+        inst.cmp = cmp
+        return inst
+
+    def fsetp(self, d: Pred, cmp: str, a, b, **kw):
+        inst = self._alu(Opcode.FSETP, d, a, b, **kw)
+        inst.cmp = cmp
+        return inst
+
+    def ld_global(self, d, addr, offset: int = 0, width: int = 4, **kw):
+        inst = self._alu(Opcode.LD_GLOBAL, d, addr, **kw)
+        inst.offset, inst.width = offset, width
+        return inst
+
+    def st_global(self, addr, value, offset: int = 0, width: int = 4, **kw):
+        inst = self._alu(Opcode.ST_GLOBAL, None, addr, value, **kw)
+        inst.offset, inst.width = offset, width
+        return inst
+
+    def ld_shared(self, d, addr, offset: int = 0, width: int = 4, **kw):
+        inst = self._alu(Opcode.LD_SHARED, d, addr, **kw)
+        inst.offset, inst.width = offset, width
+        return inst
+
+    def st_shared(self, addr, value, offset: int = 0, width: int = 4, **kw):
+        inst = self._alu(Opcode.ST_SHARED, None, addr, value, **kw)
+        inst.offset, inst.width = offset, width
+        return inst
+
+    def atom_global(self, d, addr, value, atom: str = "add", offset: int = 0, **kw):
+        inst = self._alu(Opcode.ATOM_GLOBAL, d, addr, value, **kw)
+        inst.atom, inst.offset = atom, offset
+        return inst
+
+    def malloc(self, d, size, **kw):
+        return self._alu(Opcode.MALLOC, d, size, **kw)
+
+    def free(self, ptr, **kw):
+        return self._alu(Opcode.FREE, None, ptr, **kw)
+
+    def bar(self):
+        return self.emit(Instruction(Opcode.BAR))
+
+    def exit(self, guard: Optional[Pred] = None, guard_negate: bool = False):
+        return self.emit(
+            Instruction(Opcode.EXIT, guard=guard, guard_negate=guard_negate)
+        )
+
+    def trap(self, guard: Optional[Pred] = None, guard_negate: bool = False):
+        return self.emit(
+            Instruction(Opcode.TRAP, guard=guard, guard_negate=guard_negate)
+        )
+
+    def nop(self):
+        return self.emit(Instruction(Opcode.NOP))
+
+    def bra(
+        self,
+        target: Label,
+        guard: Optional[Pred] = None,
+        guard_negate: bool = False,
+        reconv: Optional[Label] = None,
+    ) -> Instruction:
+        """Emit a (possibly guarded) branch to ``target``.
+
+        A guarded branch may diverge; supply ``reconv`` so the SIMT stack
+        knows where the paths rejoin.  Structured helpers do this for you.
+        """
+        inst = self.emit(
+            Instruction(Opcode.BRA, guard=guard, guard_negate=guard_negate)
+        )
+        self._fixups.append((inst, "target", target))
+        if reconv is not None:
+            self._fixups.append((inst, "reconv", reconv))
+        return inst
+
+    # ------------------------------------------------------------------
+    # special-register & indexing conveniences
+    # ------------------------------------------------------------------
+
+    def tid(self, dest: Reg) -> Reg:
+        self.mov(dest, SReg(Special.TID))
+        return dest
+
+    def ctaid(self, dest: Reg) -> Reg:
+        self.mov(dest, SReg(Special.CTAID))
+        return dest
+
+    def ntid(self, dest: Reg) -> Reg:
+        self.mov(dest, SReg(Special.NTID))
+        return dest
+
+    def global_thread_id(self, dest: Reg, scratch: Optional[Reg] = None) -> Reg:
+        """``dest = ctaid * ntid + tid`` (the canonical CUDA global index)."""
+        scratch = scratch if scratch is not None else dest
+        self.mov(scratch, SReg(Special.CTAID))
+        self.imul(scratch, scratch, SReg(Special.NTID))
+        self.iadd(dest, scratch, SReg(Special.TID))
+        return dest
+
+    # ------------------------------------------------------------------
+    # structured control flow
+    # ------------------------------------------------------------------
+
+    @contextlib.contextmanager
+    def if_(self, pred: Pred, negate: bool = False) -> Iterator[None]:
+        """``if pred: <body>`` — branches around the body when the guard is
+        false; reconvergence at the end of the body."""
+        end = self.label("endif")
+        self.bra(end, guard=pred, guard_negate=not negate, reconv=end)
+        yield
+        self.bind(end)
+
+    @contextlib.contextmanager
+    def if_else(self, pred: Pred) -> Iterator[tuple]:
+        """``if pred: <then> else: <otherwise>`` via two labels.
+
+        Usage::
+
+            with kb.if_else(P(0)) as orelse:
+                <then-body>
+                orelse()        # switch to the else arm
+                <else-body>
+        """
+        else_label = self.label("else")
+        end = self.label("endif")
+        self.bra(else_label, guard=pred, guard_negate=True, reconv=end)
+        switched = [False]
+
+        def orelse() -> None:
+            if switched[0]:
+                raise RuntimeError("orelse() called twice")
+            switched[0] = True
+            self.bra(end, reconv=end)
+            self.bind(else_label)
+
+        yield orelse
+        if not switched[0]:
+            raise RuntimeError("if_else used without calling orelse()")
+        self.bind(end)
+
+    @contextlib.contextmanager
+    def while_(self, emit_cond) -> Iterator[None]:
+        """``while cond: <body>``.
+
+        ``emit_cond`` is a callback that emits the condition computation and
+        returns the predicate register holding it.  Lanes whose condition is
+        false wait at the loop exit (the reconvergence point).
+        """
+        top = self.label("while_top")
+        end = self.label("while_end")
+        self.bind(top)
+        pred = emit_cond()
+        self.bra(end, guard=pred, guard_negate=True, reconv=end)
+        yield
+        self.bra(top)
+        self.bind(end)
+
+    @contextlib.contextmanager
+    def for_range(
+        self, counter: Reg, start: OperandLike, stop: OperandLike, step: int = 1
+    ) -> Iterator[Reg]:
+        """``for counter in range(start, stop, step): <body>``."""
+        self.mov(counter, _as_operand(start))
+        pred = Pred(7)  # reserved loop predicate
+
+        def cond() -> Pred:
+            self.isetp(pred, "lt", counter, _as_operand(stop))
+            return pred
+
+        with self.while_(cond):
+            yield counter
+            self.iadd(counter, counter, Imm(step))
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+
+    def build(self) -> Kernel:
+        """Resolve labels and return the validated kernel."""
+        for label in self._labels:
+            if label.pc is None:
+                raise ValueError(f"unbound label {label.name!r} in {self.name}")
+        for inst, attr, label in self._fixups:
+            setattr(inst, attr, label.pc)
+        kernel = Kernel(
+            name=self.name,
+            instructions=list(self._insts),
+            regs_per_thread=self.regs_per_thread,
+            smem_bytes_per_block=self.smem_bytes_per_block,
+        )
+        kernel.validate()
+        return kernel

@@ -1,0 +1,160 @@
+"""Opcode definitions for the mini GPU ISA.
+
+The ISA is designed to mimic modern GPU ISAs (see paper Section 5.1): a large
+unified register file, explicit management of the divergence stack, a fused
+multiply-add instruction, approximate complex math instructions executed on a
+special-function unit, separate shared/global memory spaces, block barriers,
+atomics, a trap instruction and device-side dynamic memory allocation.
+
+Each opcode carries static metadata used by both the functional interpreter
+(semantics dispatch) and the timing simulator (execution unit class, latency
+class, and whether the instruction can raise a page fault).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Unit(enum.Enum):
+    """Execution unit classes of the SM back end (Table 1: 2 math units,
+    1 special-function unit, 1 load/store unit, 1 branch unit)."""
+
+    MATH = "math"
+    SFU = "sfu"
+    LDST = "ldst"
+    BRANCH = "branch"
+
+
+class Opcode(enum.Enum):
+    # Integer ALU
+    IADD = "iadd"
+    ISUB = "isub"
+    IMUL = "imul"
+    IMAD = "imad"
+    IMIN = "imin"
+    IMAX = "imax"
+    SHL = "shl"
+    SHR = "shr"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    # Floating point ALU
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FFMA = "ffma"
+    FMIN = "fmin"
+    FMAX = "fmax"
+    # Special function unit (approximate complex math)
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FRSQRT = "frsqrt"
+    FSIN = "fsin"
+    FCOS = "fcos"
+    FEXP = "fexp"
+    FLOG = "flog"
+    # Moves / conversions / select
+    MOV = "mov"
+    I2F = "i2f"
+    F2I = "f2i"
+    SEL = "sel"
+    # Predicate-setting compares
+    ISETP = "isetp"
+    FSETP = "fsetp"
+    # Memory
+    LD_GLOBAL = "ld.global"
+    ST_GLOBAL = "st.global"
+    LD_SHARED = "ld.shared"
+    ST_SHARED = "st.shared"
+    ATOM_GLOBAL = "atom.global"
+    # Device-side dynamic memory management (backed by the GPU heap allocator)
+    MALLOC = "malloc"
+    FREE = "free"
+    # Control flow
+    BRA = "bra"
+    BAR = "bar"
+    EXIT = "exit"
+    TRAP = "trap"
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of an opcode.
+
+    ``latency`` is the execution latency in cycles for non-memory
+    instructions; memory instruction latency is determined dynamically by the
+    memory hierarchy.  ``can_fault`` marks instructions that access the
+    global (translated) address space and can therefore raise a page fault.
+    """
+
+    unit: Unit
+    latency: int
+    can_fault: bool = False
+    is_memory: bool = False
+    is_store: bool = False
+    is_control: bool = False
+
+
+_MATH = OpInfo(Unit.MATH, 10)
+_MATH_FAST = OpInfo(Unit.MATH, 6)
+_SFU = OpInfo(Unit.SFU, 20)
+_GLOBAL_LD = OpInfo(Unit.LDST, 0, can_fault=True, is_memory=True)
+_GLOBAL_ST = OpInfo(Unit.LDST, 0, can_fault=True, is_memory=True, is_store=True)
+_SHARED_LD = OpInfo(Unit.LDST, 24, is_memory=True)
+_SHARED_ST = OpInfo(Unit.LDST, 24, is_memory=True, is_store=True)
+_CTRL = OpInfo(Unit.BRANCH, 4, is_control=True)
+
+OP_INFO: dict = {
+    Opcode.IADD: _MATH_FAST,
+    Opcode.ISUB: _MATH_FAST,
+    Opcode.IMUL: _MATH,
+    Opcode.IMAD: _MATH,
+    Opcode.IMIN: _MATH_FAST,
+    Opcode.IMAX: _MATH_FAST,
+    Opcode.SHL: _MATH_FAST,
+    Opcode.SHR: _MATH_FAST,
+    Opcode.AND: _MATH_FAST,
+    Opcode.OR: _MATH_FAST,
+    Opcode.XOR: _MATH_FAST,
+    Opcode.FADD: _MATH,
+    Opcode.FSUB: _MATH,
+    Opcode.FMUL: _MATH,
+    Opcode.FFMA: _MATH,
+    Opcode.FMIN: _MATH_FAST,
+    Opcode.FMAX: _MATH_FAST,
+    Opcode.FDIV: _SFU,
+    Opcode.FSQRT: _SFU,
+    Opcode.FRSQRT: _SFU,
+    Opcode.FSIN: _SFU,
+    Opcode.FCOS: _SFU,
+    Opcode.FEXP: _SFU,
+    Opcode.FLOG: _SFU,
+    Opcode.MOV: _MATH_FAST,
+    Opcode.I2F: _MATH_FAST,
+    Opcode.F2I: _MATH_FAST,
+    Opcode.SEL: _MATH_FAST,
+    Opcode.ISETP: _MATH_FAST,
+    Opcode.FSETP: _MATH_FAST,
+    Opcode.LD_GLOBAL: _GLOBAL_LD,
+    Opcode.ST_GLOBAL: _GLOBAL_ST,
+    Opcode.LD_SHARED: _SHARED_LD,
+    Opcode.ST_SHARED: _SHARED_ST,
+    Opcode.ATOM_GLOBAL: OpInfo(
+        Unit.LDST, 0, can_fault=True, is_memory=True, is_store=True
+    ),
+    Opcode.MALLOC: OpInfo(Unit.LDST, 40),
+    Opcode.FREE: OpInfo(Unit.LDST, 40),
+    Opcode.BRA: _CTRL,
+    Opcode.BAR: OpInfo(Unit.BRANCH, 4, is_control=True),
+    Opcode.EXIT: _CTRL,
+    Opcode.TRAP: _CTRL,
+    Opcode.NOP: OpInfo(Unit.MATH, 1),
+}
+
+
+def op_info(op: Opcode) -> OpInfo:
+    """Return the static :class:`OpInfo` metadata for ``op``."""
+    return OP_INFO[op]

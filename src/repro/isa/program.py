@@ -1,0 +1,81 @@
+"""Kernel program container and label resolution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .instructions import Instruction
+from .opcodes import Opcode
+
+
+@dataclass(frozen=True)
+class Param:
+    """A kernel launch parameter operand (resolved at launch time).
+
+    Kernel parameters carry buffer base addresses and scalar arguments, the
+    way CUDA kernel arguments do.  The functional simulator reads the value
+    from the launch's parameter list; the timing simulator treats parameters
+    as immediates (they live in constant memory and never fault in our
+    model).
+    """
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"param[{self.index}]"
+
+
+class Label:
+    """A forward-referenceable program location used by the kernel DSL."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.pc: Optional[int] = None
+
+    def resolve(self, pc: int) -> None:
+        if self.pc is not None:
+            raise ValueError(f"label {self.name!r} bound twice")
+        self.pc = pc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<label {self.name} @{self.pc}>"
+
+
+@dataclass
+class Kernel:
+    """A compiled kernel: the instruction stream plus static resource needs.
+
+    ``regs_per_thread`` and ``smem_bytes_per_block`` determine SM occupancy
+    (how many thread blocks fit concurrently), exactly the quantity that
+    drives the per-benchmark differences between the paper's pipeline
+    schemes (e.g. *lbm* runs at 8-warp occupancy because of its register
+    pressure).
+    """
+
+    name: str
+    instructions: List[Instruction] = field(default_factory=list)
+    regs_per_thread: int = 16
+    smem_bytes_per_block: int = 0
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def validate(self) -> None:
+        """Check structural invariants: resolved branch targets, terminal
+        EXIT reachability, and operand sanity."""
+        n = len(self.instructions)
+        if n == 0:
+            raise ValueError(f"kernel {self.name!r} is empty")
+        for pc, inst in enumerate(self.instructions):
+            if inst.op is Opcode.BRA:
+                if inst.target is None or not 0 <= inst.target <= n:
+                    raise ValueError(
+                        f"{self.name}: unresolved/out-of-range branch at pc {pc}"
+                    )
+                if inst.reconv is not None and not 0 <= inst.reconv <= n:
+                    raise ValueError(
+                        f"{self.name}: bad reconvergence point at pc {pc}"
+                    )
+        if not any(i.op is Opcode.EXIT for i in self.instructions):
+            raise ValueError(f"kernel {self.name!r} has no EXIT instruction")

@@ -1,0 +1,88 @@
+"""Register and operand model of the mini GPU ISA.
+
+Threads own a per-thread slice of the SM's large unified register file
+(general-purpose registers ``R0..R254``) and a small predicate file
+(``P0..P7``).  A handful of read-only *special* registers expose the thread's
+position in the launch grid, matching the CUDA built-ins.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+MAX_GPR = 255
+NUM_PRED = 8
+
+
+class Special(enum.Enum):
+    """Read-only special registers (CUDA built-in equivalents)."""
+
+    TID = "tid"  # thread index within the block
+    CTAID = "ctaid"  # block index within the grid
+    NTID = "ntid"  # threads per block
+    NCTAID = "nctaid"  # blocks in the grid
+    LANE = "lane"  # lane index within the warp
+    WARPID = "warpid"  # warp index within the block
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A general-purpose register operand ``R<index>``."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index <= MAX_GPR:
+            raise ValueError(f"register index out of range: {self.index}")
+
+    def __repr__(self) -> str:
+        return f"R{self.index}"
+
+
+@dataclass(frozen=True)
+class Pred:
+    """A predicate register operand ``P<index>``."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_PRED:
+            raise ValueError(f"predicate index out of range: {self.index}")
+
+    def __repr__(self) -> str:
+        return f"P{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand (int or float)."""
+
+    value: float
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True)
+class SReg:
+    """A special (read-only) register operand."""
+
+    kind: Special
+
+    def __repr__(self) -> str:
+        return f"%{self.kind.value}"
+
+
+#: Convenience operand type union used in annotations.
+Operand = object
+
+
+def R(index: int) -> Reg:
+    """Shorthand constructor for a GPR operand."""
+    return Reg(index)
+
+
+def P(index: int) -> Pred:
+    """Shorthand constructor for a predicate operand."""
+    return Pred(index)

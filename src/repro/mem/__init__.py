@@ -1,0 +1,23 @@
+"""Timing models of the GPU memory hierarchy (caches, TLBs, DRAM, MMU)."""
+
+from .cache import Cache, CacheStats, Dram, DramStats
+from .coalescer import CoalescedAccess, coalesce
+from .hierarchy import AccessResult, FaultInfo, MemorySubsystem
+from .tlb import Mmu, Tlb, TlbStats, TranslationResult, WalkerPool
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "Dram",
+    "DramStats",
+    "CoalescedAccess",
+    "coalesce",
+    "AccessResult",
+    "FaultInfo",
+    "MemorySubsystem",
+    "Mmu",
+    "Tlb",
+    "TlbStats",
+    "TranslationResult",
+    "WalkerPool",
+]

@@ -1,0 +1,209 @@
+"""Set-associative cache timing model with LRU replacement and MSHRs.
+
+Timing is computed in a single pass per request ("timestamp simulation"):
+the cache keeps tag state plus, for in-flight misses, the fill time of each
+pending line, so later requests to the same line merge onto the outstanding
+MSHR (secondary miss) instead of issuing a duplicate fill.  A bounded MSHR
+pool applies back-pressure: when all MSHRs are busy a new primary miss waits
+for the earliest release.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    secondary_misses: int = 0
+    mshr_stalls: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+class Cache:
+    """One cache level.
+
+    Args:
+        name: for stats/debugging.
+        size_bytes / assoc / line_size: geometry (must divide evenly).
+        latency: hit latency in cycles (also charged before a miss is
+            forwarded to the next level, modeling the tag check).
+        num_mshrs: bound on concurrently outstanding primary misses.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        line_size: int,
+        latency: int,
+        num_mshrs: int,
+        next_level_unloaded: float = 0.0,
+    ) -> None:
+        """``next_level_unloaded`` is the unloaded (contention-free) miss
+        latency below this cache.  It is charged to requests that had to
+        wait for an MSHR: their service happens at a *future* timestamp, and
+        booking the shared downstream resources (DRAM pipe, next-level
+        MSHRs) at future times would let one backed-up client poison
+        present-time requests from every other client (the accumulator would
+        jump far ahead of simulation time).  MSHR-limited clients are
+        throttled to ``num_mshrs / fill-latency`` throughput either way, so
+        the unloaded approximation changes little while keeping the shared
+        accumulators causal."""
+        num_lines = size_bytes // line_size
+        if num_lines % assoc:
+            raise ValueError(f"{name}: lines ({num_lines}) not divisible by assoc")
+        self.name = name
+        self.line_size = line_size
+        self.latency = latency
+        self.assoc = assoc
+        self.num_sets = num_lines // assoc
+        self.num_mshrs = num_mshrs
+        self.next_level_unloaded = next_level_unloaded
+        # per-set OrderedDict line_tag -> dirty flag (LRU order = insertion)
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        # line -> fill completion time of the outstanding miss
+        self._pending: Dict[int, float] = {}
+        # min-heap of outstanding primary-miss completion times (MSHR pool)
+        self._mshr_busy: list = []
+        self.stats = CacheStats()
+
+    def _set_of(self, line: int) -> OrderedDict:
+        return self._sets[line % self.num_sets]
+
+    def _reserve_mshr(self, now: float) -> float:
+        """Return the time an MSHR becomes available (>= now)."""
+        busy = self._mshr_busy
+        while busy and busy[0] <= now:
+            heapq.heappop(busy)
+        if len(busy) >= self.num_mshrs:
+            self.stats.mshr_stalls += 1
+            return heapq.heappop(busy)
+        return now
+
+    def _commit_mshr(self, fill_time: float) -> None:
+        heapq.heappush(self._mshr_busy, fill_time)
+
+    def probe(self, line: int) -> bool:
+        """Tag check without state change (used by tests)."""
+        return line in self._set_of(line)
+
+    def access(
+        self,
+        line: int,
+        now: float,
+        is_store: bool,
+        next_level_access,
+    ) -> float:
+        """Access ``line`` at time ``now``; returns data-ready time.
+
+        ``next_level_access(start_time, line, is_store) -> ready_time`` is
+        invoked for primary misses.
+        """
+        self.stats.accesses += 1
+        cset = self._set_of(line)
+        if line in cset:
+            pending_fill = self._pending.get(line)
+            if pending_fill is not None and pending_fill > now:
+                # Fill still in flight: merge onto the outstanding MSHR.
+                self.stats.secondary_misses += 1
+                cset.move_to_end(line)
+                return max(pending_fill, now + self.latency)
+            self._pending.pop(line, None)
+            self.stats.hits += 1
+            cset.move_to_end(line)
+            if is_store:
+                cset[line] = True
+            return now + self.latency
+
+        # Primary miss.
+        self.stats.misses += 1
+        slot = self._reserve_mshr(now)
+        if slot <= now:
+            ready = next_level_access(now + self.latency, line, is_store)
+        else:
+            # Waited for an MSHR: service happens in the future — charge the
+            # unloaded downstream latency (see __init__ docstring).
+            ready = slot + self.latency + self.next_level_unloaded
+        self._commit_mshr(ready)
+        self._install(line, dirty=is_store)
+        self._pending[line] = ready
+        return ready
+
+    def _install(self, line: int, dirty: bool) -> None:
+        cset = self._set_of(line)
+        if line in cset:
+            cset.move_to_end(line)
+            if dirty:
+                cset[line] = True
+            return
+        if len(cset) >= self.assoc:
+            victim, _ = cset.popitem(last=False)  # evict LRU
+            self._pending.pop(victim, None)
+            self.stats.evictions += 1
+        cset[line] = dirty
+
+    def flush(self) -> None:
+        """Drop all state (used between experiment runs)."""
+        for cset in self._sets:
+            cset.clear()
+        self._pending.clear()
+        self._mshr_busy.clear()
+
+
+@dataclass
+class DramStats:
+    accesses: int = 0
+    bytes_transferred: int = 0
+    busy_cycles: float = 0.0
+
+
+class Dram:
+    """Simple DRAM: fixed latency plus a shared bandwidth pipe.
+
+    Bandwidth is modeled with a "next free" accumulator: each line transfer
+    occupies the pipe for ``line_size / bytes_per_cycle`` cycles.
+    """
+
+    def __init__(self, latency: int, bandwidth_bytes_per_cycle: float, line_size: int) -> None:
+        self.latency = latency
+        self.bytes_per_cycle = bandwidth_bytes_per_cycle
+        self.line_size = line_size
+        self._next_free = 0.0
+        self.stats = DramStats()
+
+    def access(self, now: float, line: int, is_store: bool) -> float:
+        occupancy = self.line_size / self.bytes_per_cycle
+        start = max(now, self._next_free)
+        self._next_free = start + occupancy
+        self.stats.accesses += 1
+        self.stats.bytes_transferred += self.line_size
+        self.stats.busy_cycles += occupancy
+        return start + occupancy + self.latency
+
+    def reserve_bandwidth(self, now: float, nbytes: int) -> float:
+        """Occupy the pipe for a bulk transfer (context save/restore, page
+        migration landing in GPU memory); returns completion time."""
+        occupancy = nbytes / self.bytes_per_cycle
+        start = max(now, self._next_free)
+        self._next_free = start + occupancy
+        self.stats.bytes_transferred += nbytes
+        self.stats.busy_cycles += occupancy
+        return start + occupancy + self.latency
+
+    def flush(self) -> None:
+        self._next_free = 0.0

@@ -1,0 +1,40 @@
+"""Memory-access coalescing unit.
+
+Part of the baseline SM (paper Figure 5): a warp memory instruction's 32 lane
+addresses are coalesced into one memory request per unique cache line.  The
+coalescer also reports the unique virtual pages, because one warp instruction
+can touch (and fault on) several pages at once — which is why the *last* TLB
+check is the earliest safe point to re-enable a disabled warp
+(``wd-lastcheck``) or to release replay-queue source operands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.vm import CACHE_LINE_SIZE, PAGE_SHIFT
+
+
+@dataclass(frozen=True)
+class CoalescedAccess:
+    """The coalescer's output for one warp memory instruction."""
+
+    lines: Tuple[int, ...]  # unique cache-line indices, in first-touch order
+    vpns: Tuple[int, ...]  # unique virtual page numbers, in first-touch order
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.lines)
+
+
+def coalesce(
+    addresses: Sequence[int], line_size: int = CACHE_LINE_SIZE
+) -> CoalescedAccess:
+    """Coalesce lane byte addresses into unique lines and pages."""
+    lines: dict = {}
+    vpns: dict = {}
+    for addr in addresses:
+        lines.setdefault(addr // line_size, None)
+        vpns.setdefault(addr >> PAGE_SHIFT, None)
+    return CoalescedAccess(lines=tuple(lines), vpns=tuple(vpns))

@@ -1,0 +1,276 @@
+"""The GPU memory subsystem: per-SM L1 caches, shared L2, DRAM, and the MMU.
+
+``warp_access`` is the single entry point the SM's global-memory pipeline
+uses: it coalesces lane addresses, streams the coalesced requests through the
+per-SM LD/ST address pipeline (one request per cycle — this serialization is
+why the *last* TLB check of a scattered warp access lands tens of cycles
+after issue), translates each unique page (detecting page faults at walk
+completion), sends each non-faulted request through L1 -> L2 -> DRAM, and
+reports per-instruction timing:
+
+- ``translation_done`` — when the last TLB check finished (the paper's
+  earliest safe point to re-enable a disabled warp / release replay-queue
+  source scoreboards),
+- ``completion`` — when all non-faulted requests' data is ready,
+- ``faults`` — the virtual pages that had no valid GPU mapping.
+
+Faulted instructions are *replayed* after resolution via
+``replay_after_fault``, which charges unloaded latencies only: replay happens
+far in simulation future, and pushing shared bandwidth accumulators (LD/ST
+pipe, DRAM pipe, MSHR pools) to future timestamps would stall unrelated
+present-time accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.vm import PAGE_SHIFT, SystemPageState
+
+from .cache import Cache, Dram
+from .coalescer import coalesce
+from .tlb import Mmu
+
+
+@dataclass
+class FaultInfo:
+    """A page fault detected by the fill unit for one warp access."""
+
+    vpn: int
+    detect_time: float
+    sm_id: int
+    is_store: bool = False
+
+
+@dataclass
+class AccessResult:
+    """Timing outcome of one warp global-memory instruction."""
+
+    translation_done: float
+    completion: float
+    faults: List[FaultInfo] = field(default_factory=list)
+    num_requests: int = 0
+
+    @property
+    def faulted(self) -> bool:
+        return bool(self.faults)
+
+
+@dataclass
+class TranslationOutcome:
+    """Phase 1 of a warp access: coalescing + translation of every page.
+
+    ``ready_lines`` holds the coalesced requests whose page translated
+    successfully; the data-path phase (cache/DRAM) runs at
+    ``translation_done`` so shared bandwidth resources are only ever booked
+    in global time order.
+    """
+
+    translation_done: float
+    ready_lines: List[int] = field(default_factory=list)
+    faults: List[FaultInfo] = field(default_factory=list)
+    num_requests: int = 0
+
+    @property
+    def faulted(self) -> bool:
+        return bool(self.faults)
+
+
+class MemorySubsystem:
+    """Composes caches, DRAM and MMU according to a configuration object.
+
+    ``translate_fn(vpn, time)`` supplies the time-aware page-table view
+    (see :class:`repro.system.faults.FaultController`).
+    """
+
+    def __init__(self, config, translate_fn) -> None:
+        self.config = config
+        dram_unloaded = (
+            config.dram_latency
+            + config.line_size / config.dram_bandwidth_bytes_per_cycle
+        )
+        self.l1_caches = [
+            Cache(
+                f"l1[{i}]",
+                size_bytes=config.l1_size,
+                assoc=config.l1_assoc,
+                line_size=config.line_size,
+                latency=config.l1_latency,
+                num_mshrs=config.l1_mshrs,
+                next_level_unloaded=config.l2_latency + dram_unloaded,
+            )
+            for i in range(config.num_sms)
+        ]
+        self.l2_cache = Cache(
+            "l2",
+            size_bytes=config.l2_size,
+            assoc=config.l2_assoc,
+            line_size=config.line_size,
+            latency=config.l2_latency,
+            num_mshrs=config.l2_mshrs,
+            next_level_unloaded=dram_unloaded,
+        )
+        self.dram = Dram(
+            latency=config.dram_latency,
+            bandwidth_bytes_per_cycle=config.dram_bandwidth_bytes_per_cycle,
+            line_size=config.line_size,
+        )
+        self.mmu = Mmu(
+            num_sms=config.num_sms,
+            l1_entries=config.l1_tlb_entries,
+            l1_assoc=config.l1_tlb_assoc,
+            l2_entries=config.l2_tlb_entries,
+            l2_assoc=config.l2_tlb_assoc,
+            l2_latency=config.l2_tlb_latency,
+            num_walkers=config.num_walkers,
+            walk_latency=config.walk_latency,
+            translate_fn=translate_fn,
+        )
+        self._ldst_free = [0.0] * config.num_sms
+
+    # ------------------------------------------------------------------
+
+    def _l2_access(self, start: float, line: int, is_store: bool) -> float:
+        return self.l2_cache.access(line, start, is_store, self.dram.access)
+
+    def translate_access(
+        self,
+        sm_id: int,
+        addresses: Sequence[int],
+        is_store: bool,
+        now: float,
+    ) -> TranslationOutcome:
+        """Phase 1 (at operand read): coalesce and translate.
+
+        The coalesced requests stream through the per-SM LD/ST address
+        pipeline (one per cycle); each unique page is translated when its
+        first request reaches the TLB-check slot.  Page faults are detected
+        here, at walk completion.
+        """
+        access = coalesce(addresses, self.config.line_size)
+
+        start0 = max(now, self._ldst_free[sm_id])
+        self._ldst_free[sm_id] = start0 + access.num_requests
+
+        line_size = self.config.line_size
+        page_results: Dict[int, object] = {}
+        faults: Dict[int, FaultInfo] = {}
+        ready_lines: List[int] = []
+        translation_done = now
+        for i, line in enumerate(access.lines):
+            slot = start0 + i
+            vpn = (line * line_size) >> PAGE_SHIFT
+            result = page_results.get(vpn)
+            if result is None:
+                result = self.mmu.translate(sm_id, vpn, slot)
+                page_results[vpn] = result
+                if result.faulted:
+                    faults[vpn] = FaultInfo(
+                        vpn=vpn,
+                        detect_time=result.done_time,
+                        sm_id=sm_id,
+                        is_store=is_store,
+                    )
+            check_done = max(slot + 1, result.done_time)
+            translation_done = max(translation_done, check_done)
+            if not result.faulted:
+                ready_lines.append(line)
+
+        return TranslationOutcome(
+            translation_done=translation_done,
+            ready_lines=ready_lines,
+            faults=list(faults.values()),
+            num_requests=access.num_requests,
+        )
+
+    def data_access(
+        self,
+        sm_id: int,
+        ready_lines: Sequence[int],
+        is_store: bool,
+        now: float,
+        is_atomic: bool = False,
+    ) -> float:
+        """Phase 2 (at translation-done): run the requests through the
+        cache hierarchy; returns the instruction completion time.
+
+        The L1 is no-write-allocate (NVIDIA-style): stores and atomics
+        bypass it — and its MSHRs — and are performed at the L2.  Plain
+        stores complete at write-buffer acceptance (the warp's commit does
+        not wait for the write-back to land); loads and atomics (which
+        return the old value) complete when their data is ready.
+        """
+        completion = now + self.config.l1_latency
+        if is_store or is_atomic:
+            for line in ready_lines:
+                ready = self._l2_access(now, line, True)
+                if is_atomic:
+                    completion = max(completion, ready)
+            return completion
+        l1 = self.l1_caches[sm_id]
+        for line in ready_lines:
+            ready = l1.access(line, now, False, self._l2_access)
+            completion = max(completion, ready)
+        return completion
+
+    def warp_access(
+        self,
+        sm_id: int,
+        addresses: Sequence[int],
+        is_store: bool,
+        now: float,
+        is_atomic: bool = False,
+    ) -> AccessResult:
+        """Both phases back to back (convenience for tests and tools;
+        the SM pipeline drives the two phases through timed events)."""
+        outcome = self.translate_access(sm_id, addresses, is_store, now)
+        completion = self.data_access(
+            sm_id,
+            outcome.ready_lines,
+            is_store,
+            outcome.translation_done,
+            is_atomic=is_atomic,
+        )
+        return AccessResult(
+            translation_done=outcome.translation_done,
+            completion=completion,
+            faults=outcome.faults,
+            num_requests=outcome.num_requests,
+        )
+
+    def replay_after_fault(
+        self, sm_id: int, addresses: Sequence[int], resolved_time: float
+    ) -> AccessResult:
+        """Timing of replaying a faulted access once its fault is resolved.
+
+        Charges *unloaded* latencies: the TLBs have no entry for the freshly
+        mapped pages (full walk), and the migrated/zero-filled data sits in
+        DRAM.  Shared contention accumulators are deliberately not touched —
+        the replay executes far in the future relative to the accesses being
+        simulated now.
+        """
+        access = coalesce(addresses, self.config.line_size)
+        cfg = self.config
+        # Requests re-enter the address pipeline back to back.
+        last_check = (
+            resolved_time
+            + access.num_requests
+            + cfg.l2_tlb_latency
+            + cfg.walk_latency
+        )
+        completion = last_check + cfg.l2_latency + cfg.dram_latency
+        return AccessResult(
+            translation_done=last_check,
+            completion=completion,
+            faults=[],
+            num_requests=access.num_requests,
+        )
+
+    def flush(self) -> None:
+        for cache in self.l1_caches:
+            cache.flush()
+        self.l2_cache.flush()
+        self.dram.flush()
+        self.mmu.flush()
+        self._ldst_free = [0.0] * self.config.num_sms

@@ -1,0 +1,187 @@
+"""TLB timing models and the page-walking fill unit.
+
+Mirrors the paper's MMU (Figure 1): each SM has a private L1 TLB; a shared
+L2 TLB sits behind them; attached to the L2 TLB is a *fill unit* with a pool
+of page-table walkers that performs GPU page-table lookups on L2 TLB misses.
+A walk that finds no valid GPU mapping is the point where a page fault is
+detected.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass
+class TlbStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    merged_walks: int = 0
+
+
+class Tlb:
+    """Set-associative, LRU TLB over virtual page numbers."""
+
+    def __init__(self, name: str, entries: int, assoc: int, latency: int = 0) -> None:
+        if entries % assoc:
+            raise ValueError(f"{name}: entries not divisible by assoc")
+        self.name = name
+        self.assoc = assoc
+        self.num_sets = entries // assoc
+        self.latency = latency
+        self._sets = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = TlbStats()
+
+    def _set_of(self, vpn: int) -> OrderedDict:
+        return self._sets[vpn % self.num_sets]
+
+    def lookup(self, vpn: int) -> Optional[int]:
+        self.stats.accesses += 1
+        tset = self._set_of(vpn)
+        ppn = tset.get(vpn)
+        if ppn is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        tset.move_to_end(vpn)
+        return ppn
+
+    def insert(self, vpn: int, ppn: int) -> None:
+        tset = self._set_of(vpn)
+        if vpn in tset:
+            tset.move_to_end(vpn)
+            tset[vpn] = ppn
+            return
+        if len(tset) >= self.assoc:
+            tset.popitem(last=False)
+        tset[vpn] = ppn
+
+    def invalidate(self, vpn: int) -> None:
+        self._set_of(vpn).pop(vpn, None)
+
+    def flush(self) -> None:
+        for tset in self._sets:
+            tset.clear()
+
+
+class WalkerPool:
+    """The fill unit's pool of page-table walkers (Table 1: 64 walkers,
+    500-cycle walk latency)."""
+
+    def __init__(self, num_walkers: int, walk_latency: int) -> None:
+        self.num_walkers = num_walkers
+        self.walk_latency = walk_latency
+        self._busy: list = []  # heap of walker release times
+        self.walks = 0
+        self.stall_cycles = 0.0
+
+    def walk(self, now: float) -> float:
+        """Start a walk at the earliest opportunity; returns completion time."""
+        busy = self._busy
+        while busy and busy[0] <= now:
+            heapq.heappop(busy)
+        start = now
+        if len(busy) >= self.num_walkers:
+            start = heapq.heappop(busy)
+            self.stall_cycles += start - now
+        done = start + self.walk_latency
+        heapq.heappush(busy, done)
+        self.walks += 1
+        return done
+
+    def flush(self) -> None:
+        self._busy.clear()
+
+
+class TranslationResult:
+    """Outcome of translating one page for one memory request."""
+
+    __slots__ = ("vpn", "ppn", "done_time", "faulted")
+
+    def __init__(self, vpn: int, ppn: Optional[int], done_time: float) -> None:
+        self.vpn = vpn
+        self.ppn = ppn
+        self.done_time = done_time
+        self.faulted = ppn is None
+
+
+class Mmu:
+    """Two-level TLB + fill unit, shared by all SMs at the L2/walker level.
+
+    ``translate(sm_id, vpn, now)`` performs the full translation timing:
+    L1 TLB (per SM) -> shared L2 TLB -> walker pool -> page table; concurrent
+    walks for the same vpn are merged (one walker, shared completion).
+    """
+
+    def __init__(
+        self,
+        num_sms: int,
+        l1_entries: int,
+        l1_assoc: int,
+        l2_entries: int,
+        l2_assoc: int,
+        l2_latency: int,
+        num_walkers: int,
+        walk_latency: int,
+        translate_fn,
+    ) -> None:
+        """``translate_fn(vpn, time) -> ppn | None`` is the time-aware page
+        table view (``None`` = fault at ``time``; a page whose fault is still
+        being resolved stays unmapped until its resolution time)."""
+        self.l1_tlbs = [
+            Tlb(f"l1tlb[{i}]", l1_entries, l1_assoc) for i in range(num_sms)
+        ]
+        self.l2_tlb = Tlb("l2tlb", l2_entries, l2_assoc, latency=l2_latency)
+        self.walkers = WalkerPool(num_walkers, walk_latency)
+        self.translate_fn = translate_fn
+        # vpn -> (done_time, ppn-or-None) for in-flight walks (walk merging)
+        self._pending_walks: Dict[int, Tuple[float, Optional[int]]] = {}
+        self.fault_detections = 0
+
+    def translate(self, sm_id: int, vpn: int, now: float) -> TranslationResult:
+        # A walk in flight for this page: later lookups merge onto it and
+        # observe its completion time — the entry is not visible in the
+        # TLBs until the walker returns.
+        pending = self._pending_walks.get(vpn)
+        if pending is not None and pending[0] > now:
+            self.l2_tlb.stats.merged_walks += 1
+            done, walk_ppn = pending
+            if walk_ppn is None:
+                self.fault_detections += 1
+            return TranslationResult(vpn, walk_ppn, done)
+
+        l1 = self.l1_tlbs[sm_id]
+        ppn = l1.lookup(vpn)
+        if ppn is not None:
+            return TranslationResult(vpn, ppn, now)
+
+        t = now + self.l2_tlb.latency
+        ppn = self.l2_tlb.lookup(vpn)
+        if ppn is not None:
+            l1.insert(vpn, ppn)
+            return TranslationResult(vpn, ppn, t)
+
+        done = self.walkers.walk(t)
+        walk_ppn = self.translate_fn(vpn, done)
+        self._pending_walks[vpn] = (done, walk_ppn)
+        if walk_ppn is None:
+            self.fault_detections += 1
+            return TranslationResult(vpn, None, done)
+        self.l2_tlb.insert(vpn, walk_ppn)
+        l1.insert(vpn, walk_ppn)
+        return TranslationResult(vpn, walk_ppn, done)
+
+    def install(self, vpn: int, ppn: int) -> None:
+        """Called when a fault is resolved so future walks/lookups hit."""
+        self._pending_walks.pop(vpn, None)
+
+    def flush(self) -> None:
+        for tlb in self.l1_tlbs:
+            tlb.flush()
+        self.l2_tlb.flush()
+        self.walkers.flush()
+        self._pending_walks.clear()

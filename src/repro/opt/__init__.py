@@ -1,0 +1,23 @@
+"""Compiler layer: CFG, liveness, and transformation passes over kernels."""
+
+from .cfg import BasicBlock, Cfg
+from .liveness import Liveness, uses_defs
+from .passes import (
+    constant_folding,
+    count_memory_war_hazards,
+    dead_code_elimination,
+    optimize,
+    rename_war_registers,
+)
+
+__all__ = [
+    "BasicBlock",
+    "Cfg",
+    "Liveness",
+    "uses_defs",
+    "constant_folding",
+    "count_memory_war_hazards",
+    "dead_code_elimination",
+    "optimize",
+    "rename_war_registers",
+]

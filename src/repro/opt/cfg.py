@@ -1,0 +1,94 @@
+"""Control-flow graph over kernel instruction streams.
+
+The paper's toolchain compiles CUDA through LLVM to the custom ISA; this
+package is the reproduction's (much smaller) compiler layer.  It builds a
+basic-block CFG from a :class:`~repro.isa.program.Kernel`, which the
+analyses (liveness) and transformations (dead-code elimination, constant
+folding, WAR-eliminating register renaming) operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.isa import Instruction, Kernel, Opcode
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run."""
+
+    index: int
+    start: int  # pc of the first instruction
+    end: int  # pc one past the last instruction
+    successors: List[int] = field(default_factory=list)
+    predecessors: List[int] = field(default_factory=list)
+
+    def pcs(self) -> range:
+        return range(self.start, self.end)
+
+
+class Cfg:
+    """Control-flow graph of a kernel."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.blocks: List[BasicBlock] = []
+        self._block_of_pc: Dict[int, int] = {}
+        self._build()
+
+    def _leaders(self) -> List[int]:
+        instructions = self.kernel.instructions
+        leaders: Set[int] = {0}
+        for pc, inst in enumerate(instructions):
+            if inst.op is Opcode.BRA:
+                if inst.target is not None:
+                    leaders.add(inst.target)
+                if inst.reconv is not None:
+                    leaders.add(inst.reconv)
+                if pc + 1 < len(instructions):
+                    leaders.add(pc + 1)
+            elif inst.op is Opcode.EXIT and pc + 1 < len(instructions):
+                leaders.add(pc + 1)
+        return sorted(l for l in leaders if l < len(instructions))
+
+    def _build(self) -> None:
+        instructions = self.kernel.instructions
+        leaders = self._leaders()
+        bounds = leaders + [len(instructions)]
+        for i, start in enumerate(leaders):
+            block = BasicBlock(index=i, start=start, end=bounds[i + 1])
+            self.blocks.append(block)
+            for pc in block.pcs():
+                self._block_of_pc[pc] = i
+        # edges
+        for block in self.blocks:
+            last = instructions[block.end - 1]
+            if last.op is Opcode.BRA:
+                if last.target is not None and last.target < len(instructions):
+                    block.successors.append(self._block_of_pc[last.target])
+                # guarded (or divergent) branches fall through too
+                if (last.guard is not None or last.reconv is not None) and (
+                    block.end < len(instructions)
+                ):
+                    block.successors.append(self._block_of_pc[block.end])
+            elif last.op is Opcode.EXIT:
+                # predicated EXIT falls through for surviving lanes
+                if last.guard is not None and block.end < len(instructions):
+                    block.successors.append(self._block_of_pc[block.end])
+            elif block.end < len(instructions):
+                block.successors.append(self._block_of_pc[block.end])
+        for block in self.blocks:
+            block.successors = sorted(set(block.successors))
+            for succ in block.successors:
+                self.blocks[succ].predecessors.append(block.index)
+
+    def block_of(self, pc: int) -> BasicBlock:
+        return self.blocks[self._block_of_pc[pc]]
+
+    def instruction(self, pc: int) -> Instruction:
+        return self.kernel.instructions[pc]
+
+    def __len__(self) -> int:
+        return len(self.blocks)

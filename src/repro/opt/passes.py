@@ -1,0 +1,252 @@
+"""Kernel transformation passes.
+
+Three classic passes over the mini-ISA, mirroring what the paper's LLVM
+backend would do — plus one pass specific to this paper's trade space:
+
+``rename_war_registers``
+    Eliminates WAR hazards on the *address registers of global-memory
+    instructions* by renaming the overwriting definition to a fresh
+    register.  The replay-queue scheme (Approach 2) pays for exactly these
+    hazards (sources are released only after the last TLB check); renaming
+    trades register pressure — and therefore potentially occupancy — for
+    that stall, which is the software-side ablation of the paper's
+    hardware operand log.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.isa import Imm, Instruction, Kernel, Opcode, Pred, Reg
+
+from .cfg import Cfg
+from .liveness import Liveness, uses_defs
+
+
+def _clone_kernel(kernel: Kernel) -> Kernel:
+    return Kernel(
+        name=kernel.name,
+        instructions=[dataclasses.replace(i) for i in kernel.instructions],
+        regs_per_thread=kernel.regs_per_thread,
+        smem_bytes_per_block=kernel.smem_bytes_per_block,
+    )
+
+
+# ---------------------------------------------------------------------------
+# dead code elimination
+# ---------------------------------------------------------------------------
+
+def dead_code_elimination(kernel: Kernel) -> Tuple[Kernel, int]:
+    """Remove side-effect-free instructions whose results are never used.
+
+    Returns ``(new_kernel, removed_count)``.  Branch targets are remapped.
+    Iterates to a fixed point (removing one dead def can kill another).
+    """
+    current = _clone_kernel(kernel)
+    removed_total = 0
+    while True:
+        cfg = Cfg(current)
+        dead = set(Liveness(cfg).dead_defs())
+        if not dead:
+            break
+        removed_total += len(dead)
+        current = _remove_pcs(current, dead)
+    current.validate()
+    return current, removed_total
+
+
+def _remove_pcs(kernel: Kernel, dead: Set[int]) -> Kernel:
+    n = len(kernel.instructions)
+    new_pc_of = {}
+    new_pc = 0
+    for pc in range(n):
+        new_pc_of[pc] = new_pc
+        if pc not in dead:
+            new_pc += 1
+    end_pc = new_pc  # mapping for targets one past the end
+
+    def remap(pc: Optional[int]) -> Optional[int]:
+        if pc is None:
+            return None
+        return new_pc_of.get(pc, end_pc)
+
+    insts = []
+    for pc, inst in enumerate(kernel.instructions):
+        if pc in dead:
+            continue
+        inst = dataclasses.replace(
+            inst, target=remap(inst.target), reconv=remap(inst.reconv)
+        )
+        insts.append(inst)
+    return Kernel(
+        name=kernel.name,
+        instructions=insts,
+        regs_per_thread=kernel.regs_per_thread,
+        smem_bytes_per_block=kernel.smem_bytes_per_block,
+    )
+
+
+# ---------------------------------------------------------------------------
+# constant folding
+# ---------------------------------------------------------------------------
+
+_FOLDABLE = {
+    Opcode.IADD: lambda a, b: a + b,
+    Opcode.ISUB: lambda a, b: a - b,
+    Opcode.IMUL: lambda a, b: a * b,
+    Opcode.IMIN: min,
+    Opcode.IMAX: max,
+    Opcode.SHL: lambda a, b: int(a) << int(b),
+    Opcode.SHR: lambda a, b: int(a) >> int(b),
+    Opcode.AND: lambda a, b: int(a) & int(b),
+    Opcode.OR: lambda a, b: int(a) | int(b),
+    Opcode.XOR: lambda a, b: int(a) ^ int(b),
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FMIN: min,
+    Opcode.FMAX: max,
+}
+
+
+def constant_folding(kernel: Kernel) -> Tuple[Kernel, int]:
+    """Fold binary ALU operations whose sources are all immediates into a
+    ``MOV Imm``.  Returns ``(new_kernel, folded_count)``."""
+    current = _clone_kernel(kernel)
+    folded = 0
+    for pc, inst in enumerate(current.instructions):
+        fold = _FOLDABLE.get(inst.op)
+        if fold is None or inst.guard is not None:
+            continue
+        if len(inst.srcs) == 2 and all(isinstance(s, Imm) for s in inst.srcs):
+            value = fold(inst.srcs[0].value, inst.srcs[1].value)
+            current.instructions[pc] = dataclasses.replace(
+                inst, op=Opcode.MOV, srcs=(Imm(value),)
+            )
+            folded += 1
+    current.validate()
+    return current, folded
+
+
+# ---------------------------------------------------------------------------
+# WAR-eliminating register renaming
+# ---------------------------------------------------------------------------
+
+def count_memory_war_hazards(kernel: Kernel) -> int:
+    """WAR hazards where the pending reader is a global-memory instruction —
+    the hazards the replay-queue scheme turns into issue stalls."""
+    count = 0
+    cfg = Cfg(kernel)
+    for block in cfg.blocks:
+        pending_mem_srcs: Dict[int, int] = {}  # reg -> pc of memory reader
+        for pc in block.pcs():
+            inst = cfg.instruction(pc)
+            for dest in inst.reg_dests():
+                if dest in pending_mem_srcs:
+                    count += 1
+                    del pending_mem_srcs[dest]
+            if inst.info.can_fault:
+                for src in inst.reg_srcs():
+                    pending_mem_srcs[src] = pc
+        # block boundary clears the window (issue distance is large)
+    return count
+
+
+def rename_war_registers(
+    kernel: Kernel, extra_regs: int = 16
+) -> Tuple[Kernel, int]:
+    """Rename definitions that overwrite a register still needed as a
+    global-memory instruction's source, using up to ``extra_regs`` fresh
+    registers.  Renaming is per basic block and only when the renamed
+    value's live range is contained in the block (safe without SSA).
+
+    Returns ``(new_kernel, renamed_count)``.  The new kernel's
+    ``regs_per_thread`` grows by the registers actually used — the register
+    pressure the paper's operand log avoids paying.
+    """
+    current = _clone_kernel(kernel)
+    cfg = Cfg(current)
+    live = Liveness(cfg)
+    base_reg = current.regs_per_thread
+    next_fresh = base_reg
+    max_fresh = base_reg + extra_regs
+    renamed = 0
+
+    for block in cfg.blocks:
+        pcs = list(block.pcs())
+        mem_src_live: Set[int] = set()  # regs sourced by a recent memory op
+        for i, pc in enumerate(pcs):
+            inst = cfg.instruction(pc)
+            conflict = [
+                d for d in inst.reg_dests()
+                if d in mem_src_live
+            ]
+            if (
+                conflict
+                and next_fresh < max_fresh
+                and inst.guard is None
+                and not inst.info.is_control
+            ):
+                old = conflict[0]
+                # live range must be contained in the block: the renamed
+                # value must not be live out of the block
+                if old not in live.live_out[block.index] or _redefined_later(
+                    cfg, pcs[i + 1:], old
+                ):
+                    new = next_fresh
+                    if _rename_from(cfg, current, pcs[i:], old, new):
+                        next_fresh += 1
+                        renamed += 1
+                        inst = cfg.instruction(pc)  # re-fetch: dest renamed
+            mem_src_live -= set(inst.reg_dests())
+            if inst.info.can_fault:
+                mem_src_live |= set(inst.reg_srcs())
+    current.regs_per_thread = max(base_reg, next_fresh)
+    current.validate()
+    return current, renamed
+
+
+def _redefined_later(cfg: Cfg, pcs, reg: int) -> bool:
+    for pc in pcs:
+        inst = cfg.instruction(pc)
+        if reg in inst.reg_dests() and inst.guard is None:
+            return True
+    return False
+
+
+def _rename_from(cfg: Cfg, kernel: Kernel, pcs, old: int, new: int) -> bool:
+    """Rename the def of ``old`` at ``pcs[0]`` and its uses up to (not
+    including) the next redefinition.  Returns False if unsafe."""
+    first = kernel.instructions[pcs[0]]
+    kernel.instructions[pcs[0]] = _replace_dest(first, old, new)
+    for pc in pcs[1:]:
+        inst = kernel.instructions[pc]
+        if old in inst.reg_srcs():
+            kernel.instructions[pc] = _replace_srcs(inst, old, new)
+            inst = kernel.instructions[pc]
+        if old in inst.reg_dests() and inst.guard is None:
+            return True  # redefinition: live range closed
+    return True
+
+
+def _replace_dest(inst: Instruction, old: int, new: int) -> Instruction:
+    dest = Reg(new) if isinstance(inst.dest, Reg) and inst.dest.index == old \
+        else inst.dest
+    return dataclasses.replace(inst, dest=dest)
+
+
+def _replace_srcs(inst: Instruction, old: int, new: int) -> Instruction:
+    srcs = tuple(
+        Reg(new) if isinstance(s, Reg) and s.index == old else s
+        for s in inst.srcs
+    )
+    return dataclasses.replace(inst, srcs=srcs)
+
+
+def optimize(kernel: Kernel, rename_extra_regs: int = 16) -> Kernel:
+    """The default pipeline: fold -> DCE -> WAR renaming."""
+    kernel, _ = constant_folding(kernel)
+    kernel, _ = dead_code_elimination(kernel)
+    kernel, _ = rename_war_registers(kernel, extra_regs=rename_extra_regs)
+    return kernel

@@ -1,0 +1,5 @@
+"""Host-side runtime: a CUDA-like managed-memory device facade."""
+
+from .device import DevicePointer, GpuDevice, LaunchResult, RuntimeError_
+
+__all__ = ["DevicePointer", "GpuDevice", "LaunchResult", "RuntimeError_"]

@@ -1,0 +1,220 @@
+"""Host-side runtime facade: a CUDA-like managed-memory device API.
+
+The paper's motivation (Section 1) is programmability: unified memory with
+on-demand migration removes explicit transfers, and preemptible exceptions
+make its machinery (demand paging, lazy allocation) efficient.  This module
+is the user-facing library tying the reproduction together the way a driver
+API would:
+
+    dev = GpuDevice(scheme="replay-queue", local_handling=True)
+    x = dev.malloc_managed(n * 4)
+    y = dev.malloc_managed(n * 4)
+    dev.fill(x, [...])                 # host writes -> pages CPU-dirty
+    result = dev.launch(kernel, grid=32, block=128, args=[x, y, 2.0])
+    print(result.cycles, dev.read(y, n))
+
+State persists across launches: memory contents, page residency (a second
+kernel touching the same data takes no migration faults), physical frames,
+and the accumulated cycle count — exactly the behaviour managed memory
+gives a CUDA application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.core import PipelineScheme, make_scheme
+from repro.functional import Interpreter, Launch
+from repro.isa import Kernel
+from repro.system import GPUConfig, GpuSimulator, INTERCONNECTS, SimResult
+from repro.system.config import InterconnectConfig
+from repro.vm import (
+    AddressSpace,
+    DeviceHeap,
+    FrameAllocator,
+    SegmentKind,
+    SparseMemory,
+)
+
+
+class RuntimeError_(Exception):
+    """Raised on misuse of the device API."""
+
+
+@dataclass(frozen=True)
+class DevicePointer:
+    """An opaque handle to a managed allocation."""
+
+    name: str
+    address: int
+    nbytes: int
+
+    def __index__(self) -> int:  # usable directly as a kernel argument
+        return self.address
+
+
+@dataclass
+class LaunchResult:
+    """Outcome of one kernel launch through the runtime."""
+
+    sim: SimResult
+    trace_instructions: int
+
+    @property
+    def cycles(self) -> float:
+        return self.sim.cycles
+
+    @property
+    def fault_stats(self):
+        return self.sim.fault_stats
+
+
+class GpuDevice:
+    """A persistent simulated GPU with managed memory."""
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        scheme: Union[str, PipelineScheme] = "replay-queue",
+        interconnect: Union[str, InterconnectConfig] = "nvlink",
+        local_handling: bool = False,
+        block_switching: bool = False,
+        heap_bytes: int = 0,
+        heap_arenas: int = 256,
+        time_scale: float = 1.0,
+    ) -> None:
+        self.config = (config or GPUConfig()).time_scaled(time_scale)
+        self.scheme = (
+            make_scheme(scheme) if isinstance(scheme, str) else scheme
+        )
+        if isinstance(interconnect, str):
+            interconnect = INTERCONNECTS[interconnect]
+        self.interconnect = interconnect.scaled(time_scale)
+        self.local_handling = local_handling
+        self.block_switching = block_switching
+        if (block_switching or local_handling) and not self.scheme.preemptible:
+            raise RuntimeError_(
+                "the use cases require a preemptible-exception scheme"
+            )
+        self.aspace = AddressSpace()
+        self.memory = SparseMemory()
+        self.frames = FrameAllocator(self.config.num_frames)
+        self._partitions = (
+            self.frames.partition(self.config.num_sms + 1)
+            if local_handling
+            else None
+        )
+        self.heap: Optional[DeviceHeap] = None
+        if heap_bytes:
+            seg = self.aspace.add_segment("heap", heap_bytes, SegmentKind.HEAP)
+            self.heap = DeviceHeap(seg.base, seg.size, num_arenas=heap_arenas)
+        self._alloc_counter = 0
+        self.total_cycles = 0.0
+        self.launches: List[LaunchResult] = []
+
+    # ------------------------------------------------------------------
+    # memory management
+    # ------------------------------------------------------------------
+
+    def malloc_managed(
+        self, nbytes: int, name: Optional[str] = None
+    ) -> DevicePointer:
+        """Allocate managed memory (lazily backed: first GPU touch faults
+        as FIRST_TOUCH unless the host writes it first)."""
+        if nbytes <= 0:
+            raise RuntimeError_("allocation size must be positive")
+        if name is None:
+            name = f"managed{self._alloc_counter}"
+            self._alloc_counter += 1
+        seg = self.aspace.add_segment(name, nbytes, SegmentKind.OUTPUT)
+        return DevicePointer(name=name, address=seg.base, nbytes=nbytes)
+
+    def fill(self, ptr: DevicePointer, values: Sequence[float],
+             width: int = 4) -> None:
+        """Host writes: contents stored, pages become CPU-dirty (a later
+        GPU access takes a MIGRATE fault)."""
+        if len(values) * width > ptr.nbytes:
+            raise RuntimeError_(
+                f"{ptr.name}: {len(values)} values overflow {ptr.nbytes}B"
+            )
+        self.memory.fill(ptr.address, values, width=width)
+        from repro.vm import Owner
+
+        self.aspace.page_state.register_range(
+            ptr.address, ptr.nbytes, Owner.CPU, cpu_dirty=True
+        )
+
+    def memcpy_to_device(self, ptr: DevicePointer) -> None:
+        """Explicit transfer (the pre-managed-memory style): pages are
+        GPU-mapped up front, so the kernel takes no faults on them."""
+        first = ptr.address >> 12
+        last = (ptr.address + ptr.nbytes - 1) >> 12
+        for vpn in range(first, last + 1):
+            if self.aspace.page_state.gpu_translate(vpn) is None:
+                self.aspace.page_state.install_gpu_page(
+                    vpn, self._cpu_frames().allocate()
+                )
+
+    def read(self, ptr: DevicePointer, count: int, width: int = 4) -> list:
+        """Host reads back results (contents, no timing)."""
+        return self.memory.read_array(ptr.address, count, width=width)
+
+    def _cpu_frames(self) -> FrameAllocator:
+        return self._partitions[0] if self._partitions else self.frames
+
+    # ------------------------------------------------------------------
+    # kernel launch
+    # ------------------------------------------------------------------
+
+    def launch(
+        self,
+        kernel: Kernel,
+        grid: int,
+        block: int,
+        args: Sequence = (),
+    ) -> LaunchResult:
+        """Execute ``kernel`` functionally and simulate its timing against
+        the device's current paging state."""
+        params = [
+            float(a.address) if isinstance(a, DevicePointer) else float(a)
+            for a in args
+        ]
+        launch = Launch(kernel, grid_dim=grid, block_dim=block, params=params)
+        interp = Interpreter(
+            memory=self.memory, address_space=self.aspace, heap=self.heap
+        )
+        trace = interp.run(launch)
+
+        sim = GpuSimulator(
+            kernel=kernel,
+            trace=trace,
+            address_space=self.aspace,
+            config=self.config,
+            scheme=self.scheme,
+            interconnect=self.interconnect,
+            paging="demand",  # residency decides what faults
+            local_handling=self.local_handling,
+            block_switching=self.block_switching,
+            frame_allocator=self.frames,
+            frame_partitions=self._partitions,
+        )
+        sim_result = sim.run()
+        result = LaunchResult(
+            sim=sim_result, trace_instructions=trace.dynamic_instructions()
+        )
+        self.total_cycles += sim_result.cycles
+        self.launches.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def resident_pages(self) -> int:
+        """GPU-resident page count (how much has migrated/been allocated)."""
+        return len(self.aspace.page_state.gpu_table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<GpuDevice scheme={self.scheme.name} "
+            f"ic={self.interconnect.name} launches={len(self.launches)}>"
+        )

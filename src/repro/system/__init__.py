@@ -1,0 +1,32 @@
+"""System-level assembly: configuration, fault routing, TB scheduling, GPU."""
+
+from .config import (
+    DEFAULT_CONFIG,
+    INTERCONNECTS,
+    NVLINK,
+    PCIE,
+    US,
+    GPUConfig,
+    InterconnectConfig,
+)
+from .faults import FaultController, FaultOutcome, FaultStats, InvalidAccessError
+from .gpu import DeadlockError, GpuSimulator, SimResult
+from .tb_scheduler import ThreadBlockScheduler
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "INTERCONNECTS",
+    "NVLINK",
+    "PCIE",
+    "US",
+    "GPUConfig",
+    "InterconnectConfig",
+    "FaultController",
+    "FaultOutcome",
+    "FaultStats",
+    "InvalidAccessError",
+    "DeadlockError",
+    "GpuSimulator",
+    "SimResult",
+    "ThreadBlockScheduler",
+]

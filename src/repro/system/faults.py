@@ -1,0 +1,227 @@
+"""Fault routing and resolution: the fill unit's pending-fault queue, the
+CPU driver path (interconnect + serializing CPU handler), and the GPU-local
+handler of use case 2.
+
+All faults are deduplicated at the 64KB handling granularity (16 pages per
+group, Section 5.1): the first faulting access to a group enqueues one
+resolution; later faulting accesses to the same group join it.  The queue
+*position* returned on enqueue is what the use-case-1 local scheduler
+compares to its switching threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.vm import (
+    FAULT_GRANULARITY_PAGES,
+    FaultClass,
+    FrameAllocator,
+    SystemPageState,
+    pages_in_group,
+)
+
+from .config import GPUConfig, InterconnectConfig
+
+
+class InvalidAccessError(Exception):
+    """A GPU access touched an address outside every segment: the handler
+    would request a kernel abort (Section 4.2)."""
+
+
+@dataclass
+class FaultOutcome:
+    """What the SM learns about a fault it raised."""
+
+    group: int
+    resolved_time: float
+    position: int
+    fault_class: FaultClass
+    handled_locally: bool
+
+
+@dataclass
+class FaultStats:
+    faults_raised: int = 0  # faulting accesses routed here (pre-dedup)
+    groups_resolved: int = 0
+    migrations: int = 0
+    alloc_only: int = 0
+    first_touch: int = 0
+    handled_locally: int = 0
+    handled_by_cpu: int = 0
+    link_busy: float = 0.0
+    cpu_busy: float = 0.0
+
+
+class FaultController:
+    """Classifies, deduplicates, routes and times page-fault resolution."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        interconnect: InterconnectConfig,
+        page_state: SystemPageState,
+        frame_allocator: FrameAllocator,
+        local_handling: bool = False,
+        partitions: Optional[List[FrameAllocator]] = None,
+    ) -> None:
+        """``partitions`` lets a caller that persists physical memory across
+        launches (the runtime facade) supply an existing CPU+per-SM split of
+        the frame pool instead of partitioning the (then non-empty) pool."""
+        self.config = config
+        self.interconnect = interconnect
+        self.page_state = page_state
+        self.local_handling = local_handling
+        self.stats = FaultStats()
+        # group -> resolution time (includes already-resolved groups)
+        self._group_resolved: Dict[int, float] = {}
+        # subset still unresolved at the last _position() query (lazily pruned)
+        self._unresolved: Dict[int, float] = {}
+        self._cpu_next_free = 0.0
+        self._link_next_free = 0.0
+        self._sm_handler_next_free = [0.0] * config.num_sms
+        if partitions is not None:
+            self._cpu_frames = partitions[0]
+            self._sm_frames = partitions[1:]
+        elif local_handling:
+            # Partition the physical space: CPU driver keeps one slice, each
+            # SM's local handler gets its own (Section 4.2).
+            parts = frame_allocator.partition(config.num_sms + 1)
+            self._cpu_frames = parts[0]
+            self._sm_frames = parts[1:]
+        else:
+            self._cpu_frames = frame_allocator
+            self._sm_frames = []
+
+    @property
+    def cpu_frames(self) -> FrameAllocator:
+        """The CPU driver's slice of the physical frame pool."""
+        return self._cpu_frames
+
+    # ------------------------------------------------------------------
+    # time-aware page-table view used by the MMU's walkers
+    # ------------------------------------------------------------------
+
+    def translate(self, vpn: int, time: float) -> Optional[int]:
+        ppn = self.page_state.gpu_translate(vpn)
+        if ppn is None:
+            return None
+        resolved = self._group_resolved.get(vpn // FAULT_GRANULARITY_PAGES)
+        if resolved is not None and resolved > time:
+            return None  # mapping installed by a resolution still in flight
+        return ppn
+
+    # ------------------------------------------------------------------
+    # fault entry point (called by the SM's global-memory path)
+    # ------------------------------------------------------------------
+
+    def on_fault(self, vpn: int, detect_time: float, sm_id: int) -> FaultOutcome:
+        self.stats.faults_raised += 1
+        group = vpn // FAULT_GRANULARITY_PAGES
+        pending = self._group_resolved.get(group)
+        if pending is not None and pending > detect_time:
+            # Already being resolved: join the pending fault.
+            return FaultOutcome(
+                group=group,
+                resolved_time=pending,
+                position=self._position(detect_time),
+                fault_class=FaultClass.ALLOC_ONLY,
+                handled_locally=False,
+            )
+
+        fault_class = self.page_state.classify_fault(vpn)
+        if fault_class is FaultClass.INVALID:
+            raise InvalidAccessError(
+                f"SM{sm_id}: access to unmapped address page {vpn:#x}"
+            )
+
+        position = self._position(detect_time)
+        local = self.local_handling and fault_class is FaultClass.FIRST_TOUCH
+        if local:
+            resolved = self._resolve_local(detect_time, sm_id)
+            self.stats.handled_locally += 1
+            frames = self._sm_frames[sm_id]
+        else:
+            resolved = self._resolve_cpu(detect_time, fault_class)
+            self.stats.handled_by_cpu += 1
+            frames = self._cpu_frames
+
+        if fault_class is FaultClass.MIGRATE:
+            self.stats.migrations += 1
+        elif fault_class is FaultClass.ALLOC_ONLY:
+            self.stats.alloc_only += 1
+        else:
+            self.stats.first_touch += 1
+
+        # Install the whole 64KB granule (valid pages only).
+        for page in pages_in_group(group):
+            if self.page_state.is_valid(page) and (
+                self.page_state.gpu_translate(page) is None
+            ):
+                self.page_state.install_gpu_page(page, frames.allocate())
+        self._group_resolved[group] = resolved
+        self._unresolved[group] = resolved
+        self.stats.groups_resolved += 1
+        return FaultOutcome(
+            group=group,
+            resolved_time=resolved,
+            position=position,
+            fault_class=fault_class,
+            handled_locally=local,
+        )
+
+    # ------------------------------------------------------------------
+    # resolution cost models
+    # ------------------------------------------------------------------
+
+    def _resolve_cpu(self, detect: float, fault_class: FaultClass) -> float:
+        """CPU driver path: fault message over the link -> serialized CPU
+        handler -> (for migrations) serialized link transfer -> completion
+        signal.  Both the fault messages and the data transfers occupy the
+        link, so mass concurrent faults contend on it and on the single CPU
+        handler — the effect use case 2 exists to avoid."""
+        ic = self.interconnect
+        half_signal = ic.signal_latency / 2
+        msg_start = max(detect + half_signal, self._link_next_free)
+        msg_done = msg_start + ic.msg_occupancy
+        self._link_next_free = msg_done
+        self.stats.link_busy += ic.msg_occupancy
+        cpu_start = max(msg_done, self._cpu_next_free)
+        cpu_done = cpu_start + ic.cpu_service
+        self._cpu_next_free = cpu_done
+        self.stats.cpu_busy += ic.cpu_service
+        if fault_class is FaultClass.MIGRATE:
+            link_start = max(cpu_done, self._link_next_free)
+            link_done = link_start + ic.transfer_time
+            self._link_next_free = link_done
+            self.stats.link_busy += ic.transfer_time
+            return link_done + half_signal
+        return cpu_done + half_signal
+
+    def _resolve_local(self, detect: float, sm_id: int) -> float:
+        """GPU-local handler (use case 2): the faulting warp runs the
+        handler in system mode.  Handlers on different SMs run concurrently;
+        within an SM a short allocator critical section serializes."""
+        cfg = self.config
+        handler_done = detect + cfg.gpu_handler_latency
+        serial_start = max(
+            handler_done - cfg.gpu_handler_serial,
+            self._sm_handler_next_free[sm_id],
+        )
+        resolved = serial_start + cfg.gpu_handler_serial
+        self._sm_handler_next_free[sm_id] = resolved
+        return resolved
+
+    # ------------------------------------------------------------------
+
+    def _position(self, time: float) -> int:
+        """Position in the global pending-fault queue at ``time``: the
+        number of fault groups still unresolved."""
+        stale = [g for g, t in self._unresolved.items() if t <= time]
+        for g in stale:
+            del self._unresolved[g]
+        return sum(1 for t in self._unresolved.values() if t > time)
+
+    def pending_groups(self, time: float) -> List[int]:
+        return [g for g, t in self._unresolved.items() if t > time]

@@ -1,0 +1,218 @@
+"""Top-level GPU timing simulator.
+
+Assembles the SMs, memory subsystem, MMU, fault controller and thread-block
+scheduler, and runs the cycle/event loop.  One :class:`GpuSimulator` executes
+one kernel launch (a :class:`~repro.functional.trace.KernelTrace`) under a
+chosen pipeline scheme and paging mode and reports a :class:`SimResult`.
+
+Paging modes
+------------
+``premapped``     every segment page GPU-mapped up front — no faults
+                  (the Figure 10/11 pipeline-overhead experiments).
+``demand``        segments start as declared by the address space (inputs
+                  CPU-dirty, outputs untouched) — on-demand migration
+                  (Figures 12-14).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.schemes import BaselineStallOnFault, PipelineScheme
+from repro.functional.trace import KernelTrace
+from repro.isa import Kernel
+from repro.mem import MemorySubsystem
+from repro.timing.engine import EventQueue
+from repro.timing.sm import SmPipeline
+from repro.vm import AddressSpace, FrameAllocator
+
+from .config import GPUConfig, InterconnectConfig, NVLINK
+from .faults import FaultController, FaultStats
+from .tb_scheduler import ThreadBlockScheduler
+
+
+class DeadlockError(Exception):
+    """The simulation cannot make progress (a model bug, surfaced loudly)."""
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulated kernel execution."""
+
+    kernel_name: str
+    scheme: str
+    cycles: float
+    dynamic_instructions: int
+    occupancy_blocks: int
+    blocks: int
+    fault_stats: Optional[FaultStats] = None
+    sm_stats: List = field(default_factory=list)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.dynamic_instructions / self.cycles if self.cycles else 0.0
+
+
+class GpuSimulator:
+    """Cycle-level simulation of one kernel launch."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        trace: KernelTrace,
+        address_space: AddressSpace,
+        config: GPUConfig = None,
+        scheme: PipelineScheme = None,
+        interconnect: InterconnectConfig = NVLINK,
+        paging: str = "premapped",
+        local_handling: bool = False,
+        block_switching: bool = False,
+        ideal_switch: bool = False,
+        frame_allocator: Optional[FrameAllocator] = None,
+        frame_partitions=None,
+    ) -> None:
+        self.config = config if config is not None else GPUConfig()
+        self.scheme = scheme if scheme is not None else BaselineStallOnFault()
+        self.kernel = kernel
+        self.trace = trace
+        self.address_space = address_space
+        self.paging = paging
+        cfg = self.config
+
+        page_state = address_space.page_state
+        frames = (
+            frame_allocator
+            if frame_allocator is not None
+            else FrameAllocator(cfg.num_frames)
+        )
+        self.fault_ctl = FaultController(
+            config=cfg,
+            interconnect=interconnect,
+            page_state=page_state,
+            frame_allocator=frames,
+            local_handling=local_handling,
+            partitions=frame_partitions,
+        )
+        # Pre-mapping (driver-side) allocates from the CPU driver's slice.
+        driver_frames = self.fault_ctl.cpu_frames
+        if paging == "premapped":
+            address_space.premap_all(driver_frames)
+        elif paging == "demand":
+            pass  # inputs migrate on fault; outputs/heap are first-touch
+        elif paging == "demand-output":
+            # Figure 14: only output (and heap) pages fault, on first touch.
+            address_space.premap_kinds(
+                driver_frames, ("input", "inout", "scratch")
+            )
+        elif paging == "demand-heap":
+            # Figure 13: only device-heap pages fault, on first touch.
+            address_space.premap_kinds(
+                driver_frames, ("input", "inout", "scratch", "output")
+            )
+        else:
+            raise ValueError(f"unknown paging mode {paging!r}")
+        self.memsys = MemorySubsystem(cfg, translate_fn=self.fault_ctl.translate)
+        self.events = EventQueue()
+        self.tb_scheduler = ThreadBlockScheduler(trace)
+
+        occupancy = cfg.blocks_per_sm(kernel, trace.block_dim)
+        context_bytes = (
+            kernel.regs_per_thread * 4 * trace.block_dim
+            + kernel.smem_bytes_per_block
+        )
+        self.sms = [
+            SmPipeline(
+                sm_id=i,
+                config=cfg,
+                events=self.events,
+                memsys=self.memsys,
+                fault_ctl=self.fault_ctl,
+                scheme=self.scheme,
+                block_source=self.tb_scheduler,
+                occupancy=occupancy,
+                context_bytes_per_block=context_bytes,
+            )
+            for i in range(cfg.num_sms)
+        ]
+        self.blocks_remaining = len(trace.blocks)
+        self.last_block_done = 0.0
+        for sm in self.sms:
+            sm.on_block_done = self._on_block_done
+
+        if block_switching:
+            if not self.scheme.preemptible:
+                raise ValueError(
+                    "block switching requires a preemptible-exception scheme"
+                )
+            from repro.core.local_scheduler import LocalScheduler
+
+            for sm in self.sms:
+                sm.local_scheduler = LocalScheduler(
+                    sm=sm,
+                    config=cfg,
+                    events=self.events,
+                    dram=self.memsys.dram,
+                    ideal=ideal_switch,
+                )
+
+    # ------------------------------------------------------------------
+
+    def _on_block_done(self, sm: SmPipeline, block, time: float) -> None:
+        self.blocks_remaining -= 1
+        self.last_block_done = max(self.last_block_done, time)
+        if sm.local_scheduler is not None:
+            sm.local_scheduler.on_slot_free(time)
+        else:
+            sm.refill_slot(time)
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: float = 2e9) -> SimResult:
+        """Run the launch to completion; returns the results."""
+        # Initial batch: breadth-first fill of every SM to occupancy.
+        for _ in range(self.sms[0].occupancy):
+            for sm in self.sms:
+                if sm.free_slots > 0:
+                    btrace = self.tb_scheduler.next_block(sm.sm_id)
+                    if btrace is None:
+                        break
+                    sm.launch_block(btrace, 0.0)
+
+        cycle = 0.0
+        events = self.events
+        sms = self.sms
+        while self.blocks_remaining > 0:
+            if cycle > max_cycles:
+                raise DeadlockError(f"exceeded {max_cycles:g} cycles")
+            events.run_until(cycle)
+            if self.blocks_remaining <= 0:
+                break
+            awake = False
+            for sm in sms:
+                if not sm.sleeping:
+                    sm.try_issue(cycle)
+                    awake = awake or not sm.sleeping
+            if awake:
+                cycle += 1
+            else:
+                nxt = events.next_time
+                if nxt is None:
+                    raise DeadlockError(
+                        f"{self.blocks_remaining} blocks stuck with no events "
+                        f"at cycle {cycle:g}"
+                    )
+                cycle = max(cycle + 1, math.ceil(nxt))
+
+        return SimResult(
+            kernel_name=self.kernel.name,
+            scheme=self.scheme.name,
+            cycles=self.last_block_done,
+            dynamic_instructions=self.trace.dynamic_instructions(),
+            occupancy_blocks=self.sms[0].occupancy,
+            blocks=len(self.trace.blocks),
+            fault_stats=self.fault_ctl.stats,
+            sm_stats=[sm.stats for sm in self.sms],
+        )

@@ -1,0 +1,35 @@
+"""Global thread-block scheduler (the host interface's TB dispatcher).
+
+The kernel launch is partitioned into independent thread blocks; an initial
+batch fills every SM to its occupancy and pending blocks are handed out as
+running blocks finish (paper Sections 2.1 and 4.1).  Blocks are dispatched in
+block-id order, which reproduces the distribution sensitivity the paper
+observed for *mri-gridding*.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.functional.trace import BlockTrace, KernelTrace
+
+
+class ThreadBlockScheduler:
+    """FIFO over the launch's pending thread blocks."""
+
+    def __init__(self, trace: KernelTrace) -> None:
+        self._pending: Deque[BlockTrace] = deque(trace.blocks)
+        self.total_blocks = len(trace.blocks)
+        self.dispatched = 0
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def next_block(self, sm_id: int) -> Optional[BlockTrace]:
+        """Hand the next pending block to ``sm_id`` (None when drained)."""
+        if not self._pending:
+            return None
+        self.dispatched += 1
+        return self._pending.popleft()

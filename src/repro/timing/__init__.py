@@ -1,0 +1,6 @@
+"""Cycle-level timing simulation: event engine and the SM pipeline model."""
+
+from .engine import Event, EventQueue
+from .sm import BlockRT, SmPipeline, SmStats, WarpRT
+
+__all__ = ["Event", "EventQueue", "BlockRT", "SmPipeline", "SmStats", "WarpRT"]

@@ -1,0 +1,75 @@
+"""Discrete-event backbone of the timing simulator.
+
+The SM front end (issue logic) is evaluated cycle by cycle, but all
+long-latency completions (operand reads, commits, memory fills, fault
+resolutions, context switches) are events on one global heap.  The run loop
+in :mod:`repro.system.gpu` advances the cycle counter by one while any SM is
+making issue progress and otherwise jumps straight to the next event time —
+the acceleration that makes full-benchmark simulation tractable in Python.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+
+class Event:
+    """A scheduled callback; cancel() makes it a no-op (used when squashing
+    faulted instructions during a block switch)."""
+
+    __slots__ = ("time", "fn", "cancelled", "fired")
+
+    def __init__(self, time: float, fn: Callable[[float], None]) -> None:
+        self.time = time
+        self.fn = fn
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventQueue:
+    """Time-ordered event heap with stable FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: List = []
+        self._counter = itertools.count()
+        self.processed = 0
+
+    def schedule(self, time: float, fn: Callable[[float], None]) -> Event:
+        event = Event(time, fn)
+        heapq.heappush(self._heap, (time, next(self._counter), event))
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def next_time(self) -> Optional[float]:
+        return self._heap[0][0] if self._heap else None
+
+    def run_until(self, time: float) -> int:
+        """Run every event with timestamp <= ``time``; returns count run."""
+        ran = 0
+        heap = self._heap
+        while heap and heap[0][0] <= time:
+            _, _, event = heapq.heappop(heap)
+            if not event.cancelled:
+                event.fired = True
+                event.fn(event.time)
+                ran += 1
+        self.processed += ran
+        return ran
+
+    def drain(self) -> None:
+        """Run all remaining events in time order (end-of-simulation tail)."""
+        heap = self._heap
+        while heap:
+            _, _, event = heapq.heappop(heap)
+            if not event.cancelled:
+                event.fired = True
+                event.fn(event.time)
+                self.processed += 1

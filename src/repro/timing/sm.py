@@ -1,0 +1,677 @@
+"""Cycle-level SM pipeline model.
+
+Models the SM of paper Figure 1: a warp scheduler picking ready warps, dual
+issue (2 instructions per cycle from 1 or 2 warps), per-warp in-program-order
+issue gated by scoreboards (pending-write for RAW/WAW, pending-read for WAR),
+an operand-read stage, back-end units (2 math, 1 SFU, 1 ld/st, 1 branch), a
+global-memory pipeline through the coalescer/TLBs/caches, and out-of-order
+commit.  Control-flow instructions disable warp fetch until they commit
+(baseline behaviour, Section 2.1); source-operand scoreboards are released at
+operand read (the early release that creates the paper's *RAW on replay*
+problem).
+
+The preemptible-exception schemes of Section 3 plug in through a
+:class:`~repro.core.schemes.PipelineScheme` strategy object that adjusts
+(a) how long a warp's fetch stays disabled after a global-memory instruction,
+(b) when source scoreboards of global-memory instructions are released, and
+(c) operand-log capacity accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.functional.trace import BlockTrace, TraceInst
+from repro.isa import Opcode, Unit
+
+from .engine import EventQueue
+
+#: cycles from fetch decision to issue — folded into issue; operand read and
+#: execution start are measured from the issue cycle.
+BARRIER_RESTART_LATENCY = 6
+#: pipeline refill penalty after squashing a faulted instruction is replayed
+REPLAY_ISSUE_COST = 8
+
+_UNIT_IDX = {Unit.MATH: 0, Unit.SFU: 1, Unit.LDST: 2, Unit.BRANCH: 3}
+
+
+def _decode(inst):
+    """Cache the per-static-instruction facts the issue loop needs, avoiding
+    repeated enum-keyed dict lookups on the hot path."""
+    try:
+        return inst._dec
+    except AttributeError:
+        info = inst.info
+        dec = (
+            _UNIT_IDX[info.unit],  # 0: unit index
+            info.latency,  # 1
+            info.can_fault,  # 2
+            info.is_store,  # 3
+            info.is_control,  # 4
+            inst.op is Opcode.BAR,  # 5
+            inst.reg_srcs(),  # 6
+            inst.reg_dests(),  # 7
+            inst.pred_srcs(),  # 8
+            inst.pred_dests(),  # 9
+            inst.op is Opcode.ATOM_GLOBAL,  # 10: atomic (completes like a load)
+            inst.op is Opcode.FDIV,  # 11: may raise an arithmetic exception
+        )
+        inst._dec = dec
+        return dec
+
+
+@dataclass
+class SmStats:
+    issued: int = 0
+    issued_mem: int = 0
+    committed: int = 0
+    faulted_instructions: int = 0
+    cycles_asleep_entries: int = 0
+    blocks_launched: int = 0
+    blocks_completed: int = 0
+    block_switch_outs: int = 0
+    block_switch_ins: int = 0
+    extra_blocks_fetched: int = 0
+    local_handler_runs: int = 0
+
+
+class WarpRT:
+    """Run-time (timing) state of one warp."""
+
+    __slots__ = (
+        "slot",
+        "trace",
+        "idx",
+        "fetch_ready",
+        "fetch_holds",
+        "pw",
+        "pr",
+        "pwp",
+        "prp",
+        "inflight",
+        "at_barrier",
+        "done",
+        "block",
+        "replay_list",
+    )
+
+    def __init__(self, slot: int, trace: List[TraceInst], block: "BlockRT") -> None:
+        self.slot = slot
+        self.trace = trace
+        self.idx = 0
+        self.fetch_ready = 0.0
+        self.fetch_holds = 0
+        self.pw: Dict[int, int] = {}  # reg -> pending writes (RAW/WAW)
+        self.pr: Dict[int, int] = {}  # reg -> pending reads (WAR)
+        self.pwp: Dict[int, int] = {}  # predicate pending writes
+        self.prp: Dict[int, int] = {}  # predicate pending reads
+        self.inflight = 0
+        self.at_barrier = False
+        self.done = False
+        self.block = block
+        self.replay_list: List[TraceInst] = []
+
+    def next_inst(self) -> Optional[TraceInst]:
+        if self.replay_list:
+            return self.replay_list[0]
+        if self.idx < len(self.trace):
+            return self.trace[self.idx]
+        return None
+
+    def advance(self) -> None:
+        if self.replay_list:
+            self.replay_list.pop(0)
+        else:
+            self.idx += 1
+
+    def maybe_done(self) -> bool:
+        if (
+            not self.done
+            and self.idx >= len(self.trace)
+            and not self.replay_list
+            and self.inflight == 0
+        ):
+            self.done = True
+        return self.done
+
+
+class BlockRT:
+    """Run-time state of one resident (or switched-out) thread block."""
+
+    ACTIVE = "active"
+    SAVING = "saving"
+    OFFCHIP = "offchip"
+    RESTORING = "restoring"
+    DONE = "done"
+
+    __slots__ = (
+        "btrace",
+        "warps",
+        "state",
+        "barrier_arrived",
+        "drain_time",
+        "pending_groups",
+        "faulted_inflight",
+        "log_capacity",
+        "log_used",
+        "context_bytes",
+    )
+
+    def __init__(self, btrace: BlockTrace, context_bytes: int, log_capacity: int) -> None:
+        self.btrace = btrace
+        self.warps: List[WarpRT] = []
+        self.state = self.ACTIVE
+        self.barrier_arrived = 0
+        self.drain_time = 0.0  # latest commit of non-faulted in-flight work
+        self.pending_groups: Dict[int, float] = {}  # fault group -> resolve t
+        # squashable in-flight faulted instructions: (warp, tinst, commit_ev,
+        # dests, pdests, fetch_hold_release_ev)
+        self.faulted_inflight: List[Tuple] = []
+        self.log_capacity = log_capacity
+        self.log_used = 0
+        self.context_bytes = context_bytes
+
+    @property
+    def block_id(self) -> int:
+        return self.btrace.block_id
+
+    def is_done(self) -> bool:
+        return all(w.done for w in self.warps)
+
+    def unresolved_at(self, time: float) -> bool:
+        return any(t > time for t in self.pending_groups.values())
+
+
+class SmPipeline:
+    """One streaming multiprocessor of the timing simulator."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config,
+        events: EventQueue,
+        memsys,
+        fault_ctl,
+        scheme,
+        block_source,
+        occupancy: int,
+        context_bytes_per_block: int,
+    ) -> None:
+        self.sm_id = sm_id
+        self.config = config
+        self.events = events
+        self.memsys = memsys
+        self.fault_ctl = fault_ctl
+        self.scheme = scheme
+        self.block_source = block_source  # ThreadBlockScheduler-like object
+        self.occupancy = occupancy
+        self.context_bytes_per_block = context_bytes_per_block
+        self.free_slots = occupancy
+        self.blocks: List[BlockRT] = []  # resident blocks
+        self.offchip: List[BlockRT] = []  # switched-out blocks (use case 1)
+        self.warps: List[WarpRT] = []
+        self.rr = 0
+        self.sleeping = False
+        #: faulted memory instructions parked in the LD/ST pipeline; at
+        #: config.pending_fault_limit the SM cannot issue further global
+        #: memory instructions (the clogging that preemption relieves)
+        self.pending_faults = 0
+        self.stats = SmStats()
+        self.local_scheduler = None  # set by use case 1, see core.local_scheduler
+        self.on_block_done = None  # callback(sm, block, time) set by the GPU
+        self._unit_budget_template = (
+            config.num_math_units,
+            config.num_sfu_units,
+            config.num_ldst_units,
+            config.num_branch_units,
+        )
+        log_bytes = getattr(scheme, "log_bytes", 0)
+        self._log_partition = (
+            max(512, log_bytes // max(occupancy, 1)) if log_bytes else 0
+        )
+
+    # ------------------------------------------------------------------
+    # block lifecycle
+    # ------------------------------------------------------------------
+
+    def wake(self) -> None:
+        self.sleeping = False
+
+    def launch_block(self, btrace: BlockTrace, time: float) -> BlockRT:
+        """Bring a fresh thread block on chip."""
+        if self.free_slots <= 0:
+            raise RuntimeError(f"SM{self.sm_id}: no free block slot")
+        self.free_slots -= 1
+        block = BlockRT(
+            btrace,
+            context_bytes=self.context_bytes_per_block,
+            log_capacity=self._log_partition,
+        )
+        for wtrace in btrace.warps:
+            warp = WarpRT(len(self.warps), wtrace.instructions, block)
+            warp.fetch_ready = time
+            block.warps.append(warp)
+        self.blocks.append(block)
+        self._rebuild_warp_list()
+        self.stats.blocks_launched += 1
+        self.wake()
+        return block
+
+    def _rebuild_warp_list(self) -> None:
+        self.warps = [
+            w
+            for b in self.blocks
+            if b.state == BlockRT.ACTIVE
+            for w in b.warps
+            if not w.done
+        ]
+        self.rr = 0
+
+    def _block_finished(self, block: BlockRT, time: float) -> None:
+        block.state = BlockRT.DONE
+        self.blocks.remove(block)
+        self.free_slots += 1
+        self.stats.blocks_completed += 1
+        self._rebuild_warp_list()
+        if self.on_block_done is not None:
+            self.on_block_done(self, block, time)
+        self.wake()
+
+    def refill_slot(self, time: float) -> None:
+        """Default slot refill: fetch the next pending block, if any."""
+        while self.free_slots > 0:
+            btrace = self.block_source.next_block(self.sm_id)
+            if btrace is None:
+                return
+            self.launch_block(btrace, time)
+
+    # ------------------------------------------------------------------
+    # issue logic
+    # ------------------------------------------------------------------
+
+    def try_issue(self, cycle: float) -> int:
+        """Attempt up to ``issue_width`` issues this cycle; returns count."""
+        warps = self.warps
+        n = len(warps)
+        if n == 0:
+            self.sleeping = True
+            return 0
+        budget = list(self._unit_budget_template)
+        issued = 0
+        structural = False
+        scanned = 0
+        i = self.rr
+        width = self.config.issue_width
+        while scanned < n and issued < width:
+            warp = warps[i]
+            i = i + 1 if i + 1 < n else 0
+            scanned += 1
+            if warp.done or warp.at_barrier:
+                continue
+            if warp.fetch_holds or warp.fetch_ready > cycle:
+                continue
+            tinst = warp.next_inst()
+            if tinst is None:
+                continue  # trace exhausted, draining in-flight work
+            dec = _decode(tinst.inst)
+            if budget[dec[0]] <= 0:
+                structural = True
+                continue
+            if dec[5] and warp.inflight:  # BAR waits for older instructions
+                continue
+            if self._scoreboard_blocked(warp, dec):
+                continue
+            if dec[2]:
+                if self.pending_faults >= self.config.pending_fault_limit:
+                    continue  # memory pipeline clogged by parked faults
+                need = self.scheme.log_bytes_needed(dec[3])
+                if need and warp.block.log_used + need > warp.block.log_capacity:
+                    continue  # operand log partition full; event will wake us
+            budget[dec[0]] -= 1
+            self._issue(warp, tinst, dec, cycle)
+            issued += 1
+        if issued:
+            self.rr = i
+        self.sleeping = issued == 0 and not structural
+        if self.sleeping:
+            self.stats.cycles_asleep_entries += 1
+        return issued
+
+    def _scoreboard_blocked(self, warp: WarpRT, dec) -> bool:
+        srcs, dests, psrcs, pdests = dec[6], dec[7], dec[8], dec[9]
+        pw, pr = warp.pw, warp.pr
+        for r in srcs:
+            if pw.get(r):
+                return True  # RAW
+        for r in dests:
+            if pw.get(r) or pr.get(r):
+                return True  # WAW / WAR
+        pwp, prp = warp.pwp, warp.prp
+        for p in psrcs:
+            if pwp.get(p):
+                return True
+        for p in pdests:
+            if pwp.get(p) or prp.get(p):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _mark(self, table: Dict[int, int], keys) -> None:
+        for k in keys:
+            table[k] = table.get(k, 0) + 1
+
+    def _release(self, table: Dict[int, int], keys) -> None:
+        for k in keys:
+            left = table.get(k, 0) - 1
+            if left > 0:
+                table[k] = left
+            else:
+                table.pop(k, None)
+
+    def _issue(self, warp: WarpRT, tinst: TraceInst, dec, cycle: float) -> None:
+        srcs, dests, psrcs, pdests = dec[6], dec[7], dec[8], dec[9]
+        warp.advance()
+        warp.fetch_ready = cycle + 1
+        warp.inflight += 1
+        self._mark(warp.pr, srcs)
+        self._mark(warp.pw, dests)
+        self._mark(warp.prp, psrcs)
+        self._mark(warp.pwp, pdests)
+        self.stats.issued += 1
+        oprd = cycle + self.config.operand_read_latency
+
+        if dec[2] and tinst.addresses:  # global memory (can fault)
+            self.stats.issued_mem += 1
+            self._issue_gmem(warp, tinst, dec, cycle, oprd)
+            return
+
+        if dec[5]:  # BAR
+            self._issue_barrier(warp, tinst, cycle, oprd)
+            return
+
+        commit_time = oprd + dec[1]
+        # Extension to arithmetic exceptions (paper Sections 3.1/3.2): a
+        # potentially excepting SFU divide is guaranteed exception-free only
+        # once it completes execution, so a warp-disable scheme barriers it
+        # and the replay-queue scheme holds its source scoreboards that long.
+        covers_arith = dec[11] and getattr(self.scheme, "cover_arithmetic", False)
+        src_release = oprd
+        if covers_arith and self.scheme.disable_anchor is None:
+            src_release = self.scheme.source_release_time(oprd, commit_time)
+        self._schedule_src_release(warp, srcs, psrcs, src_release)
+        if dec[4] or (covers_arith and self.scheme.disable_anchor is not None):
+            # control flow: fetch disabled until commit (baseline); covered
+            # arithmetic under a warp-disable scheme behaves the same way
+            warp.fetch_holds += 1
+            self.events.schedule(
+                commit_time, lambda t, w=warp: self._release_fetch_hold(w)
+            )
+        self.events.schedule(
+            commit_time,
+            lambda t, w=warp, d=dests, pd=pdests: self._commit(w, d, pd, t),
+        )
+        warp.block.drain_time = max(warp.block.drain_time, commit_time)
+
+    def _schedule_src_release(self, warp, srcs, psrcs, time: float):
+        if not srcs and not psrcs:
+            return None
+        return self.events.schedule(
+            time,
+            lambda t, w=warp, s=srcs, ps=psrcs: self._do_src_release(w, s, ps),
+        )
+
+    def _do_src_release(self, warp, srcs, psrcs) -> None:
+        self._release(warp.pr, srcs)
+        self._release(warp.prp, psrcs)
+        self.wake()
+
+    def _release_fetch_hold(self, warp: WarpRT) -> None:
+        warp.fetch_holds -= 1
+        self.wake()
+
+    def _commit(self, warp: WarpRT, dests, pdests, time: float) -> None:
+        self._release(warp.pw, dests)
+        self._release(warp.pwp, pdests)
+        warp.inflight -= 1
+        self.stats.committed += 1
+        self.wake()
+        if warp.maybe_done():
+            block = warp.block
+            self._check_barrier(block, time)
+            if block.state in (BlockRT.ACTIVE, BlockRT.SAVING) and block.is_done():
+                self._block_finished(block, time)
+
+    # ------------------------------------------------------------------
+    # barriers
+    # ------------------------------------------------------------------
+
+    def _issue_barrier(self, warp: WarpRT, tinst, cycle: float, oprd: float) -> None:
+        warp.at_barrier = True
+        block = warp.block
+        block.barrier_arrived += 1
+        commit_time = oprd + tinst.inst.info.latency
+        self.events.schedule(
+            commit_time, lambda t, w=warp: self._commit(w, (), (), t)
+        )
+        self._check_barrier(block, cycle)
+
+    def _check_barrier(self, block: BlockRT, time: float) -> None:
+        waiting = [w for w in block.warps if w.at_barrier]
+        if not waiting:
+            return
+        live = sum(1 for w in block.warps if not w.done)
+        if len(waiting) >= live:
+            restart = time + BARRIER_RESTART_LATENCY
+            for w in waiting:
+                w.at_barrier = False
+                w.fetch_ready = max(w.fetch_ready, restart)
+            block.barrier_arrived = 0
+            self.events.schedule(restart, lambda t: self.wake())
+
+    # ------------------------------------------------------------------
+    # global memory path (translation, faults, schemes)
+    #
+    # The path is event-driven in two phases so that shared bandwidth
+    # resources (caches, MSHRs, DRAM pipe) are only booked in global time
+    # order: phase 1 (at operand read) coalesces and translates — detecting
+    # faults at walk completion; phase 2 (at translation-done) runs the
+    # requests through the cache hierarchy.
+    # ------------------------------------------------------------------
+
+    def _issue_gmem(self, warp: WarpRT, tinst, dec, cycle: float, oprd: float) -> None:
+        # Warp-disable schemes stop fetching from the cycle the memory
+        # instruction is fetched; the release time is known later.
+        wd_hold = getattr(self.scheme, "disable_anchor", None) is not None
+        if wd_hold:
+            warp.fetch_holds += 1
+        # Operand-log space is claimed at issue (checked by try_issue) and
+        # released once the last TLB check clears (scheduled in phase 1).
+        need = self.scheme.log_bytes_needed(dec[3])
+        if need:
+            warp.block.log_used += need
+        self.events.schedule(
+            oprd,
+            lambda t, w=warp, ti=tinst, d=dec, h=wd_hold: self._gmem_translate(
+                w, ti, d, t, h
+            ),
+        )
+
+    def _gmem_translate(
+        self, warp: WarpRT, tinst, dec, now: float, wd_hold: bool
+    ) -> None:
+        srcs, dests, psrcs, pdests = dec[6], dec[7], dec[8], dec[9]
+        is_store = dec[3]
+        block = warp.block
+        anchor = getattr(self.scheme, "disable_anchor", None)
+        outcome = self.memsys.translate_access(
+            self.sm_id, tinst.addresses, is_store, now
+        )
+
+        if not outcome.faults:
+            last_check = outcome.translation_done
+            src_ev = self._schedule_src_release(
+                warp, srcs, psrcs, self.scheme.source_release_time(now, last_check)
+            )
+            self._hold_log_until(block, is_store, last_check)
+            if wd_hold and anchor == "lastcheck":
+                self.events.schedule(
+                    last_check, lambda t, w=warp: self._release_fetch_hold(w)
+                )
+                wd_hold = False  # phase 2 owes no release
+            self.events.schedule(
+                last_check,
+                lambda t, w=warp, ti=tinst, d=dec, ln=outcome.ready_lines,
+                h=wd_hold: self._gmem_data(w, ti, d, ln, t, h),
+            )
+            return
+
+        # --- faulted instruction ---------------------------------------
+        self.stats.faulted_instructions += 1
+        handled_locally = False
+        resolved = 0.0
+        position = 0
+        first_detect = min(f.detect_time for f in outcome.faults)
+        for fault in outcome.faults:
+            fo = self.fault_ctl.on_fault(fault.vpn, fault.detect_time, self.sm_id)
+            resolved = max(resolved, fo.resolved_time)
+            position = max(position, fo.position)
+            handled_locally |= fo.handled_locally
+            block.pending_groups[fo.group] = max(
+                block.pending_groups.get(fo.group, 0.0), fo.resolved_time
+            )
+        replay = self.memsys.replay_after_fault(
+            self.sm_id, tinst.addresses, resolved + REPLAY_ISSUE_COST
+        )
+        completion = replay.completion
+        last_check_ok = replay.translation_done
+
+        src_ev = self._schedule_src_release(
+            warp, srcs, psrcs, self.scheme.source_release_time(now, last_check_ok)
+        )
+        self._hold_log_until(block, is_store, last_check_ok)
+
+        hold_evs = []
+        if wd_hold:
+            release_at = completion if anchor == "commit" else last_check_ok
+            hold_evs.append(
+                self.events.schedule(
+                    release_at, lambda t, w=warp: self._release_fetch_hold(w)
+                )
+            )
+        if handled_locally:
+            # The faulting warp runs the handler in system mode: it cannot
+            # fetch user instructions until the handler returns.
+            self.stats.local_handler_runs += 1
+            warp.fetch_holds += 1
+            hold_evs.append(
+                self.events.schedule(
+                    resolved, lambda t, w=warp: self._release_fetch_hold(w)
+                )
+            )
+
+        # The faulted instruction parks in the LD/ST pipeline until it can
+        # replay: it holds a pending-fault slot that throttles the SM.
+        self.pending_faults += 1
+        slot_ev = self.events.schedule(
+            completion, lambda t: self._release_fault_slot()
+        )
+
+        commit_ev = self.events.schedule(
+            completion,
+            lambda t, w=warp, d=dests, pd=pdests: self._commit(w, d, pd, t),
+        )
+        block.faulted_inflight.append(
+            (warp, tinst, commit_ev, dests, pdests, hold_evs, src_ev, slot_ev)
+        )
+        self.events.schedule(
+            completion, lambda t, b=block, e=commit_ev: self._forget_faulted(b, e)
+        )
+        if self.local_scheduler is not None:
+            if block.state == BlockRT.ACTIVE:
+                self.local_scheduler.on_fault(
+                    self, block, warp, tinst, first_detect, resolved, position
+                )
+            else:
+                # The block was switched out between this instruction's
+                # issue and its translation: the switch-out only armed
+                # wake-ups for the groups known then, so watch this one too.
+                self.events.schedule(
+                    resolved,
+                    lambda t, b=block: self.local_scheduler._on_resolved(b, t),
+                )
+
+    def _gmem_data(
+        self, warp: WarpRT, tinst, dec, lines, now: float, wd_hold: bool
+    ) -> None:
+        completion = self.memsys.data_access(
+            self.sm_id, lines, dec[3], now, is_atomic=dec[10]
+        )
+        if wd_hold:  # wd-commit: re-enable fetch when the instruction commits
+            self.events.schedule(
+                completion, lambda t, w=warp: self._release_fetch_hold(w)
+            )
+        self.events.schedule(
+            completion,
+            lambda t, w=warp, d=dec[7], pd=dec[9]: self._commit(w, d, pd, t),
+        )
+        warp.block.drain_time = max(warp.block.drain_time, completion)
+
+    def _hold_log_until(self, block: BlockRT, is_store: bool, release_at: float) -> None:
+        """Schedule the release of the log bytes claimed at issue."""
+        need = self.scheme.log_bytes_needed(is_store)
+        if need:
+            self.events.schedule(
+                release_at, lambda t, b=block, n=need: self._release_log(b, n)
+            )
+
+    def _release_log(self, block: BlockRT, nbytes: int) -> None:
+        block.log_used -= nbytes
+        self.wake()
+
+    def _release_fault_slot(self) -> None:
+        self.pending_faults -= 1
+        self.wake()
+
+    def _forget_faulted(self, block: BlockRT, commit_ev) -> None:
+        """A faulted instruction that completed (block was not switched)."""
+        block.faulted_inflight = [
+            rec for rec in block.faulted_inflight if rec[2] is not commit_ev
+        ]
+
+    # ------------------------------------------------------------------
+    # preemption support (used by core.local_scheduler)
+    # ------------------------------------------------------------------
+
+    def squash_faulted(self, block: BlockRT) -> None:
+        """Squash all in-flight faulted instructions of ``block`` so it can
+        be switched out; each will be replayed from the restored context."""
+        for rec in block.faulted_inflight:
+            warp, tinst, commit_ev, dests, pdests, hold_evs, src_ev, slot_ev = rec
+            commit_ev.cancel()
+            if not slot_ev.fired:
+                # Squashing frees the parked instruction's LD/ST slot — the
+                # mechanism by which switching out a faulted block unclogs
+                # the SM's memory pipeline.
+                slot_ev.cancel()
+                self._release_fault_slot()
+            for hold_ev in hold_evs:
+                if not hold_ev.fired:
+                    hold_ev.cancel()
+                    warp.fetch_holds -= 1
+            self._release(warp.pw, dests)
+            self._release(warp.pwp, pdests)
+            if src_ev is not None and not src_ev.fired:
+                src_ev.cancel()
+                dec = _decode(tinst.inst)
+                self._release(warp.pr, dec[6])
+                self._release(warp.prp, dec[8])
+            warp.inflight -= 1
+            warp.replay_list.append(tinst)
+        block.faulted_inflight = []
+
+    def context_bytes(self, block: BlockRT) -> int:
+        """Size of the block's architectural context for a switch."""
+        return block.context_bytes + self.scheme.context_extra_bytes(block)

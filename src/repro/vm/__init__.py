@@ -1,0 +1,50 @@
+"""Virtual-memory substrate: pages, page tables, allocators, heap, locks."""
+
+from .address_space import AddressSpace, Segment, SegmentKind
+from .heap import DeviceHeap, HeapExhausted
+from .memory import SparseMemory
+from .page_table import FaultClass, Owner, PageTable, PageTableEntry, SystemPageState
+from .pages import (
+    CACHE_LINE_SIZE,
+    FAULT_GRANULARITY_BYTES,
+    FAULT_GRANULARITY_PAGES,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    cache_line,
+    fault_group,
+    page_base,
+    page_number,
+    page_offset,
+    pages_in_group,
+)
+from .physical import FrameAllocator, OutOfPhysicalMemory
+from .szymanski import SzymanskiLock, SzymanskiMutex
+
+__all__ = [
+    "AddressSpace",
+    "Segment",
+    "SegmentKind",
+    "DeviceHeap",
+    "HeapExhausted",
+    "SparseMemory",
+    "FaultClass",
+    "Owner",
+    "PageTable",
+    "PageTableEntry",
+    "SystemPageState",
+    "FrameAllocator",
+    "OutOfPhysicalMemory",
+    "SzymanskiLock",
+    "SzymanskiMutex",
+    "PAGE_SIZE",
+    "PAGE_SHIFT",
+    "CACHE_LINE_SIZE",
+    "FAULT_GRANULARITY_BYTES",
+    "FAULT_GRANULARITY_PAGES",
+    "page_number",
+    "page_base",
+    "page_offset",
+    "fault_group",
+    "cache_line",
+    "pages_in_group",
+]

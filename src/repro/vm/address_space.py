@@ -1,0 +1,123 @@
+"""Virtual address-space layout and segment bookkeeping for one kernel launch.
+
+A launch's buffers live in named *segments*.  Each segment declares how its
+pages start out (resident+dirty on the CPU, CPU-allocated but clean, or not
+backed at all), which determines the class of the faults that the GPU takes
+when touching them — the knob the paper's experiments turn:
+
+- Figures 10/11: everything pre-mapped on the GPU (no faults).
+- Figure 12: inputs CPU-dirty (MIGRATE), outputs untouched (ALLOC_ONLY via
+  the CPU path).
+- Figures 13/14: outputs/heap untouched (FIRST_TOUCH, locally handleable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from .page_table import Owner, SystemPageState
+from .pages import FAULT_GRANULARITY_BYTES, PAGE_SIZE, page_number
+
+
+class SegmentKind:
+    """Segment categories; each implies an initial page-ownership state
+    (see the module docstring)."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+    INOUT = "inout"
+    HEAP = "heap"
+    SCRATCH = "scratch"
+
+
+@dataclass(frozen=True)
+class Segment:
+    name: str
+    base: int
+    size: int
+    kind: str
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def pages(self) -> Iterator[int]:
+        return iter(range(page_number(self.base), page_number(self.end - 1) + 1))
+
+
+class AddressSpace:
+    """Bump-allocates page-aligned segments in a flat 48-bit VA space."""
+
+    #: Heap segment base kept away from data buffers so first-touch
+    #: classification is unambiguous.
+    HEAP_BASE = 1 << 40
+
+    def __init__(self, page_state: Optional[SystemPageState] = None) -> None:
+        self.page_state = page_state if page_state is not None else SystemPageState()
+        self._segments: Dict[str, Segment] = {}
+        # keep the first granule unmapped (null guard)
+        self._cursor = FAULT_GRANULARITY_BYTES
+        self._heap_cursor = self.HEAP_BASE
+
+    def segment(self, name: str) -> Segment:
+        return self._segments[name]
+
+    def segments(self) -> Iterator[Segment]:
+        return iter(self._segments.values())
+
+    def _align(self, size: int) -> int:
+        # Segments are aligned to the 64KB fault-handling granularity so a
+        # fault granule never spans two segments with different paging
+        # behaviour (e.g. a MIGRATE input and a FIRST_TOUCH output).
+        mask = FAULT_GRANULARITY_BYTES - 1
+        return (size + mask) & ~mask
+
+    def add_segment(self, name: str, size: int, kind: str) -> Segment:
+        """Create a segment and register its initial page ownership."""
+        if name in self._segments:
+            raise ValueError(f"segment {name!r} already exists")
+        if size <= 0:
+            raise ValueError("segment size must be positive")
+        aligned = self._align(size)
+        if kind == SegmentKind.HEAP:
+            base = self._heap_cursor
+            self._heap_cursor += aligned
+        else:
+            base = self._cursor
+            self._cursor += aligned
+        seg = Segment(name=name, base=base, size=aligned, kind=kind)
+        self._segments[name] = seg
+
+        if kind in (SegmentKind.INPUT, SegmentKind.INOUT):
+            owner, dirty = Owner.CPU, True
+        elif kind == SegmentKind.SCRATCH:
+            owner, dirty = Owner.CPU, False
+        else:  # OUTPUT and HEAP pages have no backing yet (first touch)
+            owner, dirty = Owner.NONE, False
+        self.page_state.register_range(base, aligned, owner, cpu_dirty=dirty)
+        return seg
+
+    def segment_of(self, addr: int) -> Optional[Segment]:
+        for seg in self._segments.values():
+            if seg.contains(addr):
+                return seg
+        return None
+
+    def premap_all(self, frame_allocator) -> None:
+        """Map every segment page on the GPU (the no-fault configuration
+        used for the pipeline-overhead experiments, Figures 10/11)."""
+        self.premap_kinds(frame_allocator, None)
+
+    def premap_kinds(self, frame_allocator, kinds) -> None:
+        """GPU-map all pages of segments whose kind is in ``kinds``
+        (``None`` = every segment)."""
+        for seg in self._segments.values():
+            if kinds is not None and seg.kind not in kinds:
+                continue
+            for vpn in seg.pages():
+                if self.page_state.gpu_translate(vpn) is None:
+                    self.page_state.install_gpu_page(vpn, frame_allocator.allocate())

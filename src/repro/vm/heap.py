@@ -1,0 +1,95 @@
+"""Device-side heap allocator (the substrate behind the ``MALLOC`` opcode).
+
+Models a Halloc-style high-throughput GPU allocator: the heap is split into
+per-warp arenas so concurrent warps allocate without synchronizing (the
+lock-free design of [1] in the paper), each arena serving requests from
+size-class slabs with free-lists.  Allocations return *virtual* addresses in
+the heap segment; physical backing is committed lazily on first touch, which
+is exactly the fault class use case 2 handles locally on the GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class HeapExhausted(Exception):
+    """Raised when an arena cannot satisfy an allocation."""
+
+
+_SIZE_CLASSES = (16, 32, 64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def _size_class(size: int) -> int:
+    for cls in _SIZE_CLASSES:
+        if size <= cls:
+            return cls
+    # Large allocations are rounded to page multiples.
+    page = 4096
+    return ((size + page - 1) // page) * page
+
+
+@dataclass
+class _Arena:
+    base: int
+    size: int
+    cursor: int = 0
+    free_lists: Dict[int, List[int]] = field(default_factory=dict)
+    live: Dict[int, int] = field(default_factory=dict)  # addr -> class
+
+
+class DeviceHeap:
+    """Per-warp-arena bump + free-list allocator over a virtual segment."""
+
+    def __init__(self, base: int, size: int, num_arenas: int) -> None:
+        if num_arenas <= 0:
+            raise ValueError("need at least one arena")
+        if size % num_arenas:
+            size -= size % num_arenas
+        self.base = base
+        self.size = size
+        arena_size = size // num_arenas
+        self._arenas = [
+            _Arena(base=base + i * arena_size, size=arena_size)
+            for i in range(num_arenas)
+        ]
+
+    @property
+    def num_arenas(self) -> int:
+        return len(self._arenas)
+
+    def malloc(self, arena_id: int, size: int) -> int:
+        """Allocate ``size`` bytes from ``arena_id``'s arena; returns VA."""
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        arena = self._arenas[arena_id % len(self._arenas)]
+        cls = _size_class(size)
+        free = arena.free_lists.get(cls)
+        if free:
+            addr = free.pop()
+        else:
+            if arena.cursor + cls > arena.size:
+                raise HeapExhausted(
+                    f"arena {arena_id}: {cls}B request, "
+                    f"{arena.size - arena.cursor}B left"
+                )
+            addr = arena.base + arena.cursor
+            arena.cursor += cls
+        arena.live[addr] = cls
+        return addr
+
+    def free(self, arena_id: int, addr: int) -> None:
+        arena = self._arenas[arena_id % len(self._arenas)]
+        cls = arena.live.pop(addr, None)
+        if cls is None:
+            raise ValueError(f"free of unallocated address {addr:#x}")
+        arena.free_lists.setdefault(cls, []).append(addr)
+
+    def bytes_live(self) -> int:
+        return sum(sum(a.live.values()) for a in self._arenas)
+
+    def bytes_touched(self) -> int:
+        """High-water mark of heap bytes ever handed out (drives how many
+        heap pages will ever be first-touched)."""
+        return sum(a.cursor for a in self._arenas)

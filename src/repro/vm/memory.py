@@ -1,0 +1,55 @@
+"""Sparse value memory used by the functional simulator.
+
+Stores word values keyed by byte address.  This is the *contents* of the
+unified virtual address space — data is logically identical wherever the
+page physically resides, so migration is purely a timing concern and the
+functional simulator shares one instance for CPU and GPU.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class SparseMemory:
+    """Word-granular sparse memory (reads of untouched words return 0.0/0)."""
+
+    def __init__(self) -> None:
+        self._words: Dict[int, float] = {}
+
+    def load(self, addr: int, width: int = 4) -> float:
+        return self._words.get(addr, 0)
+
+    def store(self, addr: int, value, width: int = 4) -> None:
+        self._words[addr] = value
+
+    def atomic(self, addr: int, op: str, value, compare=None):
+        """Atomic read-modify-write; returns the old value."""
+        old = self._words.get(addr, 0)
+        if op == "add":
+            self._words[addr] = old + value
+        elif op == "max":
+            self._words[addr] = max(old, value)
+        elif op == "min":
+            self._words[addr] = min(old, value)
+        elif op == "exch":
+            self._words[addr] = value
+        elif op == "cas":
+            if old == compare:
+                self._words[addr] = value
+        else:
+            raise ValueError(f"unknown atomic op {op!r}")
+        return old
+
+    def fill(self, base: int, values, width: int = 4) -> None:
+        """Bulk-store ``values`` starting at ``base`` with ``width`` stride."""
+        addr = base
+        for v in values:
+            self._words[addr] = v
+            addr += width
+
+    def read_array(self, base: int, count: int, width: int = 4) -> list:
+        return [self._words.get(base + i * width, 0) for i in range(count)]
+
+    def touched_words(self) -> int:
+        return len(self._words)

@@ -1,0 +1,149 @@
+"""GPU and CPU page tables, page ownership and fault classification.
+
+The baseline system (paper Section 2.3) keeps a CPU page table and a GPU page
+table, both managed by the CPU driver.  A page can be *owned* by the CPU
+(resident in CPU memory), owned by the GPU (resident in GPU memory), or not
+backed at all (never touched — lazy allocation has not committed physical
+memory yet).  A GPU access to a non-GPU-owned page raises a page fault whose
+*class* determines the handling cost:
+
+- ``MIGRATE``: page owned by the CPU and dirty there — data must move.
+- ``ALLOC_ONLY``: page known to the CPU but clean/untouched — allocating GPU
+  physical memory and mapping suffices (no transfer).
+- ``FIRST_TOUCH``: page has no physical backing anywhere (kernel output
+  buffers, device-heap pages) — the class use case 2 handles on the GPU.
+- ``INVALID``: address outside every mapped segment — kernel abort.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .pages import page_number
+
+
+class Owner(enum.Enum):
+    NONE = "none"  # no physical backing yet
+    CPU = "cpu"  # resident in CPU memory
+    GPU = "gpu"  # resident in GPU memory
+
+
+class FaultClass(enum.Enum):
+    MIGRATE = "migrate"  # CPU-dirty page: allocate + transfer
+    ALLOC_ONLY = "alloc-only"  # CPU-known but clean: allocate + map
+    FIRST_TOUCH = "first-touch"  # never backed: lazy allocation
+    INVALID = "invalid"  # outside any segment
+
+
+@dataclass
+class PageTableEntry:
+    ppn: int
+    writable: bool = True
+    dirty: bool = False
+
+
+class PageTable:
+    """A single-level sparse page table (vpn -> PTE)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, PageTableEntry] = {}
+
+    def map(self, vpn: int, ppn: int, writable: bool = True) -> None:
+        self._entries[vpn] = PageTableEntry(ppn=ppn, writable=writable)
+
+    def unmap(self, vpn: int) -> PageTableEntry:
+        return self._entries.pop(vpn)
+
+    def lookup(self, vpn: int) -> Optional[PageTableEntry]:
+        return self._entries.get(vpn)
+
+    def is_mapped(self, vpn: int) -> bool:
+        return vpn in self._entries
+
+    def mark_dirty(self, vpn: int) -> None:
+        entry = self._entries.get(vpn)
+        if entry is not None:
+            entry.dirty = True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class SystemPageState:
+    """Shared CPU/GPU view of every virtual page: ownership + both tables.
+
+    This is the structure the CPU driver (and, with use case 2, the GPU
+    local fault handler) manipulates.  It classifies faults and tracks
+    which pages are dirty in CPU memory (requiring a migration rather than
+    an allocation-only fault resolution).
+    """
+
+    def __init__(self) -> None:
+        self.gpu_table = PageTable()
+        self.cpu_table = PageTable()
+        self._owner: Dict[int, Owner] = {}
+        self._cpu_dirty: Dict[int, bool] = {}
+        self._valid_vpns: set = set()
+
+    # -- segment registration -------------------------------------------------
+
+    def register_range(
+        self,
+        base: int,
+        size: int,
+        owner: Owner,
+        cpu_dirty: bool = False,
+    ) -> None:
+        """Declare [base, base+size) as a valid virtual range.
+
+        ``owner=CPU`` with ``cpu_dirty=True`` models input data written by
+        the host (faults will be ``MIGRATE``); ``cpu_dirty=False`` models
+        pages the CPU allocated but never wrote (``ALLOC_ONLY`` faults);
+        ``owner=NONE`` models output/heap pages (``FIRST_TOUCH`` faults).
+        """
+        first = page_number(base)
+        last = page_number(base + size - 1)
+        for vpn in range(first, last + 1):
+            self._valid_vpns.add(vpn)
+            self._owner[vpn] = owner
+            if owner is Owner.CPU:
+                self.cpu_table.map(vpn, ppn=vpn)  # identity CPU mapping
+                self._cpu_dirty[vpn] = cpu_dirty
+
+    def is_valid(self, vpn: int) -> bool:
+        return vpn in self._valid_vpns
+
+    def owner_of(self, vpn: int) -> Owner:
+        return self._owner.get(vpn, Owner.NONE)
+
+    # -- fault classification --------------------------------------------------
+
+    def classify_fault(self, vpn: int) -> FaultClass:
+        if vpn not in self._valid_vpns:
+            return FaultClass.INVALID
+        owner = self._owner[vpn]
+        if owner is Owner.GPU:
+            # Raced with another fault that already resolved this page; the
+            # replayed access will hit.  Treat as alloc-only (no work).
+            return FaultClass.ALLOC_ONLY
+        if owner is Owner.CPU:
+            if self._cpu_dirty.get(vpn, False):
+                return FaultClass.MIGRATE
+            return FaultClass.ALLOC_ONLY
+        return FaultClass.FIRST_TOUCH
+
+    # -- resolution ------------------------------------------------------------
+
+    def install_gpu_page(self, vpn: int, ppn: int) -> None:
+        """Point of fault resolution: map vpn on the GPU and take ownership."""
+        if self._owner.get(vpn) is Owner.CPU:
+            self.cpu_table.unmap(vpn)
+            self._cpu_dirty.pop(vpn, None)
+        self._owner[vpn] = Owner.GPU
+        self.gpu_table.map(vpn, ppn)
+
+    def gpu_translate(self, vpn: int) -> Optional[int]:
+        entry = self.gpu_table.lookup(vpn)
+        return entry.ppn if entry is not None else None

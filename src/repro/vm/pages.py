@@ -1,0 +1,52 @@
+"""Page-granularity constants and helpers.
+
+The paper assumes 4KB GPU pages (Section 5.1) and performs fault *handling*
+at a 64KB granularity (16 pages) to amortize per-fault costs, mimicking the
+prefetching of related work.  Both constants live here so every subsystem
+agrees on them.
+"""
+
+from __future__ import annotations
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT  # 4KB GPU pages
+
+FAULT_GRANULARITY_PAGES = 16
+FAULT_GRANULARITY_BYTES = FAULT_GRANULARITY_PAGES * PAGE_SIZE  # 64KB handling
+
+CACHE_LINE_SIZE = 128  # bytes (Table 1)
+
+
+def page_number(addr: int) -> int:
+    """Virtual/physical page number containing byte address ``addr``."""
+    return addr >> PAGE_SHIFT
+
+
+def page_base(addr: int) -> int:
+    """Base byte address of the page containing ``addr``."""
+    return addr & ~(PAGE_SIZE - 1)
+
+
+def page_offset(addr: int) -> int:
+    """Byte offset of ``addr`` within its page."""
+    return addr & (PAGE_SIZE - 1)
+
+
+def fault_group(addr: int) -> int:
+    """64KB fault-handling group index for ``addr``.
+
+    Faults are resolved (migrated/allocated) one group at a time, so all
+    pages of the group a faulting address belongs to become present together.
+    """
+    return addr >> (PAGE_SHIFT + 4)
+
+
+def cache_line(addr: int) -> int:
+    """Cache-line index containing byte address ``addr``."""
+    return addr // CACHE_LINE_SIZE
+
+
+def pages_in_group(group: int) -> range:
+    """Range of page numbers covered by fault-handling ``group``."""
+    first = group * FAULT_GRANULARITY_PAGES
+    return range(first, first + FAULT_GRANULARITY_PAGES)

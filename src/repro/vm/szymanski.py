@@ -1,0 +1,107 @@
+"""Szymanski's mutual exclusion algorithm.
+
+The paper's prototype (Section 4.2) synchronizes CPU- and GPU-side memory
+management "on the system level ... using Szymanski's algorithm" [49], which
+needs only single-writer shared flags and linear wait.  We implement the
+flag-based algorithm faithfully so the concurrent-management protocol of the
+local fault handler has a real substrate, and expose it both as a
+busy-waiting lock for real Python threads and as a step-wise state machine
+for deterministic simulation/testing.
+
+Each process's flag takes one of five values::
+
+    0 - noncritical section
+    1 - intends to enter (doorway)
+    2 - waiting for other processes to open the door
+    3 - standing in the doorway
+    4 - in (or entitled to enter) the critical section
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List
+
+
+class SzymanskiLock:
+    """N-process Szymanski mutual exclusion over shared flags."""
+
+    def __init__(self, num_processes: int) -> None:
+        if num_processes <= 0:
+            raise ValueError("need at least one process")
+        self.n = num_processes
+        self.flags: List[int] = [0] * num_processes
+
+    # The algorithm, written as predicates over the flag array ------------
+
+    def _others(self, me: int):
+        return (j for j in range(self.n) if j != me)
+
+    def _all_others_in(self, me: int, allowed) -> bool:
+        return all(self.flags[j] in allowed for j in self._others(me))
+
+    def _any_other_in(self, me: int, wanted) -> bool:
+        return any(self.flags[j] in wanted for j in self._others(me))
+
+    # Blocking interface (usable from real threads) ------------------------
+
+    def acquire(self, me: int, spin_sleep: float = 0.0) -> None:
+        flags = self.flags
+        flags[me] = 1  # intention to enter
+        while not self._all_others_in(me, (0, 1, 2)):  # wait for open door
+            if spin_sleep:
+                time.sleep(spin_sleep)
+        flags[me] = 3  # standing in the doorway
+        if self._any_other_in(me, (1,)):
+            flags[me] = 2  # another process is at the door: wait for it
+            while not self._any_other_in(me, (4,)):
+                if spin_sleep:
+                    time.sleep(spin_sleep)
+        flags[me] = 4  # close the door behind
+        while any(self.flags[j] in (2, 3) for j in range(me)):
+            if spin_sleep:
+                time.sleep(spin_sleep)
+
+    def release(self, me: int, spin_sleep: float = 0.0) -> None:
+        # Wait for processes behind us to finish entering the doorway.
+        while any(self.flags[j] in (2, 3) for j in range(me + 1, self.n)):
+            if spin_sleep:
+                time.sleep(spin_sleep)
+        self.flags[me] = 0
+
+    def in_critical(self, me: int) -> bool:
+        return self.flags[me] == 4 and not any(
+            self.flags[j] in (2, 3) for j in range(me)
+        )
+
+
+class SzymanskiMutex:
+    """Convenience wrapper assigning flag slots to Python threads.
+
+    Provides a context-manager interface for tests that exercise the
+    algorithm with real concurrency.
+    """
+
+    def __init__(self, num_slots: int) -> None:
+        self._lock = SzymanskiLock(num_slots)
+        self._slots: dict = {}
+        self._slot_guard = threading.Lock()
+        self._next = 0
+
+    def _my_slot(self) -> int:
+        ident = threading.get_ident()
+        with self._slot_guard:
+            if ident not in self._slots:
+                if self._next >= self._lock.n:
+                    raise RuntimeError("more threads than Szymanski slots")
+                self._slots[ident] = self._next
+                self._next += 1
+            return self._slots[ident]
+
+    def __enter__(self) -> "SzymanskiMutex":
+        self._lock.acquire(self._my_slot(), spin_sleep=1e-6)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._lock.release(self._my_slot(), spin_sleep=1e-6)

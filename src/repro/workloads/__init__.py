@@ -1,0 +1,28 @@
+"""Benchmark workloads: Parboil-like suite, Halloc-like suite, micros."""
+
+from .base import Workload, WorkloadRegistry
+from .halloc import HALLOC, HALLOC_NAMES
+from .micro import MICRO, MICRO_NAMES
+from .parboil import PARBOIL, PARBOIL_NAMES
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a (cached) workload instance across all registries."""
+    for registry in (PARBOIL, HALLOC, MICRO):
+        if name in registry.names():
+            return registry.get(name)
+    known = PARBOIL_NAMES + HALLOC_NAMES + MICRO_NAMES
+    raise KeyError(f"unknown workload {name!r}; known: {sorted(known)}")
+
+
+__all__ = [
+    "Workload",
+    "WorkloadRegistry",
+    "PARBOIL",
+    "PARBOIL_NAMES",
+    "HALLOC",
+    "HALLOC_NAMES",
+    "MICRO",
+    "MICRO_NAMES",
+    "get_workload",
+]

@@ -1,0 +1,177 @@
+"""Allocator-intensive workloads for the local-fault-handling use case.
+
+The paper evaluates GPU-side handling of heap faults (Figure 13) with the
+benchmarks shipping with the Halloc dynamic allocator plus a quad-tree CUDA
+SDK sample ported to dynamic allocation.  These synthetic equivalents stress
+the same path: device-side ``malloc`` returns lazily-backed heap virtual
+memory, and the first store to each fresh 64KB heap granule raises a
+first-touch fault — resolvable either by the CPU driver (baseline) or by the
+GPU-local handler (use case 2).
+"""
+
+from __future__ import annotations
+
+from repro.isa import Imm, KernelBuilder, P, R
+from repro.vm import SegmentKind
+
+from .base import Workload, WorkloadRegistry
+
+HALLOC = WorkloadRegistry()
+
+
+class _HeapWorkload(Workload):
+    """Shared plumbing: a heap segment sized for one arena per warp."""
+
+    arena_bytes = 16 * 1024
+
+    def heap_spec(self):
+        return self.num_warps * self.arena_bytes
+
+    def segments(self):
+        return [("out", self.num_threads * 4, SegmentKind.OUTPUT)]
+
+    def params(self, aspace):
+        return [aspace.segment("out").base]
+
+
+@HALLOC.register
+class AllocCycle(_HeapWorkload):
+    """Halloc's throughput test: repeated malloc / write / free cycles."""
+
+    name = "alloc-cycle"
+
+    def __init__(self, grid_dim: int = 96, block_dim: int = 128,
+                 rounds: int = 6, chunk: int = 256) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.rounds = rounds
+        self.chunk = chunk
+
+    def build_kernel(self):
+        kb = KernelBuilder("alloc-cycle", regs_per_thread=20)
+        kb.global_thread_id(R(0))
+        kb.mov(R(1), Imm(0.0))
+        with kb.for_range(R(2), 0, self.rounds):
+            kb.malloc(R(3), Imm(self.chunk))
+            kb.st_global(R(3), R(2))  # first touch of the fresh chunk
+            kb.ld_global(R(4), R(3))
+            kb.fadd(R(1), R(1), R(4))
+            kb.free(R(3))
+        kb.imad(R(5), R(0), Imm(4), kb.param(0))
+        kb.st_global(R(5), R(1))
+        kb.exit()
+        return kb.build()
+
+
+@HALLOC.register
+class AllocWrite(_HeapWorkload):
+    """Allocation plus streaming initialization of the allocated buffer
+    (touches every page of each allocation)."""
+
+    name = "alloc-write"
+
+    def __init__(self, grid_dim: int = 96, block_dim: int = 128,
+                 words: int = 24) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.words = words
+
+    def build_kernel(self):
+        kb = KernelBuilder("alloc-write", regs_per_thread=20)
+        kb.global_thread_id(R(0))
+        kb.malloc(R(1), Imm(self.words * 4))
+        kb.mov(R(2), R(1))
+        with kb.for_range(R(3), 0, self.words):
+            kb.i2f(R(4), R(3))
+            kb.st_global(R(2), R(4))
+            kb.iadd(R(2), R(2), Imm(4))
+        # Reduce the buffer back so the writes matter.
+        kb.mov(R(5), Imm(0.0))
+        kb.mov(R(2), R(1))
+        with kb.for_range(R(3), 0, self.words):
+            kb.ld_global(R(6), R(2))
+            kb.fadd(R(5), R(5), R(6))
+            kb.iadd(R(2), R(2), Imm(4))
+        kb.imad(R(7), R(0), Imm(4), kb.param(0))
+        kb.st_global(R(7), R(5))
+        kb.exit()
+        return kb.build()
+
+
+@HALLOC.register
+class GridPoints(_HeapWorkload):
+    """Builds per-thread linked chains of dynamically allocated cells
+    (Halloc's data-structure-construction pattern)."""
+
+    name = "grid-points"
+    arena_bytes = 32 * 1024
+
+    def __init__(self, grid_dim: int = 96, block_dim: int = 128,
+                 chain: int = 5) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.chain = chain
+
+    def build_kernel(self):
+        kb = KernelBuilder("grid-points", regs_per_thread=20)
+        kb.global_thread_id(R(0))
+        kb.malloc(R(1), Imm(64))  # chain head
+        kb.mov(R(2), R(1))
+        with kb.for_range(R(3), 0, self.chain):
+            kb.malloc(R(4), Imm(64))  # next cell
+            kb.st_global(R(2), R(4))  # prev->next = cell
+            kb.i2f(R(5), R(3))
+            kb.st_global(R(4), R(5), offset=8)  # cell payload
+            kb.mov(R(2), R(4))
+        # Walk the chain back, summing payloads.
+        kb.mov(R(6), Imm(0.0))
+        kb.mov(R(2), R(1))
+        with kb.for_range(R(3), 0, self.chain):
+            kb.ld_global(R(7), R(2))  # next pointer
+            kb.ld_global(R(8), R(7), offset=8)
+            kb.fadd(R(6), R(6), R(8))
+            kb.mov(R(2), R(7))
+        kb.imad(R(9), R(0), Imm(4), kb.param(0))
+        kb.st_global(R(9), R(6))
+        kb.exit()
+        return kb.build()
+
+
+@HALLOC.register
+class QuadTree(_HeapWorkload):
+    """The CUDA SDK quad-tree sample ported to dynamic allocation: each
+    level allocates its children instead of preallocating the full tree."""
+
+    name = "quad-tree"
+    arena_bytes = 96 * 1024
+
+    def __init__(self, grid_dim: int = 64, block_dim: int = 128,
+                 depth: int = 4) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.depth = depth
+
+    def build_kernel(self):
+        kb = KernelBuilder("quad-tree", regs_per_thread=24)
+        kb.global_thread_id(R(0))
+        kb.malloc(R(1), Imm(128))  # root node
+        kb.mov(R(2), R(1))  # current node
+        kb.mov(R(6), Imm(0.0))  # accumulated leaf count
+        with kb.for_range(R(3), 0, self.depth):
+            # Allocate the 4 children and link them into the current node.
+            for child in range(4):
+                kb.malloc(R(8 + child), Imm(128))
+                kb.st_global(R(2), R(8 + child), offset=child * 8)
+            # Subdivide: compute which child this thread descends into.
+            kb.and_(R(12), R(0), Imm(3))
+            kb.i2f(R(13), R(12))
+            kb.ffma(R(6), R(13), Imm(1.0), R(6))
+            # Descend into child (tid & 3): emulate select with predication.
+            kb.mov(R(2), R(8))
+            for child in range(1, 4):
+                kb.isetp(P(0), "eq", R(12), Imm(child))
+                kb.mov(R(2), R(8 + child), guard=P(0))
+            kb.st_global(R(2), R(6), offset=16)  # mark the visited child
+        kb.imad(R(14), R(0), Imm(4), kb.param(0))
+        kb.st_global(R(14), R(6))
+        kb.exit()
+        return kb.build()
+
+
+HALLOC_NAMES = HALLOC.names()

@@ -1,0 +1,224 @@
+"""Small microbenchmark workloads for tests and the quickstart example."""
+
+from __future__ import annotations
+
+from repro.isa import Imm, KernelBuilder, R
+from repro.vm import SegmentKind
+
+from .base import Workload, WorkloadRegistry
+
+MICRO = WorkloadRegistry()
+
+
+@MICRO.register
+class Saxpy(Workload):
+    """y[i] = a * x[i] + y[i] — the canonical quickstart kernel."""
+
+    name = "saxpy"
+
+    def __init__(self, grid_dim: int = 32, block_dim: int = 128,
+                 alpha: float = 2.0) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.alpha = alpha
+
+    def build_kernel(self):
+        kb = KernelBuilder("saxpy", regs_per_thread=12)
+        kb.global_thread_id(R(0))
+        kb.imad(R(1), R(0), Imm(4), kb.param(0))
+        kb.imad(R(2), R(0), Imm(4), kb.param(1))
+        kb.ld_global(R(3), R(1))
+        kb.ld_global(R(4), R(2))
+        kb.ffma(R(5), R(3), kb.param(2), R(4))
+        kb.st_global(R(2), R(5))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        n = self.num_threads
+        return [
+            ("x", n * 4, SegmentKind.INPUT),
+            ("y", n * 4, SegmentKind.INOUT),
+        ]
+
+    def params(self, aspace):
+        return [aspace.segment("x").base, aspace.segment("y").base, self.alpha]
+
+    def init_memory(self, memory, aspace):
+        n = self.num_threads
+        memory.fill(aspace.segment("x").base, [float(i % 97) for i in range(n)])
+        memory.fill(aspace.segment("y").base, [1.0] * n)
+
+
+@MICRO.register
+class StreamSum(Workload):
+    """Strided streaming reduction: a knob-heavy workload for unit tests."""
+
+    name = "stream-sum"
+
+    def __init__(self, grid_dim: int = 16, block_dim: int = 128,
+                 iters: int = 8) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.iters = iters
+
+    def build_kernel(self):
+        n = self.num_threads
+        kb = KernelBuilder("stream-sum", regs_per_thread=16)
+        kb.global_thread_id(R(0))
+        kb.imad(R(1), R(0), Imm(4), kb.param(0))
+        kb.mov(R(2), Imm(0.0))
+        with kb.for_range(R(3), 0, self.iters):
+            kb.ld_global(R(4), R(1))
+            kb.fadd(R(2), R(2), R(4))
+            kb.iadd(R(1), R(1), Imm(n * 4))
+        kb.imad(R(5), R(0), Imm(4), kb.param(1))
+        kb.st_global(R(5), R(2))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        n = self.num_threads
+        return [
+            ("in", n * self.iters * 4, SegmentKind.INPUT),
+            ("out", n * 4, SegmentKind.OUTPUT),
+        ]
+
+    def params(self, aspace):
+        return [aspace.segment("in").base, aspace.segment("out").base]
+
+    def init_memory(self, memory, aspace):
+        count = self.num_threads * self.iters
+        memory.fill(aspace.segment("in").base,
+                    [float((i * 7) % 13) for i in range(count)])
+
+
+@MICRO.register
+class TlbThrash(Workload):
+    """Every warp access touches a distinct page: stresses the L1/L2 TLBs
+    and the page-walker fill unit (the last-TLB-check path the schemes
+    gate on)."""
+
+    name = "tlb-thrash"
+
+    def __init__(self, grid_dim: int = 16, block_dim: int = 128,
+                 iters: int = 6) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.iters = iters
+
+    PAGE_STRIDE = 4096
+
+    def build_kernel(self):
+        total_warps = self.num_warps
+        kb = KernelBuilder("tlb-thrash", regs_per_thread=16)
+        kb.global_thread_id(R(0))
+        # every warp owns a page; iterations jump to a fresh page set
+        kb.shr(R(1), R(0), Imm(5))  # global warp id
+        kb.shl(R(1), R(1), Imm(12))  # * page size
+        kb.and_(R(2), R(0), Imm(31))
+        kb.shl(R(2), R(2), Imm(2))  # lane * 4
+        kb.iadd(R(1), R(1), R(2))
+        kb.iadd(R(1), R(1), kb.param(0))
+        kb.mov(R(3), Imm(0.0))
+        with kb.for_range(R(4), 0, self.iters):
+            kb.ld_global(R(5), R(1))
+            kb.fadd(R(3), R(3), R(5))
+            kb.iadd(R(1), R(1), Imm(total_warps * self.PAGE_STRIDE))
+        kb.imad(R(6), R(0), Imm(4), kb.param(1))
+        kb.st_global(R(6), R(3))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        span = (self.iters + 1) * self.num_warps * self.PAGE_STRIDE
+        return [
+            ("in", span, SegmentKind.INPUT),
+            ("out", self.num_threads * 4, SegmentKind.OUTPUT),
+        ]
+
+    def params(self, aspace):
+        return [aspace.segment("in").base, aspace.segment("out").base]
+
+
+@MICRO.register
+class MshrStorm(Workload):
+    """Per-lane scattered loads (32 requests per warp access): saturates
+    the LD/ST address pipeline and the L1 MSHR pool."""
+
+    name = "mshr-storm"
+
+    def __init__(self, grid_dim: int = 16, block_dim: int = 128,
+                 iters: int = 4) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.iters = iters
+
+    def build_kernel(self):
+        kb = KernelBuilder("mshr-storm", regs_per_thread=16)
+        kb.global_thread_id(R(0))
+        # lane-dependent stride of 7 cache lines: fully uncoalesced
+        kb.imul(R(1), R(0), Imm(7 * 128))
+        kb.and_(R(1), R(1), Imm((1 << 21) - 1))
+        kb.iadd(R(1), R(1), kb.param(0))
+        kb.mov(R(2), Imm(0.0))
+        with kb.for_range(R(3), 0, self.iters):
+            kb.ld_global(R(4), R(1))
+            kb.fadd(R(2), R(2), R(4))
+            kb.iadd(R(1), R(1), Imm(128))
+        kb.imad(R(5), R(0), Imm(4), kb.param(1))
+        kb.st_global(R(5), R(2))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        return [
+            ("in", (1 << 21) + 4096, SegmentKind.INPUT),
+            ("out", self.num_threads * 4, SegmentKind.OUTPUT),
+        ]
+
+    def params(self, aspace):
+        return [aspace.segment("in").base, aspace.segment("out").base]
+
+
+@MICRO.register
+class DivergenceTree(Workload):
+    """Nested divergent branching: every level halves the active mask —
+    stresses the SIMT stack and the branch unit's fetch-disable bubbles."""
+
+    name = "divergence-tree"
+
+    def __init__(self, grid_dim: int = 16, block_dim: int = 128,
+                 depth: int = 4) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.depth = depth
+
+    def build_kernel(self):
+        from repro.isa import P
+
+        kb = KernelBuilder("divergence-tree", regs_per_thread=16)
+        kb.global_thread_id(R(0))
+        kb.mov(R(1), Imm(0.0))
+
+        def nest(level):
+            if level >= self.depth:
+                return
+            kb.and_(R(2), R(0), Imm(1 << level))
+            kb.isetp(P(0), "eq", R(2), Imm(0))
+            with kb.if_else(P(0)) as orelse:
+                kb.fadd(R(1), R(1), Imm(float(1 << level)))
+                nest(level + 1)
+                orelse()
+                kb.fadd(R(1), R(1), Imm(-float(1 << level)))
+                nest(level + 1)
+
+        nest(0)
+        kb.imad(R(3), R(0), Imm(4), kb.param(0))
+        kb.st_global(R(3), R(1))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        return [("out", self.num_threads * 4, SegmentKind.OUTPUT)]
+
+    def params(self, aspace):
+        return [aspace.segment("out").base]
+
+
+MICRO_NAMES = MICRO.names()

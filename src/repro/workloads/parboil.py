@@ -1,0 +1,700 @@
+"""Synthetic re-writes of the Parboil benchmark suite (paper Section 5.1).
+
+The paper compiles the 11 Parboil CUDA kernels to its custom ISA; NVCC/LLVM
+are unavailable offline, so each benchmark is re-written in the kernel DSL to
+match the published characteristics that the paper's results hinge on:
+
+=============  =============================================================
+benchmark      modeled character
+=============  =============================================================
+bfs            irregular gather traversal: per-lane random neighbor loads
+               (fully uncoalesced -> 32 requests/warp access), divergence
+cutcp          compute-bound short-range potential: FMA + rsqrt loop over a
+               shared-memory atom tile, high occupancy
+histo          streaming input + scattered atomics into per-block private
+               histograms (large output buffer)
+lbm            lattice-Boltzmann: ~10 streaming loads and 10 stores per cell
+               through a *reused address register*, huge register footprint
+               -> 8-warp occupancy (one block per SM), ILP-dependent
+mri-gridding   data-dependent per-block trip counts with two-orders-of-
+               magnitude block imbalance + atomics
+mri-q          SFU-bound (sin/cos) streaming compute
+sad            absolute-difference accumulation over frames with a shared
+               reference tile
+sgemm          tiled matrix multiply: shared-memory tiles, barriers, FMA
+spmv           CSR sparse matrix-vector: data-dependent row lengths,
+               per-lane gather of x[col]
+stencil        7-point stencil sweep over planes, coalesced neighbors
+tpacf          angular correlation: SFU (sqrt/log) + shared histogram
+=============  =============================================================
+
+Datasets are scaled to keep full-suite Python simulation tractable; the
+harness scales the microsecond-range fault constants by the same factor (see
+``InterconnectConfig.scaled``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.isa import Imm, KernelBuilder, P, R
+from repro.vm import SegmentKind
+
+from .base import Workload, WorkloadRegistry
+
+PARBOIL = WorkloadRegistry()
+
+_HALO = 4096  # bytes of padding around stenciled inputs (negative offsets)
+
+
+def _rand(seed: int):
+    return np.random.RandomState(seed)
+
+
+@PARBOIL.register
+class Sgemm(Workload):
+    """Tiled dense matrix multiply (the paper's headline use-case-1 winner)."""
+
+    name = "sgemm"
+
+    #: each tile of a block's A strip is its own fault granule region
+    #: (rows are page-aligned in the real layout), so blocks fault
+    #: mid-kernel — the access pattern block switching overlaps with other
+    #: blocks' compute.  B is shared by every block (each block multiplies
+    #: its A row-strip with the same B), so its migration cost amortizes.
+    A_TILE_STRIDE = 16 * 1024
+    B_TILE_STRIDE = 64 * 1024
+
+    def __init__(self, grid_dim: int = 128, block_dim: int = 256,
+                 tiles: int = 2, inner: int = 10) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.tiles = tiles
+        self.inner = inner
+
+    def build_kernel(self):
+        bd = self.block_dim
+        kb = KernelBuilder("sgemm", regs_per_thread=40,
+                           smem_bytes_per_block=8192)
+        kb.tid(R(0))
+        kb.ctaid(R(1))
+        kb.shl(R(2), R(0), Imm(2))  # tid*4: shared tile slot
+        # A: this block's private row strip; B: shared by every block.
+        kb.imad(R(3), R(1), Imm(self.tiles * self.A_TILE_STRIDE), kb.param(0))
+        kb.iadd(R(3), R(3), R(2))
+        kb.iadd(R(4), R(2), kb.param(1))
+        kb.mov(R(5), Imm(0.0))  # accumulator
+        with kb.for_range(R(6), 0, self.tiles):
+            kb.ld_global(R(7), R(3))
+            kb.ld_global(R(8), R(4))
+            kb.st_shared(R(2), R(7))
+            kb.st_shared(R(2), R(8), offset=bd * 4)
+            kb.bar()
+            with kb.for_range(R(9), 0, self.inner):
+                kb.shl(R(10), R(9), Imm(2))
+                kb.ld_shared(R(11), R(10))
+                kb.ld_shared(R(12), R(10), offset=bd * 4)
+                kb.ffma(R(5), R(11), R(12), R(5))
+            kb.bar()
+            kb.iadd(R(3), R(3), Imm(self.A_TILE_STRIDE))
+            kb.iadd(R(4), R(4), Imm(self.B_TILE_STRIDE))
+        kb.global_thread_id(R(13))
+        kb.imad(R(14), R(13), Imm(4), kb.param(2))
+        kb.st_global(R(14), R(5))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        return [
+            ("A", self.grid_dim * self.tiles * self.A_TILE_STRIDE,
+             SegmentKind.INPUT),
+            ("B", self.tiles * self.B_TILE_STRIDE, SegmentKind.INPUT),
+            ("C", self.num_threads * 4, SegmentKind.OUTPUT),
+        ]
+
+    def params(self, aspace):
+        return [aspace.segment(n).base for n in ("A", "B", "C")]
+
+
+@PARBOIL.register
+class Stencil(Workload):
+    """7-point stencil sweep over z-planes (coalesced neighbor loads)."""
+
+    name = "stencil"
+
+    def __init__(self, grid_dim: int = 224, block_dim: int = 256,
+                 planes: int = 2) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.planes = planes
+
+    def build_kernel(self):
+        row = 128 * 4
+        plane = self.num_threads * 4
+        kb = KernelBuilder("stencil", regs_per_thread=36)
+        kb.global_thread_id(R(0))
+        kb.imad(R(1), R(0), Imm(4), kb.param(0))  # &in[gid] (past halo)
+        kb.imad(R(2), R(0), Imm(4), kb.param(1))  # &out[gid]
+        with kb.for_range(R(3), 0, self.planes):
+            kb.ld_global(R(4), R(1))
+            kb.ld_global(R(5), R(1), offset=4)
+            kb.ld_global(R(6), R(1), offset=-4)
+            kb.ld_global(R(7), R(1), offset=row)
+            kb.ld_global(R(8), R(1), offset=-row)
+            kb.ld_global(R(9), R(1), offset=plane)
+            kb.ld_global(R(10), R(1), offset=-plane)
+            kb.fadd(R(11), R(5), R(6))
+            kb.fadd(R(12), R(7), R(8))
+            kb.fadd(R(13), R(9), R(10))
+            kb.fadd(R(11), R(11), R(12))
+            kb.fadd(R(11), R(11), R(13))
+            kb.ffma(R(11), R(4), Imm(-6.0), R(11))
+            # anisotropic coefficients (the real kernel's extra FLOPs)
+            kb.ffma(R(12), R(12), Imm(0.1), R(11))
+            kb.ffma(R(13), R(13), Imm(0.2), R(12))
+            kb.ffma(R(11), R(13), Imm(0.5), R(11))
+            kb.fmul(R(11), R(11), Imm(0.999))
+            kb.st_global(R(2), R(11))
+            kb.iadd(R(1), R(1), Imm(plane))
+            kb.iadd(R(2), R(2), Imm(plane))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        plane = self.num_threads * 4
+        return [
+            ("in", plane * (self.planes + 2) + 2 * _HALO, SegmentKind.INPUT),
+            ("out", plane * self.planes, SegmentKind.OUTPUT),
+        ]
+
+    def params(self, aspace):
+        # The input base is offset past the halo+one plane so negative
+        # neighbor offsets stay inside the segment.
+        plane = self.num_threads * 4
+        return [
+            aspace.segment("in").base + _HALO + plane,
+            aspace.segment("out").base,
+        ]
+
+
+@PARBOIL.register
+class Lbm(Workload):
+    """Lattice-Boltzmann: the paper's low-occupancy, ILP-dependent kernel.
+
+    132 registers/thread allow only one 8-warp block per SM (the paper
+    reports *lbm* at one eighth of the SM's warp capacity), and every load
+    and store recomputes its address into the same register, creating the
+    WAR pressure that makes the replay-queue scheme lose 40% on it.
+    """
+
+    name = "lbm"
+
+    def __init__(self, grid_dim: int = 64, block_dim: int = 256,
+                 iters: int = 5, dirs: int = 10) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.iters = iters
+        self.dirs = dirs
+
+    #: direction slices of a block's chunk are padded (3/4 page apart), as
+    #: the real padded SoA layout is: most distribution loads of the
+    #: per-cell chain touch a fresh page, so TLB walks on a fresh slab
+    #: serialize the reused-address-register chain under the replay-queue's
+    #: conservative source release (the paper's lbm pathology).
+    DIR_STRIDE = 2560
+
+    def build_kernel(self):
+        n = self.num_threads
+        bd = self.block_dim
+        # one block's slab chunk, padded to a page multiple
+        chunk = -(-(self.dirs * self.DIR_STRIDE + bd * 8) // 4096) * 4096
+        kb = KernelBuilder("lbm", regs_per_thread=132)
+        kb.tid(R(6))
+        kb.ctaid(R(7))
+        # Block-chunked layout (the real kernel's per-cell locality): each
+        # block streams a contiguous chunk holding all of its cells'
+        # distributions.  Distributions are 8B/lane -> 2 cache lines per
+        # warp access, doubling LD/ST-pipe pressure.
+        kb.imad(R(1), R(7), Imm(chunk), kb.param(0))
+        kb.imad(R(8), R(6), Imm(8), R(1))  # scratch: + tid*8
+        kb.mov(R(1), R(8))  # &f_in chunk for this thread
+        kb.imad(R(4), R(7), Imm(chunk), kb.param(1))
+        kb.imad(R(8), R(6), Imm(8), R(4))
+        kb.mov(R(4), R(8))  # &f_out chunk for this thread
+        stride = self.grid_dim * chunk  # advance one full slab per iter
+        with kb.for_range(R(5), 0, self.iters):
+            for d in range(self.dirs):
+                kb.iadd(R(2), R(1), Imm(d * self.DIR_STRIDE))  # reused addr reg
+                kb.ld_global(R(10 + d), R(2), width=8)
+            # collision: mix the distributions
+            kb.mov(R(30), Imm(0.0))
+            for d in range(self.dirs):
+                kb.ffma(R(30), R(10 + d), Imm(1.0 / self.dirs), R(30))
+            for d in range(4):
+                kb.ffma(R(31 + d), R(10 + d), Imm(0.9), R(30))
+            for d in range(self.dirs):
+                kb.st_global(R(4), R(31 + (d % 4)),
+                             offset=d * self.DIR_STRIDE, width=8)
+            # Stream: the next iteration works on the next slab (no reuse,
+            # like the real lattice sweep) — every load is a cold miss and
+            # performance is purely a function of the MLP the scheme allows.
+            kb.iadd(R(1), R(1), Imm(stride))
+            kb.iadd(R(4), R(4), Imm(stride))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        chunk = -(-(self.dirs * self.DIR_STRIDE + self.block_dim * 8) // 4096) * 4096
+        size = self.iters * self.grid_dim * chunk
+        return [
+            ("f_in", size, SegmentKind.INPUT),
+            ("f_out", size, SegmentKind.OUTPUT),
+        ]
+
+    def params(self, aspace):
+        return [aspace.segment("f_in").base, aspace.segment("f_out").base]
+
+
+@PARBOIL.register
+class Bfs(Workload):
+    """Frontier BFS step: per-lane random gathers (uncoalesced accesses)."""
+
+    name = "bfs"
+
+    def __init__(self, grid_dim: int = 256, block_dim: int = 256,
+                 neighbors: int = 4) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.neighbors = neighbors
+
+    def build_kernel(self):
+        n = self.num_threads
+        kb = KernelBuilder("bfs", regs_per_thread=24)
+        kb.global_thread_id(R(0))
+        kb.imad(R(1), R(0), Imm(4), kb.param(0))
+        kb.ld_global(R(2), R(1))  # my frontier node's level
+        kb.mov(R(3), Imm(0.0))  # best level seen
+        kb.imad(R(4), R(0), Imm(4), kb.param(1))  # &edges[gid]
+        with kb.for_range(R(5), 0, self.neighbors):
+            kb.ld_global(R(6), R(4))  # neighbor id (coalesced)
+            kb.imad(R(7), R(6), Imm(4), kb.param(0))
+            kb.ld_global(R(8), R(7))  # gather: node_level[neighbor]
+            kb.fmax(R(3), R(3), R(8))
+            kb.iadd(R(4), R(4), Imm(n * 4))
+        kb.isetp(P(0), "gt", R(3), R(2))
+        with kb.if_(P(0)):  # divergent: only improved nodes write back
+            kb.imad(R(9), R(0), Imm(4), kb.param(2))
+            kb.fadd(R(10), R(3), Imm(1.0))
+            kb.st_global(R(9), R(10))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        n = self.num_threads
+        return [
+            ("levels", n * 4, SegmentKind.INPUT),
+            ("edges", n * self.neighbors * 4, SegmentKind.INPUT),
+            ("next", n * 4, SegmentKind.OUTPUT),
+        ]
+
+    def params(self, aspace):
+        return [aspace.segment(s).base for s in ("levels", "edges", "next")]
+
+    def init_memory(self, memory, aspace):
+        n = self.num_threads
+        rng = _rand(11)
+        memory.fill(aspace.segment("levels").base,
+                    rng.randint(0, 8, size=n).astype(float))
+        memory.fill(aspace.segment("edges").base,
+                    rng.randint(0, n, size=n * self.neighbors).astype(float))
+
+
+@PARBOIL.register
+class Histo(Workload):
+    """Histogramming: streaming input, scattered atomics into per-block
+    private histograms (a large first-touch output buffer)."""
+
+    name = "histo"
+    BINS = 1024
+
+    def __init__(self, grid_dim: int = 256, block_dim: int = 256,
+                 iters: int = 3) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.iters = iters
+
+    def build_kernel(self):
+        n = self.num_threads
+        kb = KernelBuilder("histo", regs_per_thread=16)
+        kb.global_thread_id(R(0))
+        kb.ctaid(R(1))
+        kb.imad(R(2), R(0), Imm(4), kb.param(0))  # &in[gid]
+        kb.imad(R(3), R(1), Imm(self.BINS * 4), kb.param(1))  # block's histo
+        with kb.for_range(R(4), 0, self.iters):
+            kb.ld_global(R(5), R(2))
+            # bin = hash(value): the real kernel's saturation + scaling math
+            kb.ffma(R(5), R(5), Imm(0.98), Imm(1.0))
+            kb.fmul(R(5), R(5), R(5))
+            kb.fmin(R(5), R(5), Imm(1.0e6))
+            kb.f2i(R(6), R(5))
+            kb.shr(R(6), R(6), Imm(2))
+            kb.and_(R(6), R(6), Imm(self.BINS - 1))
+            kb.imad(R(7), R(6), Imm(4), R(3))
+            kb.atom_global(R(8), R(7), Imm(1.0), atom="add")
+            kb.iadd(R(2), R(2), Imm(n * 4))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        return [
+            ("in", self.num_threads * self.iters * 4, SegmentKind.INPUT),
+            ("hist", self.grid_dim * self.BINS * 4, SegmentKind.OUTPUT),
+        ]
+
+    def params(self, aspace):
+        return [aspace.segment("in").base, aspace.segment("hist").base]
+
+    def init_memory(self, memory, aspace):
+        count = self.num_threads * self.iters
+        memory.fill(aspace.segment("in").base,
+                    _rand(13).randint(0, self.BINS, size=count).astype(float))
+
+
+@PARBOIL.register
+class MriQ(Workload):
+    """Q-matrix computation: SFU-bound sin/cos streaming compute."""
+
+    name = "mri-q"
+
+    def __init__(self, grid_dim: int = 192, block_dim: int = 256,
+                 inner: int = 8) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.inner = inner
+
+    def build_kernel(self):
+        kb = KernelBuilder("mri-q", regs_per_thread=20)
+        kb.global_thread_id(R(0))
+        # coordinates are interleaved (x,y,z per sample): the three loads
+        # hit the same cache lines/pages, like the real kernel's float4 reads
+        kb.imad(R(1), R(0), Imm(12), kb.param(0))
+        kb.ld_global(R(2), R(1))  # x
+        kb.ld_global(R(3), R(1), offset=4)  # y
+        kb.ld_global(R(4), R(1), offset=8)  # z
+        kb.mov(R(5), Imm(0.0))
+        kb.mov(R(6), Imm(0.0))
+        with kb.for_range(R(7), 0, self.inner):
+            kb.i2f(R(8), R(7))
+            kb.ffma(R(9), R(2), R(8), R(3))
+            kb.ffma(R(9), R(4), R(8), R(9))
+            kb.fsin(R(10), R(9))
+            kb.fcos(R(11), R(9))
+            kb.fadd(R(5), R(5), R(10))
+            kb.fadd(R(6), R(6), R(11))
+        kb.imad(R(12), R(0), Imm(4), kb.param(1))
+        kb.st_global(R(12), R(5))
+        kb.st_global(R(12), R(6), offset=self.num_threads * 4)
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        n = self.num_threads
+        return [
+            ("coords", n * 12, SegmentKind.INPUT),
+            ("Q", n * 8, SegmentKind.OUTPUT),
+        ]
+
+    def params(self, aspace):
+        return [aspace.segment("coords").base, aspace.segment("Q").base]
+
+
+@PARBOIL.register
+class Cutcp(Workload):
+    """Cutoff Coulomb potential: FMA + rsqrt over a shared atom tile."""
+
+    name = "cutcp"
+
+    def __init__(self, grid_dim: int = 256, block_dim: int = 256,
+                 atoms: int = 4) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.atoms = atoms
+
+    def build_kernel(self):
+        kb = KernelBuilder("cutcp", regs_per_thread=28,
+                           smem_bytes_per_block=4096)
+        kb.tid(R(0))
+        kb.global_thread_id(R(1))
+        kb.imad(R(2), R(1), Imm(4), kb.param(0))
+        kb.ld_global(R(3), R(2))  # grid-point coordinate
+        kb.shl(R(4), R(0), Imm(2))
+        kb.st_shared(R(4), R(3))  # stage atoms into shared memory
+        kb.bar()
+        kb.mov(R(5), Imm(0.0))  # potential accumulator
+        with kb.for_range(R(6), 0, self.atoms):
+            kb.shl(R(7), R(6), Imm(2))
+            kb.ld_shared(R(8), R(7))
+            kb.fsub(R(9), R(8), R(3))
+            kb.ffma(R(10), R(9), R(9), Imm(0.5))
+            kb.frsqrt(R(11), R(10))
+            kb.fmin(R(11), R(11), Imm(4.0))
+            kb.fadd(R(5), R(5), R(11))
+        kb.imad(R(12), R(1), Imm(4), kb.param(1))
+        kb.st_global(R(12), R(5))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        n = self.num_threads
+        return [
+            ("atoms", n * 4, SegmentKind.INPUT),
+            ("pot", n * 4, SegmentKind.OUTPUT),
+        ]
+
+    def params(self, aspace):
+        return [aspace.segment("atoms").base, aspace.segment("pot").base]
+
+    def init_memory(self, memory, aspace):
+        n = self.num_threads
+        memory.fill(aspace.segment("atoms").base,
+                    _rand(17).uniform(0.1, 4.0, size=n))
+
+
+@PARBOIL.register
+class Spmv(Workload):
+    """CSR sparse matrix-vector product: data-dependent row lengths and a
+    per-lane gather of x[col]."""
+
+    name = "spmv"
+    MAX_NNZ = 6
+
+    def __init__(self, grid_dim: int = 256, block_dim: int = 256) -> None:
+        super().__init__(grid_dim, block_dim)
+
+    def build_kernel(self):
+        kb = KernelBuilder("spmv", regs_per_thread=18)
+        kb.global_thread_id(R(0))
+        kb.imad(R(1), R(0), Imm(4), kb.param(0))
+        kb.ld_global(R(2), R(1))  # row start
+        kb.ld_global(R(3), R(1), offset=4)  # row end
+        kb.mov(R(4), Imm(0.0))
+
+        def cond():
+            kb.isetp(P(0), "lt", R(2), R(3))
+            return P(0)
+
+        with kb.while_(cond):
+            kb.imad(R(5), R(2), Imm(4), kb.param(1))
+            kb.ld_global(R(6), R(5))  # col index
+            kb.imad(R(7), R(2), Imm(4), kb.param(2))
+            kb.ld_global(R(8), R(7))  # matrix value
+            kb.imad(R(9), R(6), Imm(4), kb.param(3))
+            kb.ld_global(R(10), R(9))  # gather x[col]
+            kb.ffma(R(4), R(8), R(10), R(4))
+            kb.iadd(R(2), R(2), Imm(1))
+        kb.imad(R(11), R(0), Imm(4), kb.param(4))
+        kb.st_global(R(11), R(4))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        n = self.num_threads
+        nnz = n * self.MAX_NNZ
+        return [
+            ("rowptr", (n + 1) * 4, SegmentKind.INPUT),
+            ("colidx", nnz * 4, SegmentKind.INPUT),
+            ("vals", nnz * 4, SegmentKind.INPUT),
+            ("x", n * 4, SegmentKind.INPUT),
+            ("y", n * 4, SegmentKind.OUTPUT),
+        ]
+
+    def params(self, aspace):
+        return [aspace.segment(s).base
+                for s in ("rowptr", "colidx", "vals", "x", "y")]
+
+    def init_memory(self, memory, aspace):
+        n = self.num_threads
+        rng = _rand(19)
+        lengths = rng.randint(2, self.MAX_NNZ + 1, size=n)
+        rowptr = np.concatenate([[0], np.cumsum(lengths)])
+        memory.fill(aspace.segment("rowptr").base, rowptr.astype(float))
+        nnz = int(rowptr[-1])
+        memory.fill(aspace.segment("colidx").base,
+                    rng.randint(0, n, size=nnz).astype(float))
+        memory.fill(aspace.segment("vals").base, rng.uniform(size=nnz))
+        memory.fill(aspace.segment("x").base, rng.uniform(size=n))
+
+
+@PARBOIL.register
+class Sad(Workload):
+    """Sum-of-absolute-differences block matching with a shared tile."""
+
+    name = "sad"
+
+    def __init__(self, grid_dim: int = 256, block_dim: int = 256,
+                 pixels: int = 4) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.pixels = pixels
+
+    def build_kernel(self):
+        n = self.num_threads
+        kb = KernelBuilder("sad", regs_per_thread=20,
+                           smem_bytes_per_block=2048)
+        kb.tid(R(0))
+        kb.global_thread_id(R(1))
+        kb.imad(R(2), R(1), Imm(4), kb.param(0))
+        kb.ld_global(R(3), R(2))  # reference pixel
+        kb.shl(R(4), R(0), Imm(2))
+        kb.st_shared(R(4), R(3))
+        kb.bar()
+        kb.mov(R(5), Imm(0.0))
+        kb.imad(R(6), R(1), Imm(4), kb.param(1))  # &cur[gid]
+        with kb.for_range(R(7), 0, self.pixels):
+            kb.ld_global(R(8), R(6))
+            kb.ld_shared(R(9), R(4))
+            kb.isub(R(10), R(8), R(9))
+            kb.imax(R(11), R(10), Imm(0))
+            kb.imin(R(12), R(10), Imm(0))
+            kb.isub(R(10), R(11), R(12))  # |cur - ref|
+            kb.iadd(R(5), R(5), R(10))
+            kb.iadd(R(6), R(6), Imm(n * 4))
+        kb.imad(R(13), R(1), Imm(4), kb.param(2))
+        kb.st_global(R(13), R(5))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        n = self.num_threads
+        return [
+            ("ref", n * 4, SegmentKind.INPUT),
+            ("cur", n * self.pixels * 4, SegmentKind.INPUT),
+            ("sad", n * 4, SegmentKind.OUTPUT),
+        ]
+
+    def params(self, aspace):
+        return [aspace.segment(s).base for s in ("ref", "cur", "sad")]
+
+    def init_memory(self, memory, aspace):
+        n = self.num_threads
+        rng = _rand(23)
+        memory.fill(aspace.segment("ref").base,
+                    rng.randint(0, 256, size=n).astype(float))
+        memory.fill(aspace.segment("cur").base,
+                    rng.randint(0, 256, size=n * self.pixels).astype(float))
+
+
+@PARBOIL.register
+class Tpacf(Workload):
+    """Two-point angular correlation: SFU math + shared histogram."""
+
+    name = "tpacf"
+    BINS = 256
+
+    def __init__(self, grid_dim: int = 224, block_dim: int = 256,
+                 pairs: int = 5) -> None:
+        super().__init__(grid_dim, block_dim)
+        self.pairs = pairs
+
+    def build_kernel(self):
+        n = self.num_threads
+        kb = KernelBuilder("tpacf", regs_per_thread=28,
+                           smem_bytes_per_block=4096)
+        kb.tid(R(0))
+        kb.ctaid(R(1))
+        kb.global_thread_id(R(2))
+        kb.imad(R(3), R(2), Imm(4), kb.param(0))
+        kb.ld_global(R(4), R(3))  # my point
+        kb.imad(R(5), R(2), Imm(4), kb.param(1))  # other points stream
+        with kb.for_range(R(6), 0, self.pairs):
+            kb.ld_global(R(7), R(5))
+            kb.fmul(R(8), R(4), R(7))
+            kb.ffma(R(8), R(8), Imm(0.5), Imm(1.0))
+            kb.fsqrt(R(9), R(8))
+            kb.flog(R(10), R(9))
+            kb.fmul(R(10), R(10), Imm(32.0))
+            kb.f2i(R(11), R(10))
+            kb.and_(R(11), R(11), Imm(self.BINS - 1))
+            kb.shl(R(12), R(11), Imm(2))
+            kb.st_shared(R(12), R(10))  # shared histogram update
+            kb.iadd(R(5), R(5), Imm(n * 4))
+        kb.bar()
+        # Flush one shared-histogram bin per thread to the global result.
+        kb.and_(R(13), R(0), Imm(self.BINS - 1))
+        kb.shl(R(14), R(13), Imm(2))
+        kb.ld_shared(R(15), R(14))
+        kb.imad(R(16), R(1), Imm(self.BINS * 4), kb.param(2))
+        kb.iadd(R(16), R(16), R(14))
+        kb.st_global(R(16), R(15))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        n = self.num_threads
+        return [
+            ("points", n * 4, SegmentKind.INPUT),
+            ("others", n * self.pairs * 4, SegmentKind.INPUT),
+            ("hist", self.grid_dim * self.BINS * 4, SegmentKind.OUTPUT),
+        ]
+
+    def params(self, aspace):
+        return [aspace.segment(s).base for s in ("points", "others", "hist")]
+
+    def init_memory(self, memory, aspace):
+        n = self.num_threads
+        rng = _rand(29)
+        memory.fill(aspace.segment("points").base, rng.uniform(0.2, 2, size=n))
+        memory.fill(aspace.segment("others").base,
+                    rng.uniform(0.2, 2, size=n * self.pairs))
+
+
+@PARBOIL.register
+class MriGridding(Workload):
+    """Gridding: data-dependent per-block trip counts with severe block
+    imbalance (every 17th block does ~30x the work) plus atomics — the
+    benchmark whose reordering sensitivity makes block switching lose."""
+
+    name = "mri-gridding"
+    SHORT_ITERS = 2
+    LONG_ITERS = 40
+
+    def __init__(self, grid_dim: int = 272, block_dim: int = 256) -> None:
+        super().__init__(grid_dim, block_dim)
+
+    SAMPLES_BYTES = 1 << 19  # power of two so the stream offset can wrap
+
+    def build_kernel(self):
+        n = self.num_threads
+        kb = KernelBuilder("mri-gridding", regs_per_thread=24)
+        kb.global_thread_id(R(0))
+        kb.ctaid(R(1))
+        kb.imad(R(2), R(1), Imm(4), kb.param(0))
+        kb.ld_global(R(3), R(2))  # this block's trip count (uniform)
+        kb.shl(R(4), R(0), Imm(2))  # byte offset into the sample stream
+        kb.mov(R(5), Imm(0.0))
+        with kb.for_range(R(6), 0, R(3)):
+            kb.iadd(R(11), R(4), kb.param(1))
+            kb.ld_global(R(7), R(11))
+            kb.ffma(R(5), R(7), Imm(0.25), R(5))
+            kb.f2i(R(8), R(5))
+            kb.and_(R(8), R(8), Imm(1023))
+            kb.imad(R(9), R(8), Imm(4), kb.param(2))
+            kb.atom_global(R(10), R(9), R(7), atom="add")
+            kb.iadd(R(4), R(4), Imm(n * 4))
+            kb.and_(R(4), R(4), Imm(self.SAMPLES_BYTES - 1))
+        kb.exit()
+        return kb.build()
+
+    def segments(self):
+        return [
+            ("work", self.grid_dim * 4, SegmentKind.INPUT),
+            ("samples", self.SAMPLES_BYTES, SegmentKind.INPUT),
+            ("grid", 1024 * 4, SegmentKind.OUTPUT),
+        ]
+
+    def params(self, aspace):
+        return [aspace.segment(s).base for s in ("work", "samples", "grid")]
+
+    def init_memory(self, memory, aspace):
+        counts = [
+            float(self.LONG_ITERS if b % 17 == 0 else self.SHORT_ITERS)
+            for b in range(self.grid_dim)
+        ]
+        memory.fill(aspace.segment("work").base, counts)
+        memory.fill(aspace.segment("samples").base,
+                    _rand(31).uniform(0, 4, size=self.SAMPLES_BYTES // 4))
+
+
+PARBOIL_NAMES = PARBOIL.names()

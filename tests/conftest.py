@@ -1,0 +1,11 @@
+"""Shared test configuration: deterministic, CI-friendly hypothesis."""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

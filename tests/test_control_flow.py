@@ -1,0 +1,191 @@
+"""Divergence-stack and structured-control-flow correctness tests."""
+
+import pytest
+
+from repro.functional import FunctionalError, Interpreter, Launch
+from repro.isa import Imm, KernelBuilder, P, R, Special, SReg
+from repro.vm import SparseMemory
+
+OUT = 0x100000
+
+
+def run(build, grid=1, block=32):
+    kb = KernelBuilder("cf", regs_per_thread=32)
+    build(kb)
+    kb.exit()
+    mem = SparseMemory()
+    Interpreter(memory=mem).run(Launch(kb.build(), grid, block))
+    return mem.read_array(OUT, grid * block)
+
+
+def store_result(kb, reg):
+    kb.global_thread_id(R(30))
+    kb.imad(R(31), R(30), Imm(4), Imm(OUT))
+    kb.st_global(R(31), reg)
+
+
+class TestIf:
+    def test_uniform_taken(self):
+        def build(kb):
+            kb.mov(R(1), Imm(0.0))
+            kb.isetp(P(0), "lt", Imm(0), Imm(1))  # always true
+            with kb.if_(P(0)):
+                kb.mov(R(1), Imm(5.0))
+            store_result(kb, R(1))
+
+        assert run(build) == [5.0] * 32
+
+    def test_uniform_not_taken(self):
+        def build(kb):
+            kb.mov(R(1), Imm(3.0))
+            kb.isetp(P(0), "lt", Imm(1), Imm(0))  # always false
+            with kb.if_(P(0)):
+                kb.mov(R(1), Imm(5.0))
+            store_result(kb, R(1))
+
+        assert run(build) == [3.0] * 32
+
+    def test_divergent_if(self):
+        def build(kb):
+            kb.mov(R(0), SReg(Special.LANE))
+            kb.mov(R(1), Imm(0.0))
+            kb.isetp(P(0), "lt", R(0), Imm(10))
+            with kb.if_(P(0)):
+                kb.mov(R(1), Imm(1.0))
+            kb.fadd(R(1), R(1), Imm(10.0))  # post-reconvergence: all lanes
+            store_result(kb, R(1))
+
+        assert run(build) == [11.0] * 10 + [10.0] * 22
+
+    def test_if_negate(self):
+        def build(kb):
+            kb.mov(R(0), SReg(Special.LANE))
+            kb.mov(R(1), Imm(0.0))
+            kb.isetp(P(0), "lt", R(0), Imm(10))
+            with kb.if_(P(0), negate=True):
+                kb.mov(R(1), Imm(1.0))
+            store_result(kb, R(1))
+
+        assert run(build) == [0.0] * 10 + [1.0] * 22
+
+
+class TestIfElse:
+    def test_divergent_if_else(self):
+        def build(kb):
+            kb.mov(R(0), SReg(Special.LANE))
+            kb.isetp(P(0), "lt", R(0), Imm(16))
+            with kb.if_else(P(0)) as orelse:
+                kb.mov(R(1), Imm(100.0))
+                orelse()
+                kb.mov(R(1), Imm(200.0))
+            store_result(kb, R(1))
+
+        assert run(build) == [100.0] * 16 + [200.0] * 16
+
+    def test_nested_if_in_else(self):
+        def build(kb):
+            kb.mov(R(0), SReg(Special.LANE))
+            kb.isetp(P(0), "lt", R(0), Imm(8))
+            with kb.if_else(P(0)) as orelse:
+                kb.mov(R(1), Imm(1.0))
+                orelse()
+                kb.isetp(P(1), "lt", R(0), Imm(16))
+                with kb.if_else(P(1)) as orelse2:
+                    kb.mov(R(1), Imm(2.0))
+                    orelse2()
+                    kb.mov(R(1), Imm(3.0))
+            store_result(kb, R(1))
+
+        assert run(build) == [1.0] * 8 + [2.0] * 8 + [3.0] * 16
+
+
+class TestLoops:
+    def test_uniform_for_range(self):
+        def build(kb):
+            kb.mov(R(1), Imm(0.0))
+            with kb.for_range(R(2), 0, 10):
+                kb.fadd(R(1), R(1), Imm(1.0))
+            store_result(kb, R(1))
+
+        assert run(build) == [10.0] * 32
+
+    def test_for_range_with_step(self):
+        def build(kb):
+            kb.mov(R(1), Imm(0.0))
+            with kb.for_range(R(2), 0, 10, step=3) as i:
+                kb.fadd(R(1), R(1), i)  # 0+3+6+9
+            store_result(kb, R(1))
+
+        assert run(build) == [18.0] * 32
+
+    def test_divergent_trip_counts(self):
+        """Each lane loops `lane` times; reconverges at the loop exit."""
+
+        def build(kb):
+            kb.mov(R(0), SReg(Special.LANE))
+            kb.mov(R(1), Imm(0.0))
+            with kb.for_range(R(2), 0, R(0)):
+                kb.fadd(R(1), R(1), Imm(1.0))
+            kb.fadd(R(1), R(1), Imm(100.0))  # post-loop: everyone
+            store_result(kb, R(1))
+
+        assert run(build) == [100.0 + i for i in range(32)]
+
+    def test_while_loop(self):
+        def build(kb):
+            kb.mov(R(1), Imm(0.0))
+            kb.mov(R(2), Imm(5.0))
+
+            def cond():
+                kb.isetp(P(0), "gt", R(2), Imm(0))
+                return P(0)
+
+            with kb.while_(cond):
+                kb.fadd(R(1), R(1), R(2))
+                kb.isub(R(2), R(2), Imm(1))
+            store_result(kb, R(1))
+
+        assert run(build) == [15.0] * 32  # 5+4+3+2+1
+
+    def test_loop_containing_divergent_if(self):
+        def build(kb):
+            kb.mov(R(0), SReg(Special.LANE))
+            kb.mov(R(1), Imm(0.0))
+            with kb.for_range(R(2), 0, 4):
+                kb.and_(R(3), R(0), Imm(1))
+                kb.isetp(P(0), "eq", R(3), Imm(1))
+                with kb.if_(P(0)):
+                    kb.fadd(R(1), R(1), Imm(1.0))
+            store_result(kb, R(1))
+
+        expect = [0.0 if i % 2 == 0 else 4.0 for i in range(32)]
+        assert run(build) == expect
+
+
+class TestExit:
+    def test_predicated_exit_removes_lanes(self):
+        def build(kb):
+            kb.mov(R(0), SReg(Special.LANE))
+            kb.global_thread_id(R(30))
+            kb.imad(R(31), R(30), Imm(4), Imm(OUT))
+            kb.st_global(R(31), Imm(1.0))
+            kb.isetp(P(0), "lt", R(0), Imm(16))
+            kb.emit_exit = kb.emit  # readability no-op
+            from repro.isa import Instruction, Opcode
+
+            kb.emit(Instruction(Opcode.EXIT, guard=P(0)))
+            kb.st_global(R(31), Imm(2.0))  # only surviving lanes
+
+        assert run(build) == [1.0] * 16 + [2.0] * 16
+
+    def test_divergent_branch_without_reconv_rejected(self):
+        kb = KernelBuilder("bad", regs_per_thread=8)
+        kb.mov(R(0), SReg(Special.LANE))
+        kb.isetp(P(0), "lt", R(0), Imm(16))
+        skip = kb.label("skip")
+        kb.bra(skip, guard=P(0))  # divergent, no reconv declared
+        kb.nop()
+        kb.bind(skip)
+        kb.exit()
+        with pytest.raises(FunctionalError, match="reconvergence"):
+            Interpreter().run(Launch(kb.build(), 1, 32))

@@ -1,0 +1,70 @@
+"""Public-API hygiene: every public package exports what it claims, every
+public item has a docstring, and the examples' imports resolve."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.isa",
+    "repro.functional",
+    "repro.vm",
+    "repro.mem",
+    "repro.timing",
+    "repro.core",
+    "repro.system",
+    "repro.opt",
+    "repro.runtime",
+    "repro.workloads",
+    "repro.harness",
+]
+
+
+class TestExports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_entries_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_public_callables_documented(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert inspect.getdoc(obj), f"{name}.{symbol} undocumented"
+
+
+class TestExampleImports:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "examples/quickstart.py",
+            "examples/scheme_comparison.py",
+            "examples/block_switching.py",
+            "examples/local_fault_handling.py",
+            "examples/pipeline_diagrams.py",
+            "examples/preemption_latency.py",
+            "examples/run_all_experiments.py",
+        ],
+    )
+    def test_example_compiles(self, path):
+        import py_compile
+
+        py_compile.compile(path, doraise=True)
+
+
+class TestVersion:
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)

@@ -1,0 +1,79 @@
+"""Event-queue tests: ordering, FIFO ties, cancel, fired, drain."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timing import EventQueue
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        log = []
+        q.schedule(5.0, lambda t: log.append(("b", t)))
+        q.schedule(1.0, lambda t: log.append(("a", t)))
+        q.run_until(10.0)
+        assert log == [("a", 1.0), ("b", 5.0)]
+
+    def test_fifo_on_ties(self):
+        q = EventQueue()
+        log = []
+        for i in range(5):
+            q.schedule(3.0, lambda t, i=i: log.append(i))
+        q.run_until(3.0)
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_run_until_is_inclusive(self):
+        q = EventQueue()
+        log = []
+        q.schedule(2.0, lambda t: log.append("x"))
+        q.schedule(2.5, lambda t: log.append("y"))
+        assert q.run_until(2.0) == 1
+        assert log == ["x"]
+        assert q.next_time == 2.5
+
+    def test_cancel(self):
+        q = EventQueue()
+        log = []
+        ev = q.schedule(1.0, lambda t: log.append("x"))
+        ev.cancel()
+        q.run_until(10.0)
+        assert log == []
+        assert not ev.fired
+
+    def test_fired_flag(self):
+        q = EventQueue()
+        ev = q.schedule(1.0, lambda t: None)
+        assert not ev.fired
+        q.run_until(1.0)
+        assert ev.fired
+
+    def test_events_scheduled_during_run(self):
+        q = EventQueue()
+        log = []
+
+        def first(t):
+            log.append("first")
+            q.schedule(t + 1, lambda t2: log.append("second"))
+
+        q.schedule(1.0, first)
+        q.run_until(5.0)
+        assert log == ["first", "second"]
+
+    def test_drain(self):
+        q = EventQueue()
+        log = []
+        q.schedule(100.0, lambda t: log.append(1))
+        q.schedule(50.0, lambda t: log.append(0))
+        q.drain()
+        assert log == [0, 1]
+        assert len(q) == 0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), max_size=50))
+    def test_processed_in_nondecreasing_time(self, times):
+        q = EventQueue()
+        seen = []
+        for t in times:
+            q.schedule(t, lambda tt: seen.append(tt))
+        q.drain()
+        assert seen == sorted(seen)

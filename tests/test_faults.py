@@ -1,0 +1,213 @@
+"""Fault controller tests: classification routing, 64KB-granule dedup,
+queue positions, CPU/link queueing math, local handling, invalid access."""
+
+import pytest
+
+from repro.system import (
+    GPUConfig,
+    InterconnectConfig,
+    InvalidAccessError,
+    NVLINK,
+    PCIE,
+    US,
+)
+from repro.system.faults import FaultController
+from repro.vm import (
+    FAULT_GRANULARITY_PAGES,
+    FaultClass,
+    FrameAllocator,
+    Owner,
+    SystemPageState,
+)
+
+PAGES = FAULT_GRANULARITY_PAGES
+
+
+def make_controller(local=False, interconnect=NVLINK, config=None):
+    config = config or GPUConfig()
+    state = SystemPageState()
+    # group 0: CPU-dirty input;  group 1: CPU-clean;  group 2: untouched
+    state.register_range(0, PAGES * 4096, Owner.CPU, cpu_dirty=True)
+    state.register_range(PAGES * 4096, PAGES * 4096, Owner.CPU, cpu_dirty=False)
+    state.register_range(2 * PAGES * 4096, PAGES * 4096, Owner.NONE)
+    ctl = FaultController(
+        config=config,
+        interconnect=interconnect,
+        page_state=state,
+        frame_allocator=FrameAllocator(4096),
+        local_handling=local,
+    )
+    return ctl, state
+
+
+class TestUnloadedCosts:
+    """The resolution of an uncontended fault must match the paper's
+    measured constants exactly (Section 5.3)."""
+
+    @pytest.mark.parametrize("ic", [NVLINK, PCIE])
+    def test_migrate_cost(self, ic):
+        ctl, _ = make_controller(interconnect=ic)
+        outcome = ctl.on_fault(vpn=0, detect_time=0.0, sm_id=0)
+        assert outcome.fault_class is FaultClass.MIGRATE
+        assert outcome.resolved_time == pytest.approx(ic.migrate_cost)
+
+    @pytest.mark.parametrize("ic", [NVLINK, PCIE])
+    def test_alloc_cost(self, ic):
+        ctl, _ = make_controller(interconnect=ic)
+        outcome = ctl.on_fault(vpn=PAGES, detect_time=0.0, sm_id=0)
+        assert outcome.fault_class is FaultClass.ALLOC_ONLY
+        assert outcome.resolved_time == pytest.approx(ic.alloc_cost)
+
+    def test_paper_constants(self):
+        assert NVLINK.migrate_cost == 12 * US
+        assert NVLINK.alloc_cost == 10 * US
+        assert PCIE.migrate_cost == 25 * US
+        assert PCIE.alloc_cost == 12 * US
+
+    def test_scaled_preserves_ratios(self):
+        scaled = PCIE.scaled(8.0)
+        assert scaled.migrate_cost == PCIE.migrate_cost / 8
+        assert scaled.transfer_time == pytest.approx(PCIE.transfer_time / 8)
+
+
+class TestGranularity:
+    def test_whole_group_installed(self):
+        ctl, state = make_controller()
+        ctl.on_fault(vpn=3, detect_time=0.0, sm_id=0)
+        for page in range(PAGES):
+            assert state.gpu_translate(page) is not None
+
+    def test_second_fault_same_group_joins(self):
+        ctl, _ = make_controller()
+        first = ctl.on_fault(vpn=0, detect_time=0.0, sm_id=0)
+        second = ctl.on_fault(vpn=5, detect_time=10.0, sm_id=1)
+        assert second.resolved_time == first.resolved_time
+        assert ctl.stats.groups_resolved == 1
+        assert ctl.stats.faults_raised == 2
+
+    def test_different_groups_resolve_separately(self):
+        ctl, _ = make_controller()
+        a = ctl.on_fault(vpn=0, detect_time=0.0, sm_id=0)
+        b = ctl.on_fault(vpn=PAGES, detect_time=0.0, sm_id=0)
+        assert b.resolved_time > a.resolved_time  # CPU handler serializes
+        assert ctl.stats.groups_resolved == 2
+
+
+class TestQueueing:
+    def test_cpu_handler_serializes(self):
+        ctl, state = make_controller()
+        # three allocation-only groups (CPU-clean pages)
+        state.register_range(
+            3 * PAGES * 4096, 2 * PAGES * 4096, Owner.CPU, cpu_dirty=False
+        )
+        times = [
+            ctl.on_fault(vpn=g * PAGES, detect_time=0.0, sm_id=0).resolved_time
+            for g in (1, 3, 4)
+        ]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        # concurrent allocation faults drain at the CPU handler's rate
+        for gap in gaps:
+            assert gap == pytest.approx(NVLINK.cpu_service)
+
+    def test_positions_reflect_pending_queue(self):
+        ctl, _ = make_controller()
+        first = ctl.on_fault(vpn=0, detect_time=0.0, sm_id=0)
+        second = ctl.on_fault(vpn=PAGES, detect_time=1.0, sm_id=0)
+        third = ctl.on_fault(vpn=2 * PAGES, detect_time=2.0, sm_id=0)
+        assert first.position == 0
+        assert second.position == 1
+        assert third.position == 2
+
+    def test_position_drops_after_resolution(self):
+        ctl, _ = make_controller()
+        first = ctl.on_fault(vpn=0, detect_time=0.0, sm_id=0)
+        late = ctl.on_fault(
+            vpn=PAGES, detect_time=first.resolved_time + 1, sm_id=0
+        )
+        assert late.position == 0
+
+
+class TestTimeAwareTranslate:
+    def test_pending_group_stays_unmapped_until_resolution(self):
+        ctl, state = make_controller()
+        outcome = ctl.on_fault(vpn=0, detect_time=0.0, sm_id=0)
+        assert state.gpu_translate(0) is not None  # installed structurally
+        assert ctl.translate(0, time=outcome.resolved_time - 1) is None
+        assert ctl.translate(0, time=outcome.resolved_time + 1) is not None
+
+    def test_never_faulted_mapped_page_translates(self):
+        ctl, state = make_controller()
+        state.install_gpu_page(PAGES * 2, ppn=99)
+        assert ctl.translate(PAGES * 2, time=0.0) == 99
+
+    def test_unmapped_translates_to_none(self):
+        ctl, _ = make_controller()
+        assert ctl.translate(0, time=0.0) is None
+
+
+class TestLocalHandling:
+    def test_first_touch_handled_locally(self):
+        ctl, _ = make_controller(local=True)
+        outcome = ctl.on_fault(vpn=2 * PAGES, detect_time=0.0, sm_id=3)
+        assert outcome.handled_locally
+        assert outcome.resolved_time == pytest.approx(
+            GPUConfig().gpu_handler_latency
+        )
+        assert ctl.stats.handled_locally == 1
+
+    def test_migration_still_goes_to_cpu(self):
+        ctl, _ = make_controller(local=True)
+        outcome = ctl.on_fault(vpn=0, detect_time=0.0, sm_id=3)
+        assert not outcome.handled_locally
+        assert ctl.stats.handled_by_cpu == 1
+
+    def test_local_handlers_concurrent_across_sms(self):
+        config = GPUConfig()
+        ctl, _ = make_controller(local=True, config=config)
+        a = ctl.on_fault(vpn=2 * PAGES, detect_time=0.0, sm_id=0)
+        # a second first-touch group (register more range first)
+        ctl.page_state.register_range(
+            3 * PAGES * 4096, PAGES * 4096, Owner.NONE
+        )
+        b = ctl.on_fault(vpn=3 * PAGES, detect_time=0.0, sm_id=1)
+        # different SMs: no serialization beyond the handler latency
+        assert b.resolved_time == pytest.approx(a.resolved_time)
+
+    def test_same_sm_serial_section(self):
+        config = GPUConfig()
+        ctl, _ = make_controller(local=True, config=config)
+        ctl.page_state.register_range(
+            3 * PAGES * 4096, PAGES * 4096, Owner.NONE
+        )
+        a = ctl.on_fault(vpn=2 * PAGES, detect_time=0.0, sm_id=0)
+        b = ctl.on_fault(vpn=3 * PAGES, detect_time=0.0, sm_id=0)
+        assert b.resolved_time == pytest.approx(
+            a.resolved_time + config.gpu_handler_serial
+        )
+
+    def test_frame_partitioning(self):
+        ctl, state = make_controller(local=True)
+        ctl.on_fault(vpn=2 * PAGES, detect_time=0.0, sm_id=5)  # local alloc
+        ctl.on_fault(vpn=0, detect_time=0.0, sm_id=5)  # CPU alloc
+        local_ppn = state.gpu_translate(2 * PAGES)
+        cpu_ppn = state.gpu_translate(0)
+        # CPU slice comes first in the partition, SM slices after
+        assert local_ppn > cpu_ppn
+
+
+class TestInvalidAccess:
+    def test_invalid_address_aborts(self):
+        ctl, _ = make_controller()
+        with pytest.raises(InvalidAccessError):
+            ctl.on_fault(vpn=10_000_000, detect_time=0.0, sm_id=0)
+
+
+class TestInterconnectBudget:
+    def test_signal_latency_positive(self):
+        for ic in (NVLINK, PCIE):
+            assert ic.signal_latency > 0
+            assert ic.transfer_time > 0
+
+    def test_invalid_time_scale(self):
+        with pytest.raises(ValueError):
+            NVLINK.scaled(0)

@@ -1,0 +1,178 @@
+"""End-to-end timing-simulator tests on micro workloads: scheme ordering,
+determinism, demand paging, use cases, scalability knobs."""
+
+import pytest
+
+from repro.core import OperandLog, make_scheme
+from repro.system import (
+    DeadlockError,
+    GPUConfig,
+    GpuSimulator,
+    NVLINK,
+    PCIE,
+)
+from repro.workloads import MICRO, get_workload
+
+
+def simulate(wl, scheme="baseline", paging="premapped", config=None, **kw):
+    scheme_obj = make_scheme(scheme) if isinstance(scheme, str) else scheme
+    sim = GpuSimulator(
+        kernel=wl.kernel,
+        trace=wl.trace(),
+        address_space=wl.make_address_space(),
+        config=config,
+        scheme=scheme_obj,
+        paging=paging,
+        **kw,
+    )
+    return sim.run()
+
+
+@pytest.fixture(scope="module")
+def saxpy():
+    return MICRO.fresh("saxpy")
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return MICRO.fresh("stream-sum")
+
+
+class TestBasicExecution:
+    def test_all_blocks_complete(self, saxpy):
+        res = simulate(saxpy)
+        assert res.blocks == saxpy.grid_dim
+        done = sum(s.blocks_completed for s in res.sm_stats)
+        assert done == saxpy.grid_dim
+
+    def test_all_instructions_commit(self, saxpy):
+        res = simulate(saxpy)
+        issued = sum(s.issued for s in res.sm_stats)
+        committed = sum(s.committed for s in res.sm_stats)
+        assert issued == committed == res.dynamic_instructions
+
+    def test_deterministic(self, stream):
+        a = simulate(stream).cycles
+        b = simulate(stream).cycles
+        assert a == b
+
+    def test_ipc_reasonable(self, stream):
+        res = simulate(stream)
+        assert 0.01 < res.ipc < 2 * GPUConfig().num_sms
+
+    def test_bad_paging_mode_rejected(self, saxpy):
+        with pytest.raises(ValueError, match="paging"):
+            simulate(saxpy, paging="lazy")
+
+
+class TestSchemeOrdering:
+    """No-fault runs: the baseline is the upper bound; wd-commit is the
+    most restrictive scheme (paper Section 5.2)."""
+
+    def test_baseline_fastest(self, stream):
+        base = simulate(stream, "baseline").cycles
+        for name in ("wd-commit", "wd-lastcheck", "replay-queue"):
+            assert simulate(stream, name).cycles >= base * 0.99
+
+    def test_wd_commit_most_restrictive(self, stream):
+        wd = simulate(stream, "wd-commit").cycles
+        lastcheck = simulate(stream, "wd-lastcheck").cycles
+        assert wd >= lastcheck
+
+    def test_large_operand_log_matches_baseline(self, stream):
+        base = simulate(stream, "baseline").cycles
+        log = simulate(stream, OperandLog(64)).cycles
+        assert log == pytest.approx(base, rel=0.05)
+
+
+class TestDemandPaging:
+    def test_faults_resolve_and_finish(self, saxpy):
+        res = simulate(saxpy, "replay-queue", paging="demand")
+        fs = res.fault_stats
+        assert fs.groups_resolved > 0
+        assert fs.migrations > 0  # x and y are CPU-dirty inputs
+        assert res.cycles > simulate(saxpy, "replay-queue").cycles
+
+    def test_premapped_runs_have_no_faults(self, saxpy):
+        res = simulate(saxpy, "baseline")
+        assert res.fault_stats.groups_resolved == 0
+
+    def test_pcie_slower_than_nvlink(self, stream):
+        nv = simulate(stream, "replay-queue", paging="demand",
+                      interconnect=NVLINK).cycles
+        pcie = simulate(stream, "replay-queue", paging="demand",
+                        interconnect=PCIE).cycles
+        assert pcie > nv
+
+    def test_demand_output_only_first_touch(self, stream):
+        res = simulate(stream, "replay-queue", paging="demand-output")
+        fs = res.fault_stats
+        assert fs.migrations == 0
+        assert fs.first_touch > 0
+
+
+class TestUseCases:
+    def test_block_switching_requires_preemptible(self, saxpy):
+        with pytest.raises(ValueError, match="preemptible"):
+            simulate(saxpy, "baseline", paging="demand", block_switching=True)
+
+    def test_block_switching_switches_under_fault_pressure(self, stream):
+        config = GPUConfig().time_scaled(8.0)
+        res = simulate(
+            stream, "replay-queue", paging="demand", config=config,
+            interconnect=NVLINK.scaled(8.0), block_switching=True,
+        )
+        assert sum(s.blocks_completed for s in res.sm_stats) == stream.grid_dim
+
+    def test_local_handling_handles_first_touch(self, stream):
+        res = simulate(
+            stream, "replay-queue", paging="demand-output",
+            local_handling=True,
+        )
+        assert res.fault_stats.handled_locally > 0
+        assert res.fault_stats.first_touch > 0
+        assert sum(s.local_handler_runs for s in res.sm_stats) > 0
+
+    def test_local_handling_skips_migrations(self, stream):
+        res = simulate(
+            stream, "replay-queue", paging="demand", local_handling=True,
+        )
+        fs = res.fault_stats
+        assert fs.handled_by_cpu > 0  # migrations still go to the CPU
+        assert fs.handled_locally > 0  # output pages handled on the GPU
+
+
+class TestConfigKnobs:
+    def test_fewer_sms_slower(self, stream):
+        few = simulate(stream, config=GPUConfig().with_(num_sms=4)).cycles
+        many = simulate(stream, config=GPUConfig().with_(num_sms=16)).cycles
+        assert few > many
+
+    def test_occupancy_model(self):
+        wl = get_workload("lbm")
+        assert GPUConfig().blocks_per_sm(wl.kernel, wl.block_dim) == 1
+
+    def test_kernel_too_big_rejected(self):
+        from repro.isa import KernelBuilder
+
+        kb = KernelBuilder("huge", regs_per_thread=254)
+        kb.exit()
+        with pytest.raises(ValueError, match="does not fit"):
+            GPUConfig().blocks_per_sm(kb.build(), 1024)
+
+    def test_max_cycles_guard(self, saxpy):
+        sim = GpuSimulator(
+            kernel=saxpy.kernel,
+            trace=saxpy.trace(),
+            address_space=saxpy.make_address_space(),
+            scheme=make_scheme("baseline"),
+        )
+        with pytest.raises(DeadlockError):
+            sim.run(max_cycles=1)
+
+    def test_table1_render(self):
+        rows = GPUConfig().table1()
+        assert rows["Frequency"] == "1GHz"
+        assert rows["Register File"] == "256KB"
+        assert rows["Number of SMs"] == "16"
+        assert rows["DRAM bandwidth"] == "256 GB/s"

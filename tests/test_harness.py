@@ -1,0 +1,151 @@
+"""Harness tests: result tables, experiment runners (tiny subsets), and
+the pipeline diagrams of Figures 3/4/6/7."""
+
+import pytest
+
+from repro.harness import (
+    ExperimentTable,
+    geomean,
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_scalability,
+    run_table1,
+    run_table2,
+)
+from repro.harness.diagrams import (
+    EXAMPLE_PROGRAM,
+    completion_cycle,
+    issue_cycles,
+    render,
+    render_all,
+)
+
+
+class TestExperimentTable:
+    def test_add_and_render(self):
+        table = ExperimentTable("t", "demo", columns=["a", "b"])
+        table.add_row("x", [1.0, 2.0])
+        table.add_row("y", [3.0, 4.0])
+        text = table.render()
+        assert "GEOMEAN" in text and "demo" in text
+
+    def test_row_length_checked(self):
+        table = ExperimentTable("t", "demo", columns=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("x", [1.0])
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_column_and_dict(self):
+        table = ExperimentTable("t", "demo", columns=["a"])
+        table.add_row("x", [2.0])
+        assert table.column("a") == [2.0]
+        assert table.to_dict()["geomeans"] == [2.0]
+
+
+class TestTables:
+    def test_table1_text(self):
+        text = run_table1()
+        assert "1GHz" in text and "256KB" in text and "500 clk" in text
+
+    def test_table2_matches_paper(self):
+        table = run_table2()
+        assert table.rows["8KB"][0] == pytest.approx(1.04, abs=0.05)
+        assert table.rows["32KB"][3] == pytest.approx(2.37, abs=0.05)
+
+
+@pytest.mark.slow
+class TestExperimentRunners:
+    """Single-benchmark smoke runs of each figure's experiment."""
+
+    def test_fig10_single(self):
+        table = run_fig10(workloads=["stream-sum"])
+        for col in table.columns:
+            assert 0.2 < table.rows["stream-sum"][table.columns.index(col)] <= 1.05
+
+    def test_fig11_single(self):
+        table = run_fig11(workloads=["stream-sum"], sizes=(8, 32))
+        vals = table.rows["stream-sum"]
+        assert all(0.2 < v <= 1.05 for v in vals)
+
+    def test_fig12_single(self):
+        table = run_fig12(
+            workloads=["stream-sum"], interconnects=["nvlink"], ideal=False
+        )
+        assert 0.3 < table.rows["stream-sum"][0] < 3.0
+
+    def test_fig13_single(self):
+        table = run_fig13(workloads=["alloc-cycle"], interconnects=["nvlink"])
+        assert table.rows["alloc-cycle"][0] > 0.3
+
+    def test_fig14_single(self):
+        table = run_fig14(workloads=["stream-sum"], interconnects=["nvlink"])
+        assert table.rows["stream-sum"][0] > 0.3
+
+    def test_scalability(self):
+        table = run_scalability(
+            workload="stream-sum", sm_counts=(4, 8), schemes=("wd-commit",)
+        )
+        assert len(table.rows) == 2
+
+
+class TestDiagrams:
+    def test_all_schemes_render(self):
+        text = render_all()
+        for label in ("Figure 3", "Figure 4", "Figure 6", "Figure 7"):
+            assert label in text
+
+    def test_baseline_matches_figure3(self):
+        """Figure 3: B issues right behind A; D stalls one cycle on the WAR
+        with C (released at C's operand read)."""
+        cycles = issue_cycles("baseline")
+        assert cycles["B"] == cycles["A"] + 1
+        assert cycles["C"] == cycles["B"] + 1
+        assert cycles["D"] > cycles["C"] + 1  # WAR stall
+
+    def test_wd_commit_matches_figure4(self):
+        """Figure 4: B cannot issue until A commits."""
+        base = issue_cycles("baseline")
+        wd = issue_cycles("wd-commit")
+        assert wd["B"] > base["A"] + 6  # waits out A's memory latency
+
+    def test_wd_lastcheck_between(self):
+        wd = issue_cycles("wd-commit")
+        lastcheck = issue_cycles("wd-lastcheck")
+        base = issue_cycles("baseline")
+        assert base["B"] < lastcheck["B"] < wd["B"]
+
+    def test_replay_queue_matches_figure6(self):
+        """Figure 6: A, B, C flow like baseline; D waits for C's last TLB
+        check before overwriting R4."""
+        base = issue_cycles("baseline")
+        rq = issue_cycles("replay-queue")
+        assert rq["A"] == base["A"]
+        assert rq["B"] == base["B"]
+        assert rq["C"] == base["C"]
+        assert rq["D"] > base["D"]
+
+    def test_operand_log_matches_figure7(self):
+        """Figure 7: identical timing to the baseline."""
+        assert issue_cycles("operand-log") == issue_cycles("baseline")
+        assert completion_cycle("operand-log") == completion_cycle("baseline")
+
+    def test_total_order(self):
+        done = {s: completion_cycle(s) for s in
+                ("baseline", "wd-commit", "wd-lastcheck", "replay-queue",
+                 "operand-log")}
+        assert done["wd-commit"] > done["wd-lastcheck"] > done["baseline"]
+        assert done["operand-log"] == done["baseline"]
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            render("rollercoaster")
+
+    def test_program_is_papers_example(self):
+        assert [i.label for i in EXAMPLE_PROGRAM] == ["A", "B", "C", "D"]
+        assert EXAMPLE_PROGRAM[0].is_mem and EXAMPLE_PROGRAM[2].is_mem

@@ -1,0 +1,195 @@
+"""Unit tests for the ISA layer: opcodes, operands, instructions, kernels."""
+
+import pytest
+
+from repro.isa import (
+    OP_INFO,
+    Imm,
+    Instruction,
+    Kernel,
+    KernelBuilder,
+    Label,
+    Opcode,
+    P,
+    Param,
+    Pred,
+    R,
+    Reg,
+    Unit,
+    op_info,
+    uses_global_memory,
+)
+
+
+class TestOpcodes:
+    def test_every_opcode_has_info(self):
+        for op in Opcode:
+            info = op_info(op)
+            assert info.latency >= 0
+            assert isinstance(info.unit, Unit)
+
+    def test_global_memory_ops_can_fault(self):
+        for op in (Opcode.LD_GLOBAL, Opcode.ST_GLOBAL, Opcode.ATOM_GLOBAL):
+            assert op_info(op).can_fault
+            assert op_info(op).is_memory
+
+    def test_shared_memory_ops_cannot_fault(self):
+        for op in (Opcode.LD_SHARED, Opcode.ST_SHARED):
+            assert not op_info(op).can_fault
+            assert op_info(op).is_memory
+
+    def test_stores_marked(self):
+        assert op_info(Opcode.ST_GLOBAL).is_store
+        assert op_info(Opcode.ATOM_GLOBAL).is_store
+        assert not op_info(Opcode.LD_GLOBAL).is_store
+
+    def test_sfu_ops_on_sfu_unit(self):
+        for op in (Opcode.FDIV, Opcode.FSQRT, Opcode.FSIN, Opcode.FEXP):
+            assert op_info(op).unit is Unit.SFU
+
+    def test_control_ops(self):
+        for op in (Opcode.BRA, Opcode.BAR, Opcode.EXIT, Opcode.TRAP):
+            assert op_info(op).is_control
+
+
+class TestOperands:
+    def test_reg_bounds(self):
+        assert Reg(0).index == 0
+        assert Reg(254).index == 254
+        with pytest.raises(ValueError):
+            Reg(-1)
+        with pytest.raises(ValueError):
+            Reg(256)
+
+    def test_pred_bounds(self):
+        assert Pred(7).index == 7
+        with pytest.raises(ValueError):
+            Pred(8)
+
+    def test_shorthands(self):
+        assert R(3) == Reg(3)
+        assert P(1) == Pred(1)
+
+    def test_operands_hashable(self):
+        assert len({R(1), R(1), R(2)}) == 2
+
+
+class TestInstruction:
+    def test_reg_sources_and_dests(self):
+        inst = Instruction(Opcode.IADD, dest=R(3), srcs=(R(1), Imm(4)))
+        assert inst.reg_dests() == (3,)
+        assert inst.reg_srcs() == (1,)
+
+    def test_pred_guard_counts_as_source(self):
+        inst = Instruction(Opcode.MOV, dest=R(0), srcs=(Imm(1),), guard=P(2))
+        assert 2 in inst.pred_srcs()
+
+    def test_pred_dest(self):
+        inst = Instruction(Opcode.ISETP, dest=P(0), srcs=(R(1), R(2)), cmp="lt")
+        assert inst.pred_dests() == (0,)
+        assert inst.reg_dests() == ()
+
+    def test_uses_global_memory(self):
+        ld = Instruction(Opcode.LD_GLOBAL, dest=R(0), srcs=(R(1),))
+        add = Instruction(Opcode.IADD, dest=R(0), srcs=(R(1), R(2)))
+        assert uses_global_memory(ld)
+        assert not uses_global_memory(add)
+
+
+class TestLabel:
+    def test_double_bind_rejected(self):
+        label = Label("x")
+        label.resolve(3)
+        with pytest.raises(ValueError):
+            label.resolve(4)
+
+
+class TestKernelValidation:
+    def test_empty_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel("empty").validate()
+
+    def test_kernel_without_exit_rejected(self):
+        k = Kernel("noexit", [Instruction(Opcode.NOP)])
+        with pytest.raises(ValueError, match="EXIT"):
+            k.validate()
+
+    def test_unresolved_branch_rejected(self):
+        k = Kernel(
+            "bad",
+            [Instruction(Opcode.BRA), Instruction(Opcode.EXIT)],
+        )
+        with pytest.raises(ValueError, match="branch"):
+            k.validate()
+
+    def test_valid_kernel(self):
+        kb = KernelBuilder("ok")
+        kb.nop()
+        kb.exit()
+        kernel = kb.build()
+        assert len(kernel) == 2
+
+
+class TestKernelBuilder:
+    def test_unbound_label_rejected(self):
+        kb = KernelBuilder("bad")
+        target = kb.label("never")
+        kb.bra(target)
+        kb.exit()
+        with pytest.raises(ValueError, match="unbound"):
+            kb.build()
+
+    def test_branch_fixup(self):
+        kb = KernelBuilder("k")
+        end = kb.label("end")
+        kb.bra(end)
+        kb.nop()
+        kb.bind(end)
+        kb.exit()
+        kernel = kb.build()
+        assert kernel.instructions[0].target == 2
+
+    def test_if_sets_reconvergence(self):
+        kb = KernelBuilder("k")
+        kb.isetp(P(0), "lt", R(0), Imm(1))
+        with kb.if_(P(0)):
+            kb.nop()
+        kb.exit()
+        kernel = kb.build()
+        bra = kernel.instructions[1]
+        assert bra.op is Opcode.BRA
+        assert bra.reconv == bra.target == 3
+
+    def test_if_else_requires_orelse(self):
+        kb = KernelBuilder("k")
+        with pytest.raises(RuntimeError, match="orelse"):
+            with kb.if_else(P(0)):
+                kb.nop()
+
+    def test_raw_numbers_become_immediates(self):
+        kb = KernelBuilder("k")
+        inst = kb.iadd(R(0), R(1), 5)
+        assert inst.srcs[1] == Imm(5)
+
+    def test_param_operand(self):
+        kb = KernelBuilder("k")
+        assert kb.param(2) == Param(2)
+
+    def test_memory_helpers_set_offset_and_width(self):
+        kb = KernelBuilder("k")
+        ld = kb.ld_global(R(0), R(1), offset=16, width=8)
+        assert ld.offset == 16 and ld.width == 8
+        st = kb.st_global(R(1), R(2), offset=-4)
+        assert st.offset == -4 and st.dest is None
+
+    def test_atom_sets_op(self):
+        kb = KernelBuilder("k")
+        atom = kb.atom_global(R(0), R(1), Imm(1), atom="max")
+        assert atom.atom == "max"
+
+    def test_resource_attributes(self):
+        kb = KernelBuilder("k", regs_per_thread=48, smem_bytes_per_block=1024)
+        kb.exit()
+        kernel = kb.build()
+        assert kernel.regs_per_thread == 48
+        assert kernel.smem_bytes_per_block == 1024

@@ -1,0 +1,312 @@
+"""Memory-hierarchy timing tests: caches, MSHRs, DRAM, TLBs, walkers,
+coalescer and the composed subsystem."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import Cache, Dram, MemorySubsystem, Mmu, Tlb, WalkerPool, coalesce
+from repro.system import GPUConfig
+from repro.vm import CACHE_LINE_SIZE
+
+
+def _next_level_const(latency=100):
+    def access(start, line, is_store):
+        return start + latency
+
+    return access
+
+
+class TestCache:
+    def make(self, **kw):
+        defaults = dict(
+            name="t", size_bytes=1024, assoc=2, line_size=128, latency=10,
+            num_mshrs=4,
+        )
+        defaults.update(kw)
+        return Cache(**defaults)
+
+    def test_miss_then_hit(self):
+        cache = self.make()
+        nxt = _next_level_const(100)
+        t1 = cache.access(0, 0.0, False, nxt)
+        assert t1 == 110  # latency + next level
+        t2 = cache.access(0, t1 + 1, False, nxt)
+        assert t2 == t1 + 1 + 10  # hit
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_secondary_miss_merges(self):
+        cache = self.make()
+        nxt = _next_level_const(100)
+        t1 = cache.access(0, 0.0, False, nxt)
+        t2 = cache.access(0, 1.0, False, nxt)
+        assert t2 == t1  # merged onto the outstanding fill
+        assert cache.stats.secondary_misses == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self):
+        # 1024B/128B/2-way = 4 sets; lines 0, 4, 8 map to set 0
+        cache = self.make()
+        nxt = _next_level_const(0)
+        cache.access(0, 0.0, False, nxt)
+        cache.access(4, 100.0, False, nxt)
+        cache.access(0, 200.0, False, nxt)  # touch 0 -> 4 becomes LRU
+        cache.access(8, 300.0, False, nxt)  # evicts 4
+        cache.access(0, 400.0, False, nxt)
+        assert cache.probe(0)
+        assert not cache.probe(4)
+        assert cache.stats.evictions == 1
+
+    def test_mshr_backpressure(self):
+        cache = self.make(num_mshrs=2)
+        nxt = _next_level_const(100)
+        t1 = cache.access(0, 0.0, False, nxt)
+        t2 = cache.access(4, 0.0, False, nxt)
+        t3 = cache.access(8, 0.0, False, nxt)  # waits for an MSHR
+        assert t3 > max(t1, t2)
+        assert cache.stats.mshr_stalls == 1
+
+    def test_mshr_wait_charges_unloaded_latency(self):
+        """MSHR-stalled requests must not book downstream resources at
+        future timestamps (the causality fix)."""
+        cache = self.make(num_mshrs=1, next_level_unloaded=100)
+        calls = []
+
+        def nxt(start, line, is_store):
+            calls.append(start)
+            return start + 100
+
+        cache.access(0, 0.0, False, nxt)
+        t2 = cache.access(4, 0.0, False, nxt)
+        assert len(calls) == 1  # second (stalled) request bypassed next level
+        assert t2 == pytest.approx(110 + 10 + 100)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache("bad", size_bytes=1000, assoc=3, line_size=128,
+                  latency=1, num_mshrs=1)
+
+    def test_flush(self):
+        cache = self.make()
+        cache.access(0, 0.0, False, _next_level_const(0))
+        cache.flush()
+        assert not cache.probe(0)
+
+    @given(st.lists(st.integers(0, 16), min_size=1, max_size=60))
+    @settings(max_examples=50)
+    def test_lru_contents_match_reference(self, lines):
+        """Cache tag state must equal a reference LRU model."""
+        cache = self.make(num_mshrs=64)
+        nxt = _next_level_const(0)
+        reference = {s: [] for s in range(cache.num_sets)}
+        t = 0.0
+        for line in lines:
+            t += 1000.0  # far apart: fills always complete
+            cache.access(line, t, False, nxt)
+            ref_set = reference[line % cache.num_sets]
+            if line in ref_set:
+                ref_set.remove(line)
+            elif len(ref_set) >= cache.assoc:
+                ref_set.pop(0)
+            ref_set.append(line)
+        # present lines agree (pending fills count as present-after-access)
+        for line in set(lines):
+            t += 1000.0
+            before_hits = cache.stats.hits
+            cache.access(line, t, False, nxt)
+            was_hit = cache.stats.hits == before_hits + 1
+            assert was_hit == (line in reference[line % cache.num_sets])
+            ref_set = reference[line % cache.num_sets]
+            if line in ref_set:
+                ref_set.remove(line)
+            elif len(ref_set) >= cache.assoc:
+                ref_set.pop(0)
+            ref_set.append(line)
+
+
+class TestDram:
+    def test_latency_plus_bandwidth(self):
+        dram = Dram(latency=200, bandwidth_bytes_per_cycle=256, line_size=128)
+        t = dram.access(0.0, 0, False)
+        assert t == pytest.approx(200.5)
+
+    def test_bandwidth_serializes(self):
+        dram = Dram(latency=0, bandwidth_bytes_per_cycle=128, line_size=128)
+        t1 = dram.access(0.0, 0, False)
+        t2 = dram.access(0.0, 1, False)
+        assert t1 == 1.0 and t2 == 2.0
+        assert dram.stats.busy_cycles == 2.0
+
+    def test_reserve_bandwidth_bulk(self):
+        dram = Dram(latency=10, bandwidth_bytes_per_cycle=256, line_size=128)
+        t = dram.reserve_bandwidth(0.0, 256 * 100)
+        assert t == pytest.approx(110.0)
+
+
+class TestTlb:
+    def test_hit_after_insert(self):
+        tlb = Tlb("t", entries=8, assoc=4)
+        assert tlb.lookup(3) is None
+        tlb.insert(3, 30)
+        assert tlb.lookup(3) == 30
+
+    def test_lru_within_set(self):
+        tlb = Tlb("t", entries=4, assoc=2)  # 2 sets
+        tlb.insert(0, 1)
+        tlb.insert(2, 2)  # same set as 0
+        tlb.lookup(0)  # refresh 0
+        tlb.insert(4, 3)  # evicts 2
+        assert tlb.lookup(0) == 1
+        assert tlb.lookup(2) is None
+
+    def test_invalidate(self):
+        tlb = Tlb("t", entries=8, assoc=4)
+        tlb.insert(1, 10)
+        tlb.invalidate(1)
+        assert tlb.lookup(1) is None
+
+
+class TestWalkerPool:
+    def test_walk_latency(self):
+        pool = WalkerPool(num_walkers=2, walk_latency=500)
+        assert pool.walk(0.0) == 500.0
+
+    def test_pool_exhaustion_queues(self):
+        pool = WalkerPool(num_walkers=2, walk_latency=500)
+        pool.walk(0.0)
+        pool.walk(0.0)
+        t3 = pool.walk(0.0)  # waits for a walker
+        assert t3 == 1000.0
+        assert pool.stall_cycles == 500.0
+
+
+class TestMmu:
+    def make(self, mapping=None):
+        mapping = mapping if mapping is not None else {}
+
+        def translate_fn(vpn, time):
+            return mapping.get(vpn)
+
+        return Mmu(
+            num_sms=2, l1_entries=4, l1_assoc=4, l2_entries=16, l2_assoc=4,
+            l2_latency=70, num_walkers=4, walk_latency=500,
+            translate_fn=translate_fn,
+        ), mapping
+
+    def test_cold_walk_then_warm_hits(self):
+        mmu, mapping = self.make({5: 50})
+        r1 = mmu.translate(0, 5, 0.0)
+        assert not r1.faulted
+        assert r1.done_time == pytest.approx(570.0)  # l2 latency + walk
+        r2 = mmu.translate(0, 5, r1.done_time + 1)
+        assert r2.done_time == r1.done_time + 1  # L1 TLB hit
+
+    def test_pending_walk_merging(self):
+        mmu, _ = self.make({5: 50})
+        r1 = mmu.translate(0, 5, 0.0)
+        r2 = mmu.translate(1, 5, 1.0)  # other SM, walk in flight
+        assert r2.done_time == r1.done_time
+        assert mmu.l2_tlb.stats.merged_walks == 1
+        assert mmu.walkers.walks == 1
+
+    def test_entry_invisible_until_walk_completes(self):
+        mmu, _ = self.make({5: 50})
+        r1 = mmu.translate(0, 5, 0.0)
+        r2 = mmu.translate(0, 5, 10.0)  # same SM, before walk done
+        assert r2.done_time == r1.done_time  # merged, not an instant hit
+
+    def test_fault_detected_at_walk_completion(self):
+        mmu, _ = self.make({})
+        r = mmu.translate(0, 9, 0.0)
+        assert r.faulted
+        assert r.done_time == pytest.approx(570.0)
+        assert mmu.fault_detections == 1
+
+    def test_faulted_page_not_cached_in_tlb(self):
+        mmu, mapping = self.make({})
+        r1 = mmu.translate(0, 9, 0.0)
+        mapping[9] = 90  # fault resolved
+        r2 = mmu.translate(0, 9, r1.done_time + 1)
+        assert not r2.faulted  # re-walks and finds the new mapping
+
+
+class TestCoalescer:
+    def test_fully_coalesced_warp(self):
+        addrs = [4 * i for i in range(32)]
+        result = coalesce(addrs)
+        assert result.num_requests == 1
+        assert len(result.vpns) == 1
+
+    def test_width8_spans_two_lines(self):
+        addrs = [8 * i for i in range(32)]
+        assert coalesce(addrs).num_requests == 2
+
+    def test_fully_scattered(self):
+        addrs = [CACHE_LINE_SIZE * 7 * i for i in range(32)]
+        assert coalesce(addrs).num_requests == 32
+
+    def test_preserves_first_touch_order(self):
+        result = coalesce([300, 10, 600])
+        assert result.lines == (2, 0, 4)
+
+    @given(st.lists(st.integers(0, 2**30), min_size=1, max_size=32))
+    @settings(max_examples=100)
+    def test_bounds(self, addrs):
+        result = coalesce(addrs)
+        assert 1 <= result.num_requests <= len(addrs)
+        assert len(result.vpns) <= result.num_requests
+        assert set(result.lines) == {a // CACHE_LINE_SIZE for a in addrs}
+
+
+class TestMemorySubsystem:
+    def make(self, mapping=None):
+        mapping = mapping if mapping is not None else {}
+        config = GPUConfig(num_sms=2)
+        return (
+            MemorySubsystem(config, translate_fn=lambda v, t: mapping.get(v)),
+            mapping,
+            config,
+        )
+
+    def test_translated_access_completes(self):
+        memsys, mapping, config = self.make({0: 0})
+        result = memsys.warp_access(0, [4 * i for i in range(32)], False, 0.0)
+        assert not result.faulted
+        assert result.completion > result.translation_done
+
+    def test_unmapped_page_faults(self):
+        memsys, _, _ = self.make({})
+        result = memsys.warp_access(0, [0], False, 0.0)
+        assert result.faulted
+        assert result.faults[0].vpn == 0
+
+    def test_partial_fault_parks_only_faulted_requests(self):
+        memsys, _, _ = self.make({0: 0})  # page 0 mapped, page 1 not
+        addrs = [0, 4096]
+        result = memsys.warp_access(0, addrs, False, 0.0)
+        assert len(result.faults) == 1
+        assert result.faults[0].vpn == 1
+
+    def test_store_completes_at_write_buffer(self):
+        memsys, _, _ = self.make({0: 0})
+        load = memsys.warp_access(0, [0], False, 0.0)
+        memsys.flush()
+        store = memsys.warp_access(0, [0], True, 0.0)
+        assert store.completion < load.completion
+
+    def test_ldst_pipe_serializes_requests(self):
+        memsys, mapping, _ = self.make({i: i for i in range(64)})
+        scattered = [128 * 7 * i for i in range(32)]  # 32 requests
+        r1 = memsys.warp_access(0, scattered, False, 0.0)
+        # last TLB check can be no earlier than the 32-deep request stream
+        assert r1.translation_done >= 32.0
+
+    def test_replay_after_fault_unloaded(self):
+        memsys, _, config = self.make({})
+        replay = memsys.replay_after_fault(0, [0], resolved_time=10_000.0)
+        assert replay.translation_done > 10_000.0
+        assert replay.completion > replay.translation_done
+        assert not replay.faulted
+        # shared accumulators untouched (causality)
+        assert memsys.dram._next_free == 0.0
+        assert memsys._ldst_free[0] == 0.0

@@ -1,0 +1,63 @@
+"""Tests of the paper-expectations data and the comparison helper."""
+
+import pytest
+
+from repro.harness import ExperimentTable
+from repro.harness.paper import (
+    FAULT_COSTS,
+    FIG10_GEOMEANS,
+    FIG13_GEOMEANS,
+    HANDLER_LATENCY,
+    TABLE2,
+    Comparison,
+    compare_geomeans,
+    format_comparison,
+)
+from repro.system import NVLINK, PCIE
+
+
+class TestPaperConstantsConsistency:
+    """The structured paper data must agree with the system configuration —
+    one source of truth for the measured constants."""
+
+    def test_fault_costs_match_interconnects(self):
+        assert FAULT_COSTS["nvlink"] == (NVLINK.migrate_cost, NVLINK.alloc_cost)
+        assert FAULT_COSTS["pcie"] == (PCIE.migrate_cost, PCIE.alloc_cost)
+
+    def test_handler_latency_matches_config(self):
+        from repro.system import GPUConfig
+
+        assert HANDLER_LATENCY["gpu"] == GPUConfig().gpu_handler_latency
+        assert HANDLER_LATENCY["cpu"] == NVLINK.cpu_service
+
+    def test_table2_matches_area_power_model(self):
+        from repro.core import overheads
+
+        for kb, row in TABLE2.items():
+            got = overheads(kb)
+            assert got.sm_area_pct == pytest.approx(row[0], abs=0.06)
+            assert got.gpu_power_pct == pytest.approx(row[3], abs=0.06)
+
+    def test_orderings(self):
+        assert (
+            FIG10_GEOMEANS["wd-commit"]
+            < FIG10_GEOMEANS["wd-lastcheck"]
+            < FIG10_GEOMEANS["replay-queue"]
+        )
+        assert FIG13_GEOMEANS["pcie"] > FIG13_GEOMEANS["nvlink"]
+
+
+class TestComparison:
+    def test_compare_geomeans(self):
+        table = ExperimentTable("t", "d", columns=["a", "b"])
+        table.add_row("x", [0.8, 0.9])
+        comps = compare_geomeans(table, {"a": 0.84, "c": 1.0})
+        assert set(comps) == {"a"}
+        assert comps["a"].paper == 0.84
+        assert comps["a"].measured == pytest.approx(0.8)
+        assert comps["a"].within == pytest.approx(0.04)
+
+    def test_format(self):
+        comps = {"a": Comparison("a", 0.84, 0.80)}
+        text = format_comparison(comps)
+        assert "paper" in text and "-0.040" in text

@@ -1,0 +1,125 @@
+"""Functional demonstrations of the paper's Section 2.5 problems.
+
+These tests execute the paper's 4-instruction example with real register
+values, then *squash and replay* the faulting loads the way each scheme
+would, and check the architectural outcome:
+
+- sparse replay: committed instructions (B, D) must not be re-executed;
+- RAW on replay: replaying load C after D overwrote its address register R4
+  reads the wrong address under baseline early release — the operand log
+  preserves the original source and the replay-queue's conservative release
+  prevents the overwrite in the first place.
+"""
+
+import numpy as np
+import pytest
+
+from repro.functional import Interpreter, Launch
+from repro.functional.interpreter import WarpState
+from repro.isa import Imm, Instruction, KernelBuilder, Opcode, R
+from repro.vm import SparseMemory
+
+ADDR_A = 0x1000
+ADDR_C = 0x2000
+ADDR_WRONG = 0x3000
+
+
+def build_example():
+    """The paper's example: A: ld, B: sub, C: ld [R4], D: add R4."""
+    kb = KernelBuilder("fig3", regs_per_thread=16)
+    kb.mov(R(2), Imm(ADDR_A))
+    kb.mov(R(4), Imm(ADDR_C))
+    kb.mov(R(7), Imm(ADDR_WRONG - 8))
+    kb.mov(R(9), Imm(100))
+    # the 4 instructions of Figure 3 start at pc 4:
+    kb.ld_global(R(3), R(2))  # A
+    kb.isub(R(9), R(9), Imm(4))  # B
+    kb.ld_global(R(8), R(4))  # C
+    kb.iadd(R(4), R(7), Imm(8))  # D   (WAR with C on R4)
+    kb.exit()
+    return kb.build()
+
+
+def fresh_state():
+    mem = SparseMemory()
+    mem.store(ADDR_A, 111.0)
+    mem.store(ADDR_C, 222.0)
+    mem.store(ADDR_WRONG, 999.0)
+    kernel = build_example()
+    launch = Launch(kernel, grid_dim=1, block_dim=32)
+    interp = Interpreter(memory=mem)
+    warp = WarpState(0, 0, launch)
+    shared = SparseMemory()
+    return interp, warp, shared, kernel
+
+
+def exec_pc(interp, warp, shared, kernel, pc):
+    inst = kernel.instructions[pc]
+    mask = np.ones(32, dtype=bool)
+    interp.execute(inst, warp, mask, shared)
+
+
+class TestSparseReplay:
+    def test_committed_instructions_must_not_be_replayed(self):
+        """Replaying only the faulted loads (replay-queue semantics) leaves
+        B's and D's committed results intact and correct."""
+        interp, warp, shared, kernel = fresh_state()
+        for pc in range(0, 8):  # prologue + A..D commit out of order
+            exec_pc(interp, warp, shared, kernel, pc)
+        # A and C "faulted": squash their results, replay only them
+        replayed = [4, 6]
+        for pc in replayed:
+            exec_pc(interp, warp, shared, kernel, pc)
+        assert warp.regs[0, 9] == 96  # B executed exactly once
+        assert warp.regs[0, 3] == 111.0  # A's value
+
+    def test_naive_full_rewind_reexecutes_committed_work(self):
+        """The strawman that makes sparse replay a *problem*: rewinding the
+        pc to the oldest fault re-executes committed instruction B, visibly
+        corrupting state (R9 decremented twice)."""
+        interp, warp, shared, kernel = fresh_state()
+        for pc in range(0, 8):
+            exec_pc(interp, warp, shared, kernel, pc)
+        for pc in range(4, 8):  # naive rewind to A replays B and D too
+            exec_pc(interp, warp, shared, kernel, pc)
+        assert warp.regs[0, 9] == 92  # 100 - 4 - 4: corrupted
+
+
+class TestRawOnReplay:
+    def test_early_release_corrupts_replayed_load(self):
+        """Baseline early source release: D commits before C replays, so
+        the replayed C reads D's new R4 value -> wrong data."""
+        interp, warp, shared, kernel = fresh_state()
+        for pc in range(0, 8):
+            exec_pc(interp, warp, shared, kernel, pc)
+        # C faulted; D already committed (out-of-order commit).  Replay C:
+        exec_pc(interp, warp, shared, kernel, 6)
+        assert warp.regs[0, 8] == 999.0  # read ADDR_WRONG: incorrect!
+
+    def test_operand_log_preserves_source(self):
+        """Approach 3: C's source operand was logged at operand read; the
+        replay reads the log, not the register file."""
+        interp, warp, shared, kernel = fresh_state()
+        for pc in range(0, 6):
+            exec_pc(interp, warp, shared, kernel, pc)
+        operand_log = {6: warp.regs[:, 4].copy()}  # logged at operand read
+        exec_pc(interp, warp, shared, kernel, 6)  # C executes (faults)
+        exec_pc(interp, warp, shared, kernel, 7)  # D commits, R4 overwritten
+        # replay C with the logged source
+        saved = warp.regs[:, 4].copy()
+        warp.regs[:, 4] = operand_log[6]
+        exec_pc(interp, warp, shared, kernel, 6)
+        warp.regs[:, 4] = saved
+        assert warp.regs[0, 8] == 222.0  # correct value
+
+    def test_replay_queue_release_order_prevents_overwrite(self):
+        """Approach 2: D's issue is held until C's last TLB check; if C
+        faults, D has not overwritten R4, so the replay is correct."""
+        interp, warp, shared, kernel = fresh_state()
+        for pc in range(0, 7):  # stop before D: WAR hold still active
+            exec_pc(interp, warp, shared, kernel, pc)
+        # C faulted; replay C before allowing D to issue:
+        exec_pc(interp, warp, shared, kernel, 6)
+        assert warp.regs[0, 8] == 222.0
+        exec_pc(interp, warp, shared, kernel, 7)  # now D proceeds
+        assert warp.regs[0, 4] == ADDR_WRONG

@@ -1,0 +1,106 @@
+"""Scheme strategy-object tests and the operand-log area/power model."""
+
+import pytest
+
+from repro.core import (
+    LOAD_LOG_BYTES,
+    STORE_LOG_BYTES,
+    BaselineStallOnFault,
+    OperandLog,
+    PipelineScheme,
+    ReplayQueue,
+    WarpDisableCommit,
+    WarpDisableLastCheck,
+    make_scheme,
+)
+from repro.core.area_power import format_table2, log_area_mm2, log_power_w, overheads
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("baseline", BaselineStallOnFault),
+            ("wd-commit", WarpDisableCommit),
+            ("wd-lastcheck", WarpDisableLastCheck),
+            ("replay-queue", ReplayQueue),
+            ("operand-log", OperandLog),
+        ],
+    )
+    def test_make_scheme(self, name, cls):
+        assert isinstance(make_scheme(name), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            make_scheme("rollback-buffer")
+
+    def test_operand_log_kwargs(self):
+        scheme = make_scheme("operand-log", log_kbytes=32)
+        assert scheme.log_bytes == 32 * 1024
+        assert scheme.name == "operand-log-32kb"
+
+
+class TestSchemeSemantics:
+    def test_preemptibility(self):
+        assert not BaselineStallOnFault().preemptible
+        for cls in (WarpDisableCommit, WarpDisableLastCheck, ReplayQueue):
+            assert cls().preemptible
+        assert OperandLog(8).preemptible
+
+    def test_disable_anchors(self):
+        assert BaselineStallOnFault().disable_anchor is None
+        assert WarpDisableCommit().disable_anchor == "commit"
+        assert WarpDisableLastCheck().disable_anchor == "lastcheck"
+        assert ReplayQueue().disable_anchor is None
+
+    def test_source_release(self):
+        assert BaselineStallOnFault().source_release_time(10.0, 99.0) == 10.0
+        assert ReplayQueue().source_release_time(10.0, 99.0) == 99.0
+        # the log restores baseline early release
+        assert OperandLog(8).source_release_time(10.0, 99.0) == 10.0
+
+    def test_log_bytes(self):
+        log = OperandLog(8)
+        assert log.log_bytes_needed(is_store=False) == LOAD_LOG_BYTES == 256
+        assert log.log_bytes_needed(is_store=True) == STORE_LOG_BYTES == 512
+        assert ReplayQueue().log_bytes_needed(False) == 0
+
+    def test_log_size_validation(self):
+        with pytest.raises(ValueError):
+            OperandLog(0)
+
+
+class TestAreaPowerModel:
+    """Table 2 must be reproduced within rounding of the paper."""
+
+    PAPER = {
+        8: (1.04, 0.47, 1.82, 1.28),
+        16: (1.47, 0.67, 2.34, 1.64),
+        20: (1.67, 0.76, 2.61, 1.83),
+        32: (2.36, 1.08, 3.38, 2.37),
+    }
+
+    @pytest.mark.parametrize("kb", sorted(PAPER))
+    def test_matches_paper(self, kb):
+        row = overheads(kb)
+        sm_a, gpu_a, sm_p, gpu_p = self.PAPER[kb]
+        assert row.sm_area_pct == pytest.approx(sm_a, abs=0.05)
+        assert row.gpu_area_pct == pytest.approx(gpu_a, abs=0.03)
+        assert row.sm_power_pct == pytest.approx(sm_p, abs=0.05)
+        assert row.gpu_power_pct == pytest.approx(gpu_p, abs=0.03)
+
+    def test_monotone_in_size(self):
+        rows = [overheads(kb) for kb in (8, 16, 20, 32)]
+        for a, b in zip(rows, rows[1:]):
+            assert b.area_mm2 > a.area_mm2
+            assert b.power_w > a.power_w
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            log_area_mm2(0)
+        with pytest.raises(ValueError):
+            log_power_w(-1)
+
+    def test_format(self):
+        text = format_table2()
+        assert "8 KB" in text and "GPU Power" in text

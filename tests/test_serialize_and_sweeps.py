@@ -1,0 +1,105 @@
+"""Trace serialization round-trips and the sweep utilities."""
+
+import io
+
+import pytest
+
+from repro.core import make_scheme
+from repro.functional.serialize import (
+    decode_kernel,
+    encode_kernel,
+    load_trace,
+    save_trace,
+)
+from repro.harness.sweeps import sweep_config, sweep_schemes
+from repro.system import GpuSimulator
+from repro.workloads import MICRO, get_workload
+
+
+class TestKernelCodec:
+    @pytest.mark.parametrize("name", ["saxpy", "stream-sum", "divergence-tree"])
+    def test_roundtrip_structural(self, name):
+        kernel = MICRO.fresh(name).kernel
+        restored = decode_kernel(encode_kernel(kernel))
+        assert len(restored) == len(kernel)
+        assert restored.regs_per_thread == kernel.regs_per_thread
+        for a, b in zip(kernel.instructions, restored.instructions):
+            assert a.op is b.op
+            assert a.dest == b.dest
+            assert tuple(a.srcs) == tuple(b.srcs)
+            assert a.target == b.target and a.reconv == b.reconv
+            assert a.offset == b.offset and a.width == b.width
+            assert a.guard == b.guard and a.cmp == b.cmp and a.atom == b.atom
+
+    def test_parboil_kernels_roundtrip(self):
+        for name in ("lbm", "spmv", "sgemm"):
+            kernel = get_workload(name).kernel
+            restored = decode_kernel(encode_kernel(kernel))
+            restored.validate()
+            assert len(restored) == len(kernel)
+
+
+class TestTraceRoundtrip:
+    def test_identical_timing_after_reload(self):
+        wl = MICRO.fresh("saxpy")
+        trace = wl.trace()
+        buf = io.StringIO()
+        save_trace(trace, wl.kernel, buf)
+        buf.seek(0)
+        kernel2, trace2 = load_trace(buf)
+
+        def cycles(kernel, trace):
+            sim = GpuSimulator(
+                kernel, trace, wl.make_address_space(),
+                scheme=make_scheme("replay-queue"), paging="premapped",
+            )
+            return sim.run().cycles
+
+        assert cycles(kernel2, trace2) == cycles(wl.kernel, trace)
+
+    def test_counts_preserved(self):
+        wl = MICRO.fresh("stream-sum")
+        trace = wl.trace()
+        buf = io.StringIO()
+        save_trace(trace, wl.kernel, buf)
+        buf.seek(0)
+        _, trace2 = load_trace(buf)
+        assert trace2.dynamic_instructions() == trace.dynamic_instructions()
+        assert (
+            trace2.global_memory_instructions()
+            == trace.global_memory_instructions()
+        )
+        assert trace2.touched_pages() == trace.touched_pages()
+
+    def test_file_path_roundtrip(self, tmp_path):
+        wl = MICRO.fresh("saxpy")
+        path = str(tmp_path / "trace.json")
+        save_trace(wl.trace(), wl.kernel, path)
+        kernel, trace = load_trace(path)
+        assert trace.grid_dim == wl.grid_dim
+
+    def test_version_check(self):
+        buf = io.StringIO('{"version": 99}')
+        with pytest.raises(ValueError, match="format"):
+            load_trace(buf)
+
+
+class TestSweeps:
+    def test_sweep_config_mshrs(self):
+        table = sweep_config(
+            "mshr-storm", scheme="baseline", field="l1_mshrs",
+            values=[8, 64],
+        )
+        row = table.rows["mshr-storm"]
+        assert row[0] == 1.0  # normalized to first point
+        assert row[1] > 1.0  # more MSHRs help the storm
+
+    def test_sweep_unknown_field(self):
+        with pytest.raises(ValueError, match="no field"):
+            sweep_config("saxpy", "baseline", "warp_drive", [1])
+
+    def test_sweep_schemes(self):
+        table = sweep_schemes("stream-sum")
+        row = table.rows["stream-sum"]
+        assert row[0] == 1.0
+        assert all(0.3 < v <= 1.05 for v in row)

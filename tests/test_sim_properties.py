@@ -1,0 +1,117 @@
+"""Property-style integration tests: randomly generated straight-line
+kernels must execute correctly through the functional simulator and satisfy
+timing-simulator invariants under every scheme."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import OperandLog, make_scheme
+from repro.functional import Interpreter, Launch
+from repro.isa import Imm, KernelBuilder, R
+from repro.system import GpuSimulator
+from repro.vm import AddressSpace, SegmentKind, SparseMemory
+
+SCHEMES = ["baseline", "wd-commit", "wd-lastcheck", "replay-queue"]
+
+
+def random_kernel(ops, n_threads):
+    """A straight-line kernel from a list of (kind, params) descriptors."""
+    kb = KernelBuilder("rand", regs_per_thread=24)
+    kb.global_thread_id(R(0))
+    kb.imad(R(1), R(0), Imm(4), kb.param(0))  # input pointer
+    kb.imad(R(2), R(0), Imm(4), kb.param(1))  # output pointer
+    kb.mov(R(3), Imm(1.0))
+    for kind, a, b in ops:
+        if kind == 0:
+            kb.fadd(R(4 + a % 4), R(4 + b % 4), R(3))
+        elif kind == 1:
+            kb.ffma(R(4 + a % 4), R(3), Imm(0.5), R(4 + b % 4))
+        elif kind == 2:
+            kb.ld_global(R(4 + a % 4), R(1), offset=(b % 8) * 512)
+        elif kind == 3:
+            kb.st_global(R(2), R(4 + a % 4))
+        elif kind == 4:
+            kb.iadd(R(1), R(1), Imm((a % 4) * 128 + 4))
+    kb.st_global(R(2), R(3))
+    kb.exit()
+    return kb.build()
+
+
+@st.composite
+def op_lists(draw):
+    n = draw(st.integers(min_value=1, max_value=16))
+    return [
+        (
+            draw(st.integers(0, 4)),
+            draw(st.integers(0, 7)),
+            draw(st.integers(0, 7)),
+        )
+        for _ in range(n)
+    ]
+
+
+class TestRandomKernels:
+    @given(op_lists())
+    @settings(max_examples=25, deadline=None)
+    def test_functional_then_timing_invariants(self, ops):
+        n_threads = 64
+        kernel = random_kernel(ops, n_threads)
+
+        aspace = AddressSpace()
+        aspace.add_segment("in", 64 * 1024, SegmentKind.INPUT)
+        aspace.add_segment("out", n_threads * 4, SegmentKind.OUTPUT)
+        params = [aspace.segment("in").base, aspace.segment("out").base]
+
+        memory = SparseMemory()
+        launch = Launch(kernel, grid_dim=2, block_dim=32, params=params)
+        trace = Interpreter(memory=memory).run(launch)
+        assert trace.dynamic_instructions() > 0
+
+        cycles = {}
+        for name in ("baseline", "wd-commit"):
+            asp = AddressSpace()
+            asp.add_segment("in", 64 * 1024, SegmentKind.INPUT)
+            asp.add_segment("out", n_threads * 4, SegmentKind.OUTPUT)
+            sim = GpuSimulator(
+                kernel, trace, asp, scheme=make_scheme(name),
+                paging="premapped",
+            )
+            res = sim.run()
+            # every issued instruction commits; all blocks complete
+            issued = sum(s.issued for s in res.sm_stats)
+            committed = sum(s.committed for s in res.sm_stats)
+            assert issued == committed == trace.dynamic_instructions()
+            assert sum(s.blocks_completed for s in res.sm_stats) == 2
+            # pending-fault slots fully drained
+            for sm in sim.sms:
+                assert sm.pending_faults == 0
+            cycles[name] = res.cycles
+
+        # wd-commit can never beat the baseline by more than noise
+        assert cycles["wd-commit"] >= cycles["baseline"] * 0.98
+
+    @given(op_lists())
+    @settings(max_examples=10, deadline=None)
+    def test_operand_log_leaves_no_residue(self, ops):
+        kernel = random_kernel(ops, 64)
+        aspace = AddressSpace()
+        aspace.add_segment("in", 64 * 1024, SegmentKind.INPUT)
+        aspace.add_segment("out", 64 * 4, SegmentKind.OUTPUT)
+        params = [aspace.segment("in").base, aspace.segment("out").base]
+        trace = Interpreter(memory=SparseMemory()).run(
+            Launch(kernel, grid_dim=2, block_dim=32, params=params)
+        )
+        asp2 = AddressSpace()
+        asp2.add_segment("in", 64 * 1024, SegmentKind.INPUT)
+        asp2.add_segment("out", 64 * 4, SegmentKind.OUTPUT)
+        sim = GpuSimulator(
+            kernel, trace, asp2, scheme=OperandLog(8), paging="premapped"
+        )
+        sim.run()
+        sim.events.drain()
+        # log accounting must return to zero on every block ever resident
+        # (blocks are removed at completion, so check via the scheme's
+        # bookkeeping invariants on any remaining state)
+        for sm in sim.sms:
+            assert not sm.blocks and not sm.offchip

@@ -1,0 +1,156 @@
+"""SM pipeline edge cases: exited warps vs barriers, log partition clamp,
+trace exhaustion, empty SMs, abort on invalid access, demand determinism."""
+
+import pytest
+
+from repro.core import OperandLog, make_scheme
+from repro.functional import Interpreter, Launch
+from repro.isa import Imm, KernelBuilder, P, R, Special, SReg
+from repro.system import GpuSimulator, InvalidAccessError
+from repro.vm import AddressSpace, SegmentKind, SparseMemory
+
+
+def build_and_trace(build, grid=2, block=64, segments=(), regs=32):
+    kb = KernelBuilder("edge", regs_per_thread=regs)
+    build(kb)
+    kb.exit()
+    kernel = kb.build()
+
+    def make_aspace():
+        asp = AddressSpace()
+        for name, size, kind in segments:
+            asp.add_segment(name, size, kind)
+        return asp
+
+    asp = make_aspace()
+    params = [asp.segment(name).base for name, _, _ in segments]
+    trace = Interpreter(memory=SparseMemory()).run(
+        Launch(kernel, grid, block, params=params)
+    )
+    return kernel, trace, make_aspace
+
+
+class TestBarrierWithExitedWarps:
+    def test_partial_exit_before_barrier(self):
+        """Warp 0's lanes exit before the barrier; warp 1 must not hang."""
+
+        def build(kb):
+            kb.mov(R(0), SReg(Special.TID))
+            kb.isetp(P(0), "lt", R(0), Imm(32))  # whole warp 0
+            kb.exit(guard=P(0))
+            kb.bar()
+            kb.imad(R(1), R(0), Imm(4), kb.param(0))
+            kb.st_global(R(1), Imm(1.0))
+
+        kernel, trace, make_aspace = build_and_trace(
+            build, segments=[("out", 4096, SegmentKind.OUTPUT)]
+        )
+        sim = GpuSimulator(kernel, trace, make_aspace(),
+                           scheme=make_scheme("baseline"))
+        res = sim.run()
+        assert sum(s.blocks_completed for s in res.sm_stats) == 2
+
+
+class TestOperandLogPartition:
+    def test_partition_clamped_to_one_store_entry(self):
+        """Even a tiny log guarantees each block one memory instruction
+        (paper Section 5.2: the 8KB minimum covers 16 blocks)."""
+
+        def build(kb):
+            kb.global_thread_id(R(0))
+            kb.imad(R(1), R(0), Imm(4), kb.param(0))
+            kb.st_global(R(1), Imm(2.0))  # store needs 512B of log
+
+        kernel, trace, make_aspace = build_and_trace(
+            build, segments=[("out", 1 << 16, SegmentKind.OUTPUT)]
+        )
+        sim = GpuSimulator(kernel, trace, make_aspace(), scheme=OperandLog(1))
+        res = sim.run()  # must not deadlock on log space
+        assert sum(s.blocks_completed for s in res.sm_stats) == 2
+        for sm in sim.sms:
+            assert sm._log_partition >= 512
+
+
+class TestInvalidAccess:
+    def test_out_of_segment_access_aborts_kernel(self):
+        def build(kb):
+            kb.mov(R(1), Imm(1 << 35))  # far outside every segment
+            kb.ld_global(R(2), R(1))
+            kb.global_thread_id(R(3))
+            kb.imad(R(4), R(3), Imm(4), kb.param(0))
+            kb.st_global(R(4), R(2))
+
+        kernel, trace, make_aspace = build_and_trace(
+            build, segments=[("out", 4096, SegmentKind.OUTPUT)]
+        )
+        sim = GpuSimulator(
+            kernel, trace, make_aspace(),
+            scheme=make_scheme("replay-queue"), paging="demand",
+        )
+        with pytest.raises(InvalidAccessError):
+            sim.run()
+
+
+class TestDemandDeterminism:
+    def test_same_cycles_across_runs(self):
+        def build(kb):
+            kb.global_thread_id(R(0))
+            kb.imad(R(1), R(0), Imm(4), kb.param(0))
+            kb.ld_global(R(2), R(1))
+            kb.imad(R(3), R(0), Imm(4), kb.param(1))
+            kb.st_global(R(3), R(2))
+
+        kernel, trace, make_aspace = build_and_trace(
+            build,
+            grid=8,
+            segments=[
+                ("in", 1 << 18, SegmentKind.INPUT),
+                ("out", 1 << 18, SegmentKind.OUTPUT),
+            ],
+        )
+
+        def run():
+            sim = GpuSimulator(
+                kernel, trace, make_aspace(),
+                scheme=make_scheme("replay-queue"), paging="demand",
+            )
+            return sim.run().cycles
+
+        assert run() == run()
+
+
+class TestSmBookkeeping:
+    def test_multi_kernel_style_reuse_of_trace(self):
+        """The same trace can be simulated repeatedly (fresh page state)."""
+
+        def build(kb):
+            kb.global_thread_id(R(0))
+            kb.imad(R(1), R(0), Imm(4), kb.param(0))
+            kb.st_global(R(1), Imm(1.0))
+
+        kernel, trace, make_aspace = build_and_trace(
+            build, segments=[("out", 1 << 16, SegmentKind.OUTPUT)]
+        )
+        results = set()
+        for _ in range(3):
+            sim = GpuSimulator(kernel, trace, make_aspace(),
+                               scheme=make_scheme("baseline"))
+            results.add(sim.run().cycles)
+        assert len(results) == 1
+
+    def test_more_blocks_than_slots_round_robin(self):
+        def build(kb):
+            kb.global_thread_id(R(0))
+            kb.imad(R(1), R(0), Imm(4), kb.param(0))
+            kb.st_global(R(1), Imm(1.0))
+
+        kernel, trace, make_aspace = build_and_trace(
+            build, grid=64, block=32,
+            segments=[("out", 1 << 16, SegmentKind.OUTPUT)]
+        )
+        sim = GpuSimulator(kernel, trace, make_aspace(),
+                           scheme=make_scheme("baseline"))
+        res = sim.run()
+        assert sum(s.blocks_completed for s in res.sm_stats) == 64
+        launched = sum(s.blocks_launched for s in res.sm_stats)
+        assert launched == 64

@@ -1,0 +1,101 @@
+"""Szymanski mutual-exclusion algorithm tests: real-thread exclusion and
+state-machine properties."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vm import SzymanskiLock, SzymanskiMutex
+
+
+class TestSzymanskiThreads:
+    def test_mutual_exclusion_under_contention(self):
+        n_threads = 4
+        iters = 200
+        mutex = SzymanskiMutex(n_threads)
+        counter = {"value": 0}
+
+        def worker():
+            for _ in range(iters):
+                with mutex:
+                    v = counter["value"]
+                    counter["value"] = v + 1
+
+        threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter["value"] == n_threads * iters
+
+    def test_too_many_threads_rejected(self):
+        mutex = SzymanskiMutex(1)
+
+        with mutex:
+            pass  # main thread takes slot 0
+
+        failures = []
+
+        def worker():
+            try:
+                with mutex:
+                    pass
+            except RuntimeError:
+                failures.append(True)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert failures
+
+
+class TestSzymanskiSingle:
+    def test_single_process_acquires_immediately(self):
+        lock = SzymanskiLock(1)
+        lock.acquire(0)
+        assert lock.in_critical(0)
+        lock.release(0)
+        assert lock.flags[0] == 0
+
+    def test_uncontended_multi_slot(self):
+        lock = SzymanskiLock(3)
+        for me in range(3):
+            lock.acquire(me)
+            assert lock.in_critical(me)
+            lock.release(me)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            SzymanskiLock(0)
+
+
+class TestSzymanskiProperties:
+    """Sequential-consistency check: run random interleavings of two
+    acquire/release pairs on worker threads and assert exclusion."""
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_exclusion_random_thread_counts(self, n, seed):
+        lock = SzymanskiLock(n)
+        in_critical = []
+        overlap = []
+
+        def worker(me):
+            lock.acquire(me, spin_sleep=1e-6)
+            in_critical.append(me)
+            if len(in_critical) > 1:
+                overlap.append(tuple(in_critical))
+            in_critical.remove(me)
+            lock.release(me, spin_sleep=1e-6)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not overlap
+        assert lock.flags == [0] * n

@@ -1,0 +1,85 @@
+"""Low-level warp/block runtime-state tests (repro.timing.sm data types)."""
+
+import pytest
+
+from repro.functional.trace import BlockTrace, TraceInst, WarpTrace
+from repro.isa import Instruction, Opcode, R
+from repro.timing.sm import BlockRT, WarpRT
+
+
+def tinst(op=Opcode.FADD):
+    return TraceInst(pc=0, inst=Instruction(op, dest=R(1), srcs=(R(0),)),
+                     active=32, addresses=None)
+
+
+def make_warp(n_insts=3):
+    block = BlockRT(BlockTrace(block_id=0), context_bytes=100, log_capacity=0)
+    warp = WarpRT(0, [tinst() for _ in range(n_insts)], block)
+    block.warps.append(warp)
+    return warp, block
+
+
+class TestWarpRT:
+    def test_next_and_advance(self):
+        warp, _ = make_warp(2)
+        first = warp.next_inst()
+        warp.advance()
+        second = warp.next_inst()
+        assert first is not second
+        warp.advance()
+        assert warp.next_inst() is None
+
+    def test_replay_list_takes_priority(self):
+        warp, _ = make_warp(2)
+        replayed = tinst(Opcode.LD_GLOBAL)
+        warp.replay_list.append(replayed)
+        assert warp.next_inst() is replayed
+        warp.advance()  # pops the replay entry, not the trace
+        assert warp.idx == 0
+        assert warp.next_inst() is warp.trace[0]
+
+    def test_maybe_done_requires_everything_drained(self):
+        warp, _ = make_warp(1)
+        assert not warp.maybe_done()
+        warp.advance()
+        warp.inflight = 1
+        assert not warp.maybe_done()  # still committing
+        warp.inflight = 0
+        warp.replay_list.append(tinst())
+        assert not warp.maybe_done()  # replay work pending
+        warp.replay_list.clear()
+        assert warp.maybe_done()
+        assert warp.done
+
+    def test_scoreboard_tables_start_empty(self):
+        warp, _ = make_warp()
+        assert not warp.pw and not warp.pr
+        assert not warp.pwp and not warp.prp
+        assert warp.fetch_holds == 0
+
+
+class TestBlockRT:
+    def test_unresolved_at(self):
+        _, block = make_warp()
+        block.pending_groups[7] = 1000.0
+        assert block.unresolved_at(500.0)
+        assert not block.unresolved_at(1500.0)
+
+    def test_is_done_tracks_warps(self):
+        warp, block = make_warp(1)
+        assert not block.is_done()
+        warp.done = True
+        assert block.is_done()
+
+    def test_states(self):
+        _, block = make_warp()
+        assert block.state == BlockRT.ACTIVE
+        for state in (BlockRT.SAVING, BlockRT.OFFCHIP, BlockRT.RESTORING,
+                      BlockRT.DONE):
+            block.state = state
+            assert block.state == state
+
+    def test_block_id_from_trace(self):
+        block = BlockRT(BlockTrace(block_id=42), context_bytes=0,
+                        log_capacity=0)
+        assert block.block_id == 42
