@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.telemetry.events import EV_BLOCK_SWITCH_IN, EV_BLOCK_SWITCH_OUT
 from repro.timing.engine import EventQueue
 from repro.timing.sm import BlockRT, SmPipeline
 
@@ -96,13 +97,21 @@ class LocalScheduler:
         return done + self.config.context_switch_fixed
 
     def _switch_out(self, block: BlockRT, now: float) -> None:
+        """Squash the block's faulted instructions and save its context
+        off chip; wake-ups are armed for each pending fault resolution."""
         sm = self.sm
-        sm.squash_faulted(block)
+        sm.squash_faulted(block, now)
         block.state = BlockRT.SAVING
         sm._rebuild_warp_list()
         save_start = max(now, block.drain_time)  # drain in-flight work first
         save_done = self._switch_cost(block, save_start)
         sm.stats.block_switch_outs += 1
+        if sm.tel is not None:
+            sm.tel.tracer.emit_span(
+                EV_BLOCK_SWITCH_OUT, now, save_done - now, sm._tid,
+                {"block": block.block_id,
+                 "context_bytes": sm.context_bytes(block)},
+            )
         self.events.schedule(
             save_done, lambda t, b=block: self._finish_switch_out(b, t)
         )
@@ -159,11 +168,17 @@ class LocalScheduler:
         return None
 
     def _restore(self, block: BlockRT, now: float) -> None:
+        """Bring a runnable off-chip block's context back on chip."""
         sm = self.sm
         block.state = BlockRT.RESTORING
         sm.free_slots -= 1
         restore_done = self._switch_cost(block, now)
         sm.stats.block_switch_ins += 1
+        if sm.tel is not None:
+            sm.tel.tracer.emit_span(
+                EV_BLOCK_SWITCH_IN, now, restore_done - now, sm._tid,
+                {"block": block.block_id},
+            )
         self.events.schedule(
             restore_done, lambda t, b=block: self._finish_restore(b, t)
         )

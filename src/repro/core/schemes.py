@@ -71,6 +71,18 @@ class PipelineScheme:
         """Scheme state saved with the thread-block context on a switch."""
         return 0
 
+    def telemetry_tags(self) -> dict:
+        """Scheme configuration recorded as run metadata in telemetry
+        output (the ``otherData`` block of a Chrome trace and the
+        ``metadata`` block of a counter dump)."""
+        return {
+            "scheme": self.name,
+            "preemptible": self.preemptible,
+            "disable_anchor": self.disable_anchor,
+            "log_bytes": self.log_bytes,
+            "cover_arithmetic": self.cover_arithmetic,
+        }
+
     def __repr__(self) -> str:
         return f"<scheme {self.name}>"
 
@@ -168,6 +180,12 @@ class OperandLog(ReplayQueue):
     def context_extra_bytes(self, block) -> int:
         # The block's log partition is saved/restored with its context.
         return block.log_capacity
+
+    def telemetry_tags(self) -> dict:
+        """Operand-log metadata: the base tags plus the SRAM log size."""
+        tags = super().telemetry_tags()
+        tags["log_kbytes"] = self.log_kbytes
+        return tags
 
 
 def make_scheme(name: str, **kwargs) -> PipelineScheme:

@@ -13,8 +13,11 @@ from .experiments import (
     run_table2,
 )
 from .results import ExperimentTable, geomean
+from .tracing import TracedRun, run_traced
 
 __all__ = [
+    "TracedRun",
+    "run_traced",
     "ALL_EXPERIMENTS",
     "DEFAULT_TIME_SCALE",
     "run_fig10",

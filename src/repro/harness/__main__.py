@@ -6,6 +6,11 @@ Examples::
     python -m repro.harness fig10 --quick
     python -m repro.harness fig12 --workloads sgemm histo
     python -m repro.harness all
+    python -m repro.harness trace sgemm --scheme wd-commit --block-switching
+
+The ``trace`` subcommand runs one workload with telemetry enabled and
+writes a Chrome ``trace_event`` JSON (open in chrome://tracing / Perfetto)
+plus a hierarchical counter dump — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -16,15 +21,88 @@ import time
 
 from . import (
     ALL_EXPERIMENTS,
+    DEFAULT_TIME_SCALE,
     run_table1,
 )
 from .diagrams import render_all
 
 
+def _trace_main(argv) -> int:
+    """The ``trace`` subcommand: one telemetry-enabled run, two artifacts."""
+    from .tracing import run_traced
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness trace",
+        description=(
+            "Run one workload with telemetry enabled; writes a Chrome "
+            "trace_event JSON and a counter dump (docs/OBSERVABILITY.md)."
+        ),
+    )
+    parser.add_argument("workload", help="benchmark name (e.g. sgemm, lbm)")
+    parser.add_argument(
+        "--scheme", default="replay-queue",
+        help="pipeline scheme (baseline, wd-commit, wd-lastcheck, "
+             "replay-queue, operand-log)",
+    )
+    parser.add_argument(
+        "--paging", default="demand",
+        choices=["premapped", "demand", "demand-output", "demand-heap"],
+        help="paging mode (demand modes actually take faults)",
+    )
+    parser.add_argument(
+        "--interconnect", default="nvlink", choices=["nvlink", "pcie"],
+    )
+    parser.add_argument("--local-handling", action="store_true",
+                        help="use case 2: GPU-local first-touch handling")
+    parser.add_argument("--block-switching", action="store_true",
+                        help="use case 1: context switch faulted blocks")
+    parser.add_argument("--ideal-switch", action="store_true",
+                        help="1-cycle context save/restore")
+    parser.add_argument("--time-scale", type=float,
+                        default=DEFAULT_TIME_SCALE)
+    parser.add_argument("--out", default="traces",
+                        help="output directory (default: traces/)")
+    parser.add_argument("--capacity", type=int, default=1 << 16,
+                        help="event ring-buffer capacity")
+    parser.add_argument("--sample-interval", type=float, default=1000.0,
+                        help="counter sampling period in cycles")
+    args = parser.parse_args(argv)
+
+    try:
+        run = run_traced(
+            args.workload,
+            scheme=args.scheme,
+            paging=args.paging,
+            interconnect=args.interconnect,
+            local_handling=args.local_handling,
+            block_switching=args.block_switching,
+            ideal_switch=args.ideal_switch,
+            time_scale=args.time_scale,
+            out_dir=args.out,
+            capacity=args.capacity,
+            sample_interval=args.sample_interval,
+        )
+    except (KeyError, ValueError) as exc:
+        # unknown workload/scheme, bad capacity: argparse-style diagnostics
+        parser.error(str(exc).strip('"'))
+    print(run.table().render(fmt="{:.0f}"))
+    print(f"\nopen {run.paths['trace']} in chrome://tracing or "
+          "https://ui.perfetto.dev")
+    return 0
+
+
 def main(argv=None) -> int:
+    """Dispatch to an experiment runner or the ``trace`` subcommand."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's tables and figures.",
+        epilog="See also: python -m repro.harness trace <workload> "
+               "(telemetry-enabled run; writes Chrome trace + counters).",
     )
     parser.add_argument(
         "experiment",

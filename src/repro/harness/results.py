@@ -24,6 +24,11 @@ class ExperimentTable:
     columns: List[str]
     rows: Dict[str, List[float]] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    #: files written alongside the table (telemetry traces, counter dumps)
+    artifacts: Dict[str, str] = field(default_factory=dict)
+    #: False for tables whose rows are raw tallies (event histograms),
+    #: where a geomean row would be meaningless
+    show_geomean: bool = True
 
     def add_row(self, label: str, values: Sequence[float]) -> None:
         if len(values) != len(self.columns):
@@ -48,11 +53,14 @@ class ExperimentTable:
         for label, vals in self.rows.items():
             cells = "".join(f"{fmt.format(v):>{col_w}}" for v in vals)
             out.append(f"{label:<{label_width}}{cells}")
-        gm = self.geomeans()
-        cells = "".join(f"{fmt.format(v):>{col_w}}" for v in gm)
-        out.append(f"{'GEOMEAN':<{label_width}}{cells}")
+        if self.show_geomean:
+            gm = self.geomeans()
+            cells = "".join(f"{fmt.format(v):>{col_w}}" for v in gm)
+            out.append(f"{'GEOMEAN':<{label_width}}{cells}")
         for note in self.notes:
             out.append(f"  note: {note}")
+        for kind, path in self.artifacts.items():
+            out.append(f"  artifact: {kind} -> {path}")
         return "\n".join(out)
 
     def render_bars(self, column: str, width: int = 40,
@@ -84,4 +92,5 @@ class ExperimentTable:
             "rows": self.rows,
             "geomeans": self.geomeans(),
             "notes": self.notes,
+            "artifacts": self.artifacts,
         }

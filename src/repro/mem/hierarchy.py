@@ -84,7 +84,7 @@ class MemorySubsystem:
     (see :class:`repro.system.faults.FaultController`).
     """
 
-    def __init__(self, config, translate_fn) -> None:
+    def __init__(self, config, translate_fn, telemetry=None) -> None:
         self.config = config
         dram_unloaded = (
             config.dram_latency
@@ -128,6 +128,24 @@ class MemorySubsystem:
             translate_fn=translate_fn,
         )
         self._ldst_free = [0.0] * config.num_sms
+        self.attach_telemetry(telemetry)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire the observability layer through the memory subsystem:
+        TLB/walker gauges + hit/miss events on the MMU, and cache/DRAM
+        gauges under ``gpu.cache.*`` / ``gpu.dram.*`` (zero hot-path
+        cost — gauges read the existing stats objects lazily)."""
+        from repro.telemetry import active
+
+        tel = active(telemetry)
+        self.mmu.attach_telemetry(tel)
+        if tel is None:
+            return
+        reg = tel.counters
+        for i, cache in enumerate(self.l1_caches):
+            reg.bind_stats(f"gpu.cache.l1[{i}]", cache.stats)
+        reg.bind_stats("gpu.cache.l2", self.l2_cache.stats)
+        reg.bind_stats("gpu.dram", self.dram.stats)
 
     # ------------------------------------------------------------------
 

@@ -14,6 +14,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.telemetry.events import EV_TLB_HIT, EV_TLB_MISS
+
 
 @dataclass
 class TlbStats:
@@ -141,8 +143,42 @@ class Mmu:
         # vpn -> (done_time, ppn-or-None) for in-flight walks (walk merging)
         self._pending_walks: Dict[int, Tuple[float, Optional[int]]] = {}
         self.fault_detections = 0
+        self.tel = None  # set by attach_telemetry
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Register TLB/walker gauges under ``gpu.tlb.*`` and enable
+        hit/miss event emission (see docs/OBSERVABILITY.md).
+
+        Gauges bind lazily to the existing stats objects, so the lookup
+        hot path is unchanged when telemetry is disabled."""
+        from repro.telemetry import active
+
+        self.tel = active(telemetry)
+        if self.tel is None:
+            return
+        reg = self.tel.counters
+        for i, tlb in enumerate(self.l1_tlbs):
+            reg.bind_stats(f"gpu.tlb.l1[{i}]", tlb.stats)
+        reg.bind_stats("gpu.tlb.l2", self.l2_tlb.stats)
+        reg.gauge("gpu.tlb.walker.walks", lambda: self.walkers.walks)
+        reg.gauge(
+            "gpu.tlb.walker.stall_cycles", lambda: self.walkers.stall_cycles
+        )
+        reg.gauge("gpu.tlb.fault_detections", lambda: self.fault_detections)
+        # Aggregates over both levels (the ``gpu.tlb.hit`` / ``gpu.tlb.miss``
+        # headline counters): an L1 hit resolves in the SM, an L2 *miss* is
+        # what reaches the walkers.
+        reg.gauge(
+            "gpu.tlb.hit",
+            lambda: sum(t.stats.hits for t in self.l1_tlbs)
+            + self.l2_tlb.stats.hits,
+        )
+        reg.gauge("gpu.tlb.miss", lambda: self.l2_tlb.stats.misses)
 
     def translate(self, sm_id: int, vpn: int, now: float) -> TranslationResult:
+        """Translate one page for SM ``sm_id``: L1 TLB -> L2 TLB -> walker
+        pool; faults are detected at walk completion."""
+        tel = self.tel
         # A walk in flight for this page: later lookups merge onto it and
         # observe its completion time — the entry is not visible in the
         # TLBs until the walker returns.
@@ -152,22 +188,42 @@ class Mmu:
             done, walk_ppn = pending
             if walk_ppn is None:
                 self.fault_detections += 1
+            if tel is not None:
+                tel.tracer.emit(
+                    EV_TLB_MISS, now, "mmu",
+                    {"vpn": vpn, "sm": sm_id, "merged": True},
+                )
             return TranslationResult(vpn, walk_ppn, done)
 
         l1 = self.l1_tlbs[sm_id]
         ppn = l1.lookup(vpn)
         if ppn is not None:
+            if tel is not None:
+                tel.tracer.emit(
+                    EV_TLB_HIT, now, "mmu",
+                    {"vpn": vpn, "sm": sm_id, "level": "l1"},
+                )
             return TranslationResult(vpn, ppn, now)
 
         t = now + self.l2_tlb.latency
         ppn = self.l2_tlb.lookup(vpn)
         if ppn is not None:
             l1.insert(vpn, ppn)
+            if tel is not None:
+                tel.tracer.emit(
+                    EV_TLB_HIT, t, "mmu",
+                    {"vpn": vpn, "sm": sm_id, "level": "l2"},
+                )
             return TranslationResult(vpn, ppn, t)
 
         done = self.walkers.walk(t)
         walk_ppn = self.translate_fn(vpn, done)
         self._pending_walks[vpn] = (done, walk_ppn)
+        if tel is not None:
+            tel.tracer.emit_span(
+                EV_TLB_MISS, t, done - t, "mmu",
+                {"vpn": vpn, "sm": sm_id, "fault": walk_ppn is None},
+            )
         if walk_ppn is None:
             self.fault_detections += 1
             return TranslationResult(vpn, None, done)

@@ -173,9 +173,15 @@ class GpuDevice:
         grid: int,
         block: int,
         args: Sequence = (),
+        telemetry=None,
     ) -> LaunchResult:
         """Execute ``kernel`` functionally and simulate its timing against
-        the device's current paging state."""
+        the device's current paging state.
+
+        Pass a fresh :class:`repro.telemetry.Telemetry` to trace this
+        launch (each launch's cycle clock restarts at zero, so telemetry
+        is per launch); it is reachable afterwards via
+        ``result.sim.telemetry``."""
         params = [
             float(a.address) if isinstance(a, DevicePointer) else float(a)
             for a in args
@@ -198,6 +204,7 @@ class GpuDevice:
             block_switching=self.block_switching,
             frame_allocator=self.frames,
             frame_partitions=self._partitions,
+            telemetry=telemetry,
         )
         sim_result = sim.run()
         result = LaunchResult(

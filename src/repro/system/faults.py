@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.telemetry.events import EV_FAULT_RAISE, EV_FAULT_RESOLVE
 from repro.vm import (
     FAULT_GRANULARITY_PAGES,
     FaultClass,
@@ -65,6 +66,7 @@ class FaultController:
         frame_allocator: FrameAllocator,
         local_handling: bool = False,
         partitions: Optional[List[FrameAllocator]] = None,
+        telemetry=None,
     ) -> None:
         """``partitions`` lets a caller that persists physical memory across
         launches (the runtime facade) supply an existing CPU+per-SM split of
@@ -93,6 +95,16 @@ class FaultController:
         else:
             self._cpu_frames = frame_allocator
             self._sm_frames = []
+        from repro.telemetry import active
+
+        self.tel = active(telemetry)
+        if self.tel is not None:
+            reg = self.tel.counters
+            reg.bind_stats("gpu.fault", self.stats)
+            reg.gauge(
+                "gpu.fault.pending_queue_depth",
+                lambda: len(self._unresolved),
+            )
 
     @property
     def cpu_frames(self) -> FrameAllocator:
@@ -117,8 +129,17 @@ class FaultController:
     # ------------------------------------------------------------------
 
     def on_fault(self, vpn: int, detect_time: float, sm_id: int) -> FaultOutcome:
+        """Route one faulting access: classify, deduplicate at the 64KB
+        group granularity, time its resolution (CPU driver path or GPU-local
+        handler) and report the outcome back to the SM."""
         self.stats.faults_raised += 1
         group = vpn // FAULT_GRANULARITY_PAGES
+        tel = self.tel
+        if tel is not None:
+            tel.tracer.emit(
+                EV_FAULT_RAISE, detect_time, "faults",
+                {"vpn": vpn, "group": group, "sm": sm_id},
+            )
         pending = self._group_resolved.get(group)
         if pending is not None and pending > detect_time:
             # Already being resolved: join the pending fault.
@@ -163,6 +184,13 @@ class FaultController:
         self._group_resolved[group] = resolved
         self._unresolved[group] = resolved
         self.stats.groups_resolved += 1
+        if tel is not None:
+            tel.tracer.emit_span(
+                EV_FAULT_RESOLVE, detect_time, resolved - detect_time,
+                "faults",
+                {"group": group, "sm": sm_id, "class": fault_class.name,
+                 "local": local, "queue_position": position},
+            )
         return FaultOutcome(
             group=group,
             resolved_time=resolved,

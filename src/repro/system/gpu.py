@@ -24,6 +24,7 @@ from repro.core.schemes import BaselineStallOnFault, PipelineScheme
 from repro.functional.trace import KernelTrace
 from repro.isa import Kernel
 from repro.mem import MemorySubsystem
+from repro.telemetry import Telemetry, active as _tel_active, ev as _ev
 from repro.timing.engine import EventQueue
 from repro.timing.sm import SmPipeline
 from repro.vm import AddressSpace, FrameAllocator
@@ -50,6 +51,8 @@ class SimResult:
     fault_stats: Optional[FaultStats] = None
     sm_stats: List = field(default_factory=list)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: the run's Telemetry hub when tracing was enabled, else None
+    telemetry: Optional[object] = None
 
     @property
     def ipc(self) -> float:
@@ -73,6 +76,7 @@ class GpuSimulator:
         ideal_switch: bool = False,
         frame_allocator: Optional[FrameAllocator] = None,
         frame_partitions=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.config = config if config is not None else GPUConfig()
         self.scheme = scheme if scheme is not None else BaselineStallOnFault()
@@ -80,6 +84,7 @@ class GpuSimulator:
         self.trace = trace
         self.address_space = address_space
         self.paging = paging
+        self.telemetry = _tel_active(telemetry)
         cfg = self.config
 
         page_state = address_space.page_state
@@ -95,6 +100,7 @@ class GpuSimulator:
             frame_allocator=frames,
             local_handling=local_handling,
             partitions=frame_partitions,
+            telemetry=self.telemetry,
         )
         # Pre-mapping (driver-side) allocates from the CPU driver's slice.
         driver_frames = self.fault_ctl.cpu_frames
@@ -114,7 +120,11 @@ class GpuSimulator:
             )
         else:
             raise ValueError(f"unknown paging mode {paging!r}")
-        self.memsys = MemorySubsystem(cfg, translate_fn=self.fault_ctl.translate)
+        self.memsys = MemorySubsystem(
+            cfg,
+            translate_fn=self.fault_ctl.translate,
+            telemetry=self.telemetry,
+        )
         self.events = EventQueue()
         self.tb_scheduler = ThreadBlockScheduler(trace)
 
@@ -134,6 +144,7 @@ class GpuSimulator:
                 block_source=self.tb_scheduler,
                 occupancy=occupancy,
                 context_bytes_per_block=context_bytes,
+                telemetry=self.telemetry,
             )
             for i in range(cfg.num_sms)
         ]
@@ -157,6 +168,23 @@ class GpuSimulator:
                     dram=self.memsys.dram,
                     ideal=ideal_switch,
                 )
+
+        if self.telemetry is not None:
+            reg = self.telemetry.counters
+            reg.gauge("gpu.events.processed", lambda: self.events.processed)
+            reg.gauge("gpu.events.scheduled", lambda: self.events.scheduled)
+            reg.gauge("gpu.events.peak_depth", lambda: self.events.peak)
+            reg.gauge(
+                "gpu.blocks.remaining", lambda: self.blocks_remaining
+            )
+            self.telemetry.annotate(
+                kernel=kernel.name,
+                paging=paging,
+                local_handling=local_handling,
+                block_switching=block_switching,
+                num_sms=cfg.num_sms,
+                **self.scheme.telemetry_tags(),
+            )
 
     # ------------------------------------------------------------------
 
@@ -184,6 +212,8 @@ class GpuSimulator:
         cycle = 0.0
         events = self.events
         sms = self.sms
+        tel = self.telemetry
+        next_sample = tel.sample_interval if tel is not None else math.inf
         while self.blocks_remaining > 0:
             if cycle > max_cycles:
                 raise DeadlockError(f"exceeded {max_cycles:g} cycles")
@@ -195,6 +225,9 @@ class GpuSimulator:
                 if not sm.sleeping:
                     sm.try_issue(cycle)
                     awake = awake or not sm.sleeping
+            if cycle >= next_sample:
+                tel.sample(cycle)
+                next_sample = cycle + tel.sample_interval
             if awake:
                 cycle += 1
             else:
@@ -206,6 +239,12 @@ class GpuSimulator:
                     )
                 cycle = max(cycle + 1, math.ceil(nxt))
 
+        if tel is not None:
+            tel.sample(self.last_block_done)
+            tel.tracer.emit_span(
+                _ev.EV_KERNEL, 0.0, self.last_block_done, "gpu",
+                {"kernel": self.kernel.name, "scheme": self.scheme.name},
+            )
         return SimResult(
             kernel_name=self.kernel.name,
             scheme=self.scheme.name,
@@ -215,4 +254,5 @@ class GpuSimulator:
             blocks=len(self.trace.blocks),
             fault_stats=self.fault_ctl.stats,
             sm_stats=[sm.stats for sm in self.sms],
+            telemetry=tel,
         )

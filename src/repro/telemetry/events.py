@@ -1,0 +1,257 @@
+"""Structured event tracing: a bounded ring buffer with Chrome export.
+
+Every interesting micro-architectural moment of a run — an instruction
+issuing or committing, a TLB miss, a page fault being raised or resolved,
+a faulted instruction being squashed and later replayed, a thread block
+switching off or back onto an SM — is recorded as one typed event.  Events
+live in a fixed-capacity ring buffer (oldest events are dropped once the
+buffer wraps; ``dropped`` counts them) so a run's memory footprint is
+bounded no matter how long it executes.
+
+The buffer exports to the Chrome ``trace_event`` JSON format, so a run
+opens directly in ``chrome://tracing`` or https://ui.perfetto.dev: one
+*process* per simulated GPU, one *thread* row per SM (plus rows for the
+MMU and the fault controller), instant events for points in time and
+complete ("X") events for spans such as fault resolution and context
+switches.  Simulated cycles are reported as microseconds (1 cycle = 1us).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Event taxonomy (names shared by the tracer, the docs and the tests).
+# ---------------------------------------------------------------------------
+
+#: instruction lifecycle
+EV_ISSUE = "inst.issue"
+EV_COMMIT = "inst.commit"
+EV_SQUASH = "inst.squash"
+EV_REPLAY = "inst.replay"
+EV_FETCH_DISABLE = "fetch.disable"
+EV_FETCH_ENABLE = "fetch.enable"
+EV_BARRIER = "warp.barrier"
+#: address translation
+EV_TLB_HIT = "tlb.hit"
+EV_TLB_MISS = "tlb.miss"
+#: page faults
+EV_FAULT_RAISE = "fault.raise"
+EV_FAULT_RESOLVE = "fault.resolve"
+#: thread-block lifecycle / preemption
+EV_BLOCK_LAUNCH = "block.launch"
+EV_BLOCK_DONE = "block.done"
+EV_BLOCK_SWITCH_OUT = "block.switch_out"
+EV_BLOCK_SWITCH_IN = "block.switch_in"
+#: whole-kernel span
+EV_KERNEL = "kernel"
+
+#: every event name the tracer may emit (docs + tests validate against it)
+ALL_EVENT_NAMES = (
+    EV_ISSUE,
+    EV_COMMIT,
+    EV_SQUASH,
+    EV_REPLAY,
+    EV_FETCH_DISABLE,
+    EV_FETCH_ENABLE,
+    EV_BARRIER,
+    EV_TLB_HIT,
+    EV_TLB_MISS,
+    EV_FAULT_RAISE,
+    EV_FAULT_RESOLVE,
+    EV_BLOCK_LAUNCH,
+    EV_BLOCK_DONE,
+    EV_BLOCK_SWITCH_OUT,
+    EV_BLOCK_SWITCH_IN,
+    EV_KERNEL,
+)
+
+
+#: event names that record *rare, structurally important* moments — they
+#: are kept in their own ring so high-rate issue/commit/TLB traffic can
+#: never evict a run's faults, squashes, replays or context switches.
+RARE_EVENT_NAMES = frozenset(
+    {
+        EV_SQUASH,
+        EV_REPLAY,
+        EV_FAULT_RAISE,
+        EV_FAULT_RESOLVE,
+        EV_BLOCK_LAUNCH,
+        EV_BLOCK_DONE,
+        EV_BLOCK_SWITCH_OUT,
+        EV_BLOCK_SWITCH_IN,
+        EV_KERNEL,
+    }
+)
+
+
+class _Ring:
+    """One fixed-capacity ring of event tuples (wraps, counts drops)."""
+
+    __slots__ = ("capacity", "buf", "next", "recorded", "dropped")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.buf: List[Optional[tuple]] = [None] * capacity
+        self.next = 0
+        self.recorded = 0
+        self.dropped = 0
+
+    def push(self, rec: tuple) -> None:
+        """Append ``rec``, overwriting (and counting) the oldest on wrap."""
+        i = self.next
+        if self.buf[i] is not None:
+            self.dropped += 1
+        self.buf[i] = rec
+        self.next = i + 1 if i + 1 < self.capacity else 0
+        self.recorded += 1
+
+    def items(self) -> Iterator[tuple]:
+        """Retained records, oldest first."""
+        if self.recorded > self.capacity:  # wrapped: cursor is the oldest
+            start = self.next
+            for i in range(self.capacity):
+                yield self.buf[(start + i) % self.capacity]
+        else:
+            for i in range(self.next if self.recorded else 0):
+                yield self.buf[i]
+
+
+class RingBufferTracer:
+    """Two-tier fixed-capacity ring buffer of typed trace events.
+
+    Records are stored as compact tuples ``(name, ph, ts, dur, tid, args)``
+    — ``ph`` is the Chrome phase (``"i"`` instant, ``"X"`` complete/span) —
+    and only materialized into dicts at export time.  High-rate events
+    (issue, commit, TLB) share the main ring; the names in
+    :data:`RARE_EVENT_NAMES` (faults, squash/replay, block lifecycle) go
+    to a second ring so they survive arbitrarily long runs.
+    """
+
+    def __init__(
+        self, capacity: int = 1 << 16, rare_capacity: Optional[int] = None
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._hot = _Ring(capacity)
+        self._rare = _Ring(rare_capacity if rare_capacity else capacity)
+
+    @property
+    def recorded(self) -> int:
+        """Total emit calls (retained + dropped), both tiers."""
+        return self._hot.recorded + self._rare.recorded
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to ring wraparound, both tiers."""
+        return self._hot.dropped + self._rare.dropped
+
+    # ------------------------------------------------------------------
+    # emission (hot path when tracing is enabled)
+    # ------------------------------------------------------------------
+
+    def emit(
+        self, name: str, ts: float, tid: str, args: Optional[dict] = None
+    ) -> None:
+        """Record an instant event at simulated time ``ts`` on row ``tid``."""
+        ring = self._rare if name in RARE_EVENT_NAMES else self._hot
+        ring.push((name, "i", ts, 0.0, tid, args))
+
+    def emit_span(
+        self,
+        name: str,
+        ts: float,
+        dur: float,
+        tid: str,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a span (complete event) covering ``[ts, ts + dur]``."""
+        ring = self._rare if name in RARE_EVENT_NAMES else self._hot
+        ring.push((name, "X", ts, dur, tid, args))
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return min(self._hot.recorded, self._hot.capacity) + min(
+            self._rare.recorded, self._rare.capacity
+        )
+
+    def events(self) -> Iterator[tuple]:
+        """Iterate retained records of both tiers in timestamp order."""
+        merged = list(self._hot.items()) + list(self._rare.items())
+        merged.sort(key=lambda rec: rec[2])
+        return iter(merged)
+
+    def count(self, name: str) -> int:
+        """Number of retained events with the given name."""
+        return sum(1 for rec in self.events() if rec[0] == name)
+
+    def names(self) -> Dict[str, int]:
+        """Retained-event histogram: ``{event name: count}``."""
+        hist: Dict[str, int] = {}
+        for rec in self.events():
+            hist[rec[0]] = hist.get(rec[0], 0) + 1
+        return hist
+
+    # ------------------------------------------------------------------
+    # Chrome trace_event export
+    # ------------------------------------------------------------------
+
+    def to_chrome(
+        self, metadata: Optional[dict] = None, pid: str = "gpu"
+    ) -> Dict:
+        """Build a ``chrome://tracing`` / Perfetto-loadable trace dict."""
+        trace_events: List[dict] = []
+        tids = []
+        seen = set()
+        for rec in self.events():
+            name, ph, ts, dur, tid, args = rec
+            ev = {"name": name, "ph": ph, "ts": ts, "pid": pid, "tid": tid}
+            if ph == "X":
+                ev["dur"] = dur
+            if args:
+                ev["args"] = args
+            trace_events.append(ev)
+            if tid not in seen:
+                seen.add(tid)
+                tids.append(tid)
+        # Thread-name metadata rows so the viewer labels each SM/unit.
+        meta_events = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid0,
+                "args": {"name": "repro GPU simulator"},
+            }
+            for tid0 in tids[:1]
+        ] + [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": tid},
+            }
+            for tid in tids
+        ]
+        trace = {
+            "traceEvents": meta_events + trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": dict(metadata or {}),
+        }
+        if self.dropped:
+            trace["otherData"]["dropped_events"] = self.dropped
+        return trace
+
+    def write_chrome(
+        self, path: str, metadata: Optional[dict] = None
+    ) -> str:
+        """Write :meth:`to_chrome` JSON to ``path``; returns the path."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(metadata), fh)
+        return path

@@ -32,16 +32,29 @@ class Event:
 
 
 class EventQueue:
-    """Time-ordered event heap with stable FIFO tie-breaking."""
+    """Time-ordered event heap with stable FIFO tie-breaking.
+
+    Exposes the load metrics the telemetry layer samples (see
+    docs/OBSERVABILITY.md): ``processed`` events run, ``scheduled`` events
+    pushed, and ``peak`` outstanding heap depth — together they show how
+    event-bound (vs. issue-bound) a simulated region is.
+    """
 
     def __init__(self) -> None:
         self._heap: List = []
         self._counter = itertools.count()
         self.processed = 0
+        self.scheduled = 0
+        self.peak = 0
 
     def schedule(self, time: float, fn: Callable[[float], None]) -> Event:
+        """Schedule ``fn(time)``; returns the cancellable Event handle."""
         event = Event(time, fn)
         heapq.heappush(self._heap, (time, next(self._counter), event))
+        self.scheduled += 1
+        depth = len(self._heap)
+        if depth > self.peak:
+            self.peak = depth
         return event
 
     def __len__(self) -> int:

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.functional.trace import BlockTrace, TraceInst
 from repro.isa import Opcode, Unit
+from repro.telemetry import active as _tel_active, ev as _ev
 
 from .engine import EventQueue
 
@@ -198,6 +199,7 @@ class SmPipeline:
         block_source,
         occupancy: int,
         context_bytes_per_block: int,
+        telemetry=None,
     ) -> None:
         self.sm_id = sm_id
         self.config = config
@@ -231,6 +233,19 @@ class SmPipeline:
         self._log_partition = (
             max(512, log_bytes // max(occupancy, 1)) if log_bytes else 0
         )
+        # Telemetry: ``self.tel`` is None unless an *enabled* Telemetry was
+        # supplied, so the hot paths pay only an ``is not None`` check.
+        self.tel = _tel_active(telemetry)
+        self._tid = f"sm{sm_id}"
+        if self.tel is not None:
+            reg = self.tel.counters
+            prefix = f"gpu.sm[{sm_id}]"
+            self._c_stall = reg.counter(f"{prefix}.warp_stall.cycles")
+            self._c_stall_fault = reg.counter(f"{prefix}.warp_stall.fault")
+            self._c_stall_sb = reg.counter(f"{prefix}.warp_stall.scoreboard")
+            self._c_stall_log = reg.counter(f"{prefix}.warp_stall.log")
+            reg.bind_stats(f"{prefix}.stats", self.stats)
+            reg.gauge(f"{prefix}.pending_faults", lambda: self.pending_faults)
 
     # ------------------------------------------------------------------
     # block lifecycle
@@ -256,6 +271,11 @@ class SmPipeline:
         self.blocks.append(block)
         self._rebuild_warp_list()
         self.stats.blocks_launched += 1
+        if self.tel is not None:
+            self.tel.tracer.emit(
+                _ev.EV_BLOCK_LAUNCH, time, self._tid,
+                {"block": block.block_id, "warps": len(block.warps)},
+            )
         self.wake()
         return block
 
@@ -274,6 +294,10 @@ class SmPipeline:
         self.blocks.remove(block)
         self.free_slots += 1
         self.stats.blocks_completed += 1
+        if self.tel is not None:
+            self.tel.tracer.emit(
+                _ev.EV_BLOCK_DONE, time, self._tid, {"block": block.block_id}
+            )
         self._rebuild_warp_list()
         if self.on_block_done is not None:
             self.on_block_done(self, block, time)
@@ -302,6 +326,7 @@ class SmPipeline:
         issued = 0
         structural = False
         scanned = 0
+        sb_block = fault_block = log_block = False  # stall attribution
         i = self.rr
         width = self.config.issue_width
         while scanned < n and issued < width:
@@ -322,12 +347,15 @@ class SmPipeline:
             if dec[5] and warp.inflight:  # BAR waits for older instructions
                 continue
             if self._scoreboard_blocked(warp, dec):
+                sb_block = True
                 continue
             if dec[2]:
                 if self.pending_faults >= self.config.pending_fault_limit:
+                    fault_block = True
                     continue  # memory pipeline clogged by parked faults
                 need = self.scheme.log_bytes_needed(dec[3])
                 if need and warp.block.log_used + need > warp.block.log_capacity:
+                    log_block = True
                     continue  # operand log partition full; event will wake us
             budget[dec[0]] -= 1
             self._issue(warp, tinst, dec, cycle)
@@ -337,6 +365,14 @@ class SmPipeline:
         self.sleeping = issued == 0 and not structural
         if self.sleeping:
             self.stats.cycles_asleep_entries += 1
+        if issued == 0 and self.tel is not None:
+            self._c_stall.add()
+            if fault_block:
+                self._c_stall_fault.add()
+            if sb_block:
+                self._c_stall_sb.add()
+            if log_block:
+                self._c_stall_log.add()
         return issued
 
     def _scoreboard_blocked(self, warp: WarpRT, dec) -> bool:
@@ -372,7 +408,20 @@ class SmPipeline:
                 table.pop(k, None)
 
     def _issue(self, warp: WarpRT, tinst: TraceInst, dec, cycle: float) -> None:
+        """Issue one decoded instruction for ``warp`` at ``cycle``: claim
+        scoreboards, then hand it to the memory / barrier / ALU path."""
         srcs, dests, psrcs, pdests = dec[6], dec[7], dec[8], dec[9]
+        if self.tel is not None:
+            name = (
+                _ev.EV_REPLAY
+                if warp.replay_list and warp.replay_list[0] is tinst
+                else _ev.EV_ISSUE
+            )
+            self.tel.tracer.emit(
+                name, cycle, self._tid,
+                {"op": tinst.inst.op.name, "warp": warp.slot,
+                 "block": warp.block.block_id},
+            )
         warp.advance()
         warp.fetch_ready = cycle + 1
         warp.inflight += 1
@@ -406,8 +455,13 @@ class SmPipeline:
             # control flow: fetch disabled until commit (baseline); covered
             # arithmetic under a warp-disable scheme behaves the same way
             warp.fetch_holds += 1
+            if self.tel is not None:
+                self.tel.tracer.emit(
+                    _ev.EV_FETCH_DISABLE, cycle, self._tid,
+                    {"warp": warp.slot, "why": "control"},
+                )
             self.events.schedule(
-                commit_time, lambda t, w=warp: self._release_fetch_hold(w)
+                commit_time, lambda t, w=warp: self._release_fetch_hold(w, t)
             )
         self.events.schedule(
             commit_time,
@@ -428,15 +482,27 @@ class SmPipeline:
         self._release(warp.prp, psrcs)
         self.wake()
 
-    def _release_fetch_hold(self, warp: WarpRT) -> None:
+    def _release_fetch_hold(self, warp: WarpRT, time: float = 0.0) -> None:
+        """Drop one fetch hold on ``warp`` (commit / last-check / handler
+        return) and wake the SM's issue loop."""
         warp.fetch_holds -= 1
+        if self.tel is not None:
+            self.tel.tracer.emit(
+                _ev.EV_FETCH_ENABLE, time, self._tid, {"warp": warp.slot}
+            )
         self.wake()
 
     def _commit(self, warp: WarpRT, dests, pdests, time: float) -> None:
+        """Commit one in-flight instruction of ``warp``: release destination
+        scoreboards and retire the block if this emptied it."""
         self._release(warp.pw, dests)
         self._release(warp.pwp, pdests)
         warp.inflight -= 1
         self.stats.committed += 1
+        if self.tel is not None:
+            self.tel.tracer.emit(
+                _ev.EV_COMMIT, time, self._tid, {"warp": warp.slot}
+            )
         self.wake()
         if warp.maybe_done():
             block = warp.block
@@ -449,8 +515,14 @@ class SmPipeline:
     # ------------------------------------------------------------------
 
     def _issue_barrier(self, warp: WarpRT, tinst, cycle: float, oprd: float) -> None:
+        """Park ``warp`` at a BAR; restart everyone once the block arrives."""
         warp.at_barrier = True
         block = warp.block
+        if self.tel is not None:
+            self.tel.tracer.emit(
+                _ev.EV_BARRIER, cycle, self._tid,
+                {"warp": warp.slot, "block": block.block_id},
+            )
         block.barrier_arrived += 1
         commit_time = oprd + tinst.inst.info.latency
         self.events.schedule(
@@ -482,11 +554,18 @@ class SmPipeline:
     # ------------------------------------------------------------------
 
     def _issue_gmem(self, warp: WarpRT, tinst, dec, cycle: float, oprd: float) -> None:
+        """Issue a global-memory instruction: claim warp-disable holds and
+        operand-log space now, then translate at operand read (phase 1)."""
         # Warp-disable schemes stop fetching from the cycle the memory
         # instruction is fetched; the release time is known later.
         wd_hold = getattr(self.scheme, "disable_anchor", None) is not None
         if wd_hold:
             warp.fetch_holds += 1
+            if self.tel is not None:
+                self.tel.tracer.emit(
+                    _ev.EV_FETCH_DISABLE, cycle, self._tid,
+                    {"warp": warp.slot, "why": "warp-disable"},
+                )
         # Operand-log space is claimed at issue (checked by try_issue) and
         # released once the last TLB check clears (scheduled in phase 1).
         need = self.scheme.log_bytes_needed(dec[3])
@@ -502,6 +581,9 @@ class SmPipeline:
     def _gmem_translate(
         self, warp: WarpRT, tinst, dec, now: float, wd_hold: bool
     ) -> None:
+        """Phase 1 of the global-memory path: coalesce + translate; route
+        detected page faults to the fault controller and park the faulted
+        instruction for replay (the squashable state of Section 3)."""
         srcs, dests, psrcs, pdests = dec[6], dec[7], dec[8], dec[9]
         is_store = dec[3]
         block = warp.block
@@ -518,7 +600,7 @@ class SmPipeline:
             self._hold_log_until(block, is_store, last_check)
             if wd_hold and anchor == "lastcheck":
                 self.events.schedule(
-                    last_check, lambda t, w=warp: self._release_fetch_hold(w)
+                    last_check, lambda t, w=warp: self._release_fetch_hold(w, t)
                 )
                 wd_hold = False  # phase 2 owes no release
             self.events.schedule(
@@ -558,7 +640,7 @@ class SmPipeline:
             release_at = completion if anchor == "commit" else last_check_ok
             hold_evs.append(
                 self.events.schedule(
-                    release_at, lambda t, w=warp: self._release_fetch_hold(w)
+                    release_at, lambda t, w=warp: self._release_fetch_hold(w, t)
                 )
             )
         if handled_locally:
@@ -566,9 +648,14 @@ class SmPipeline:
             # fetch user instructions until the handler returns.
             self.stats.local_handler_runs += 1
             warp.fetch_holds += 1
+            if self.tel is not None:
+                self.tel.tracer.emit(
+                    _ev.EV_FETCH_DISABLE, now, self._tid,
+                    {"warp": warp.slot, "why": "local-handler"},
+                )
             hold_evs.append(
                 self.events.schedule(
-                    resolved, lambda t, w=warp: self._release_fetch_hold(w)
+                    resolved, lambda t, w=warp: self._release_fetch_hold(w, t)
                 )
             )
 
@@ -606,12 +693,14 @@ class SmPipeline:
     def _gmem_data(
         self, warp: WarpRT, tinst, dec, lines, now: float, wd_hold: bool
     ) -> None:
+        """Phase 2 of the global-memory path: run the translated requests
+        through the cache hierarchy and schedule the commit."""
         completion = self.memsys.data_access(
             self.sm_id, lines, dec[3], now, is_atomic=dec[10]
         )
         if wd_hold:  # wd-commit: re-enable fetch when the instruction commits
             self.events.schedule(
-                completion, lambda t, w=warp: self._release_fetch_hold(w)
+                completion, lambda t, w=warp: self._release_fetch_hold(w, t)
             )
         self.events.schedule(
             completion,
@@ -645,11 +734,18 @@ class SmPipeline:
     # preemption support (used by core.local_scheduler)
     # ------------------------------------------------------------------
 
-    def squash_faulted(self, block: BlockRT) -> None:
+    def squash_faulted(self, block: BlockRT, time: float = 0.0) -> None:
         """Squash all in-flight faulted instructions of ``block`` so it can
         be switched out; each will be replayed from the restored context."""
+        tel = self.tel
         for rec in block.faulted_inflight:
             warp, tinst, commit_ev, dests, pdests, hold_evs, src_ev, slot_ev = rec
+            if tel is not None:
+                tel.tracer.emit(
+                    _ev.EV_SQUASH, time, self._tid,
+                    {"op": tinst.inst.op.name, "warp": warp.slot,
+                     "block": block.block_id},
+                )
             commit_ev.cancel()
             if not slot_ev.fired:
                 # Squashing frees the parked instruction's LD/ST slot — the

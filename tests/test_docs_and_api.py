@@ -19,6 +19,27 @@ PACKAGES = [
     "repro.runtime",
     "repro.workloads",
     "repro.harness",
+    "repro.telemetry",
+]
+
+#: telemetry modules whose *entire* public surface (classes, functions,
+#: public methods) must be documented — the observability story is a
+#: documented API, not an internal detail (docs/OBSERVABILITY.md).
+TELEMETRY_MODULES = [
+    "repro.telemetry",
+    "repro.telemetry.counters",
+    "repro.telemetry.events",
+]
+
+#: instrumentation hook points: the methods that emit telemetry must say so
+HOOK_POINTS = [
+    ("repro.timing.sm", "SmPipeline", "try_issue"),
+    ("repro.timing.sm", "SmPipeline", "squash_faulted"),
+    ("repro.timing.sm", "SmPipeline", "launch_block"),
+    ("repro.mem.tlb", "Mmu", "attach_telemetry"),
+    ("repro.mem.tlb", "Mmu", "translate"),
+    ("repro.system.faults", "FaultController", "on_fault"),
+    ("repro.system.gpu", "GpuSimulator", "run"),
 ]
 
 
@@ -43,6 +64,37 @@ class TestExports:
                 assert inspect.getdoc(obj), f"{name}.{symbol} undocumented"
 
 
+class TestTelemetryDocstrings:
+    @pytest.mark.parametrize("name", TELEMETRY_MODULES)
+    def test_full_public_surface_documented(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a module docstring"
+        undocumented = []
+        for attr, obj in vars(module).items():
+            if attr.startswith("_"):
+                continue
+            if getattr(obj, "__module__", None) != name:
+                continue  # re-export; documented where it is defined
+            if inspect.isclass(obj):
+                if not inspect.getdoc(obj):
+                    undocumented.append(f"{name}.{attr}")
+                for mname, meth in vars(obj).items():
+                    if mname.startswith("_") and mname != "__init__":
+                        continue
+                    if inspect.isfunction(meth) and not inspect.getdoc(meth):
+                        undocumented.append(f"{name}.{attr}.{mname}")
+            elif inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    undocumented.append(f"{name}.{attr}")
+        assert not undocumented, f"undocumented: {undocumented}"
+
+    @pytest.mark.parametrize("module,cls,method", HOOK_POINTS)
+    def test_instrumented_hook_points_documented(self, module, cls, method):
+        obj = getattr(importlib.import_module(module), cls)
+        fn = getattr(obj, method)
+        assert inspect.getdoc(fn), f"{module}.{cls}.{method} undocumented"
+
+
 class TestExampleImports:
     @pytest.mark.parametrize(
         "path",
@@ -54,6 +106,7 @@ class TestExampleImports:
             "examples/pipeline_diagrams.py",
             "examples/preemption_latency.py",
             "examples/run_all_experiments.py",
+            "examples/telemetry_tour.py",
         ],
     )
     def test_example_compiles(self, path):

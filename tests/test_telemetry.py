@@ -1,0 +1,328 @@
+"""Telemetry subsystem: counter registry, ring-buffer tracer, Chrome JSON
+schema, disabled-mode no-op, and end-to-end event emission from real runs."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import make_scheme
+from repro.harness import run_traced
+from repro.harness.__main__ import main as harness_main
+from repro.system import GpuSimulator
+from repro.telemetry import (
+    ALL_EVENT_NAMES,
+    CounterRegistry,
+    RingBufferTracer,
+    Telemetry,
+    active,
+    ev,
+)
+from repro.workloads import get_workload
+
+
+# ---------------------------------------------------------------------------
+# counter registry
+# ---------------------------------------------------------------------------
+
+class TestCounterRegistry:
+    def test_counter_add_and_value(self):
+        reg = CounterRegistry()
+        c = reg.counter("gpu.sm[0].warp_stall.fault")
+        c.add()
+        c.add(4)
+        assert reg.value("gpu.sm[0].warp_stall.fault") == 5
+        # same path -> same counter object
+        assert reg.counter("gpu.sm[0].warp_stall.fault") is c
+
+    def test_gauge_reads_lazily(self):
+        reg = CounterRegistry()
+        state = {"n": 1}
+        reg.gauge("gpu.tlb.miss", lambda: state["n"])
+        assert reg.value("gpu.tlb.miss") == 1
+        state["n"] = 7
+        assert reg.value("gpu.tlb.miss") == 7
+
+    def test_counter_gauge_namespace_collision(self):
+        reg = CounterRegistry()
+        reg.counter("a.b")
+        with pytest.raises(ValueError):
+            reg.gauge("a.b", lambda: 0)
+        reg.gauge("a.c", lambda: 0)
+        with pytest.raises(ValueError):
+            reg.counter("a.c")
+
+    def test_bind_stats_registers_numeric_fields(self):
+        class Stats:
+            def __init__(self):
+                self.hits = 3
+                self.misses = 4
+                self.name = "not-numeric"
+
+        reg = CounterRegistry()
+        reg.bind_stats("gpu.tlb.l2", Stats())
+        snap = reg.snapshot()
+        assert snap["gpu.tlb.l2.hits"] == 3
+        assert snap["gpu.tlb.l2.misses"] == 4
+        assert "gpu.tlb.l2.name" not in snap
+
+    def test_rollup_totals(self):
+        reg = CounterRegistry()
+        reg.counter("gpu.sm[0].stall").add(2)
+        reg.counter("gpu.sm[1].stall").add(3)
+        tree = reg.rollup()
+        assert tree["gpu"]["_total"] == 5
+        assert tree["gpu"]["sm[0]"]["stall"] == 2
+
+    def test_aggregate_glob(self):
+        reg = CounterRegistry()
+        reg.counter("gpu.sm[0].warp_stall.fault").add(1)
+        reg.counter("gpu.sm[1].warp_stall.fault").add(2)
+        reg.counter("gpu.sm[1].warp_stall.scoreboard").add(9)
+        assert reg.aggregate("gpu.sm[*].warp_stall.fault") == 3
+
+    def test_sampling_series(self):
+        reg = CounterRegistry()
+        c = reg.counter("x.y")
+        reg.sample(0.0)
+        c.add(5)
+        reg.sample(100.0)
+        assert reg.series("x.y") == [(0.0, 0), (100.0, 5)]
+
+    def test_render_filter(self):
+        reg = CounterRegistry()
+        reg.counter("a.one").add(1)
+        reg.counter("b.two").add(2)
+        out = reg.render(pattern="a.*")
+        assert "a.one" in out and "b.two" not in out
+
+
+# ---------------------------------------------------------------------------
+# ring-buffer tracer
+# ---------------------------------------------------------------------------
+
+class TestRingBufferTracer:
+    def test_events_retained_in_order(self):
+        tr = RingBufferTracer(capacity=8)
+        for i in range(5):
+            tr.emit(ev.EV_ISSUE, float(i), "sm0", {"i": i})
+        recs = list(tr.events())
+        assert len(recs) == 5 == len(tr)
+        assert [r[2] for r in recs] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert tr.dropped == 0
+
+    def test_overflow_drops_oldest_hot_events(self):
+        tr = RingBufferTracer(capacity=4)
+        for i in range(10):
+            tr.emit(ev.EV_ISSUE, float(i), "sm0")
+        assert tr.recorded == 10
+        assert tr.dropped == 6
+        assert [r[2] for r in tr.events()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_rare_events_survive_hot_flood(self):
+        tr = RingBufferTracer(capacity=4)
+        tr.emit(ev.EV_FAULT_RAISE, 0.0, "faults", {"vpn": 1})
+        for i in range(100):
+            tr.emit(ev.EV_ISSUE, float(i + 1), "sm0")
+        names = tr.names()
+        assert names[ev.EV_FAULT_RAISE] == 1  # not evicted by the flood
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RingBufferTracer(capacity=0)
+
+    def test_count_and_names(self):
+        tr = RingBufferTracer()
+        tr.emit(ev.EV_COMMIT, 1.0, "sm0")
+        tr.emit(ev.EV_COMMIT, 2.0, "sm0")
+        tr.emit_span(ev.EV_FAULT_RESOLVE, 1.0, 5.0, "faults")
+        assert tr.count(ev.EV_COMMIT) == 2
+        assert tr.names() == {ev.EV_COMMIT: 2, ev.EV_FAULT_RESOLVE: 1}
+
+
+class TestChromeExport:
+    def test_schema(self, tmp_path):
+        tr = RingBufferTracer()
+        tr.emit(ev.EV_ISSUE, 10.0, "sm0", {"op": "LD_GLOBAL"})
+        tr.emit_span(ev.EV_FAULT_RESOLVE, 10.0, 90.0, "faults", {"group": 1})
+        trace = tr.to_chrome(metadata={"scheme": "replay-queue"})
+        # serializable, and shaped like the trace_event format
+        json.loads(json.dumps(trace))
+        assert isinstance(trace["traceEvents"], list)
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert phases <= {"i", "X", "M"}
+        for e in trace["traceEvents"]:
+            assert {"name", "ph", "ts", "pid", "tid"} <= set(e) or e["ph"] == "M"
+            if e["ph"] == "X":
+                assert "dur" in e
+        # thread-name metadata present for every tid used
+        tids = {e["tid"] for e in trace["traceEvents"] if e["ph"] != "M"}
+        named = {
+            e["tid"] for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert tids <= named
+        assert trace["otherData"]["scheme"] == "replay-queue"
+
+    def test_write_files(self, tmp_path):
+        tel = Telemetry()
+        tel.tracer.emit(ev.EV_ISSUE, 0.0, "sm0")
+        tel.counters.counter("gpu.x").add(1)
+        tel.sample(0.0)
+        paths = tel.write(str(tmp_path / "run"))
+        trace = json.load(open(paths["trace"]))
+        counters = json.load(open(paths["counters"]))
+        assert trace["traceEvents"]
+        assert counters["counters"]["gpu.x"] == 1
+        assert counters["samples"][0]["time"] == 0.0
+
+
+# ---------------------------------------------------------------------------
+# disabled mode
+# ---------------------------------------------------------------------------
+
+class TestDisabledMode:
+    def test_active_normalizes(self):
+        assert active(None) is None
+        assert active(Telemetry(enabled=False)) is None
+        tel = Telemetry()
+        assert active(tel) is tel
+
+    def test_disabled_telemetry_records_nothing(self):
+        wl = get_workload("saxpy")
+        tel = Telemetry(enabled=False)
+        sim = GpuSimulator(
+            wl.kernel, wl.trace(), wl.make_address_space(),
+            scheme=make_scheme("replay-queue"), paging="demand",
+            telemetry=tel,
+        )
+        res = sim.run()
+        assert res.telemetry is None
+        assert tel.tracer.recorded == 0
+        assert tel.counters.paths() == []
+        assert tel.counters.samples == []
+
+    def test_timing_identical_with_and_without_telemetry(self):
+        wl = get_workload("saxpy")
+        runs = []
+        for tel in (None, Telemetry()):
+            sim = GpuSimulator(
+                wl.kernel, wl.trace(), wl.make_address_space(),
+                scheme=make_scheme("replay-queue"), paging="demand",
+                telemetry=tel,
+            )
+            runs.append(sim.run().cycles)
+        assert runs[0] == runs[1]
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: a real run emits the expected fault/replay/switch events
+# ---------------------------------------------------------------------------
+
+class TestEndToEnd:
+    def test_demand_run_emits_fault_and_tlb_events(self):
+        wl = get_workload("saxpy")
+        tel = Telemetry(sample_interval=500)
+        sim = GpuSimulator(
+            wl.kernel, wl.trace(), wl.make_address_space(),
+            scheme=make_scheme("replay-queue"), paging="demand",
+            telemetry=tel,
+        )
+        sim.run()
+        names = tel.tracer.names()
+        for expected in (
+            ev.EV_ISSUE, ev.EV_COMMIT, ev.EV_BLOCK_LAUNCH, ev.EV_BLOCK_DONE,
+            ev.EV_TLB_MISS, ev.EV_FAULT_RAISE, ev.EV_FAULT_RESOLVE,
+            ev.EV_KERNEL,
+        ):
+            assert names.get(expected, 0) > 0, f"missing {expected}"
+        assert set(names) <= set(ALL_EVENT_NAMES)
+        # headline counters of the acceptance criteria
+        snap = tel.counters.snapshot()
+        assert "gpu.sm[0].warp_stall.cycles" in snap
+        assert snap["gpu.tlb.miss"] > 0
+        assert snap["gpu.fault.faults_raised"] > 0
+        assert len(tel.counters.samples) > 1
+
+    def test_block_switching_emits_squash_replay_switch(self, tmp_path):
+        # sgemm under demand paging oversubscribes the SMs enough that
+        # use case 1 actually preempts faulted blocks (~8s, the one big run)
+        run = run_traced(
+            "sgemm", scheme="replay-queue", paging="demand",
+            block_switching=True, out_dir=str(tmp_path),
+        )
+        names = run.telemetry.tracer.names()
+        assert names.get(ev.EV_BLOCK_SWITCH_OUT, 0) > 0
+        assert names.get(ev.EV_BLOCK_SWITCH_IN, 0) > 0
+        assert names.get(ev.EV_SQUASH, 0) > 0
+        assert names.get(ev.EV_REPLAY, 0) > 0
+        # squashed instructions are replayed at least once each
+        assert names[ev.EV_REPLAY] >= names[ev.EV_SQUASH]
+
+    def test_local_handling_emits_handler_holds(self):
+        wl = get_workload("stream-sum")
+        tel = Telemetry()
+        sim = GpuSimulator(
+            wl.kernel, wl.trace(), wl.make_address_space(),
+            scheme=make_scheme("replay-queue"), paging="demand-output",
+            local_handling=True, telemetry=tel,
+        )
+        res = sim.run()
+        assert res.fault_stats.handled_locally > 0
+        disables = [
+            rec for rec in tel.tracer.events()
+            if rec[0] == ev.EV_FETCH_DISABLE
+            and rec[5] and rec[5].get("why") == "local-handler"
+        ]
+        assert disables
+
+    def test_scheme_tags_in_trace_metadata(self):
+        wl = get_workload("saxpy")
+        tel = Telemetry()
+        sim = GpuSimulator(
+            wl.kernel, wl.trace(), wl.make_address_space(),
+            scheme=make_scheme("operand-log", log_kbytes=16),
+            telemetry=tel,
+        )
+        sim.run()
+        other = tel.chrome_trace()["otherData"]
+        assert other["scheme"] == "operand-log-16kb"
+        assert other["log_kbytes"] == 16
+
+
+# ---------------------------------------------------------------------------
+# harness integration
+# ---------------------------------------------------------------------------
+
+class TestHarnessTrace:
+    def test_run_traced_writes_artifacts(self, tmp_path):
+        run = run_traced(
+            "stream-sum", paging="demand", out_dir=str(tmp_path),
+            sample_interval=500,
+        )
+        assert os.path.exists(run.paths["trace"])
+        assert os.path.exists(run.paths["counters"])
+        trace = json.load(open(run.paths["trace"]))
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert ev.EV_FAULT_RAISE in names
+        counters = json.load(open(run.paths["counters"]))
+        assert any("warp_stall" in k for k in counters["counters"])
+        table = run.table()
+        assert table.artifacts["trace"] == run.paths["trace"]
+        assert "ev:fault.raise" in table.rows
+
+    def test_cli_trace_subcommand(self, tmp_path, capsys):
+        rc = harness_main(
+            ["trace", "saxpy", "--out", str(tmp_path),
+             "--sample-interval", "500"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "telemetry summary" in out
+        assert "perfetto" in out
+        assert os.path.exists(tmp_path / "saxpy-replay-queue.trace.json")
+        assert os.path.exists(tmp_path / "saxpy-replay-queue.counters.json")
+
+    def test_cli_classic_paths_unchanged(self, capsys):
+        assert harness_main(["table1"]) == 0
+        assert "1GHz" in capsys.readouterr().out
