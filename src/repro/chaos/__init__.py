@@ -1,0 +1,45 @@
+"""Chaos engine: deterministic fault injection + simulation self-checks.
+
+The resilience layer of the simulator (see docs/ROBUSTNESS.md).  Three
+pieces compose into a chaos campaign:
+
+- a seeded, deterministic :class:`~repro.chaos.engine.ChaosEngine` whose
+  named perturbation hooks are wired into the fault controller, the MMU
+  and the SM pipeline (inflated CPU-handler / link latencies, burst fault
+  storms, delayed resolutions, spurious TLB misses and shootdowns,
+  transient squash-and-replay of global-memory instructions);
+- a :class:`~repro.chaos.watchdog.Watchdog` that turns a wedged run loop
+  into a structured :class:`~repro.chaos.watchdog.SimulationHang`
+  diagnostic instead of an infinite loop;
+- an :class:`~repro.chaos.sanitizer.InvariantSanitizer` asserting the
+  micro-architectural bookkeeping (scoreboards, replay queue, operand
+  log, frame allocation, event-heap time order) stays consistent,
+  raising :class:`~repro.chaos.sanitizer.InvariantViolation` otherwise.
+
+Injection perturbs *timing only*: faults are the paper's own recovery
+mechanism, so a chaotic run must produce the identical final
+architectural memory state as the uninjected run.  Like telemetry, every
+component stores ``None`` instead of a disabled engine (see
+:func:`chaos_active`), so disabled runs are bit-identical and pay no
+measurable overhead.
+"""
+
+from .engine import ALL_HOOKS, ChaosConfig, ChaosEngine, chaos_active
+from .sanitizer import InvariantSanitizer, InvariantViolation
+from .watchdog import HangDiagnostic, SimulationHang, Watchdog
+
+#: alias so ``from repro.chaos import active`` mirrors ``repro.telemetry``
+active = chaos_active
+
+__all__ = [
+    "ALL_HOOKS",
+    "ChaosConfig",
+    "ChaosEngine",
+    "HangDiagnostic",
+    "InvariantSanitizer",
+    "InvariantViolation",
+    "SimulationHang",
+    "Watchdog",
+    "active",
+    "chaos_active",
+]

@@ -1,0 +1,247 @@
+"""Seeded, deterministic fault-injection engine.
+
+One :class:`ChaosEngine` per simulated run owns a single
+``random.Random(seed)`` stream.  The instrumented components (fault
+controller, MMU, SM pipeline) call the engine's *hooks* at well-defined
+points of the simulation; because the simulator itself is deterministic,
+the sequence of hook calls — and therefore the sequence of injections —
+is a pure function of the seed.  Two runs of the same workload, scheme
+and seed are bit-identical, which is what lets a chaos campaign be
+replayed and bisected (docs/ROBUSTNESS.md).
+
+Hook taxonomy (``ALL_HOOKS``):
+
+``fault.cpu_latency``
+    inflate one CPU-handler (or GPU local-handler) service occupancy by a
+    jittered factor — a pathologically slow driver.
+``fault.link_latency``
+    inflate one link occupancy (fault message or 64KB transfer).
+``fault.resolve_delay``
+    delay one fault-group resolution completion by a fixed-magnitude
+    jitter — a lost/retried completion signal.
+``fault.storm``
+    a burst of phantom faults ahead of a real one: occupies the link and
+    the CPU handler as if ``k`` extra faults had just been enqueued.
+``tlb.spurious_miss``
+    force one translation to miss both TLB levels and take a full walk.
+``tlb.shootdown``
+    invalidate every TLB entry (L1s + shared L2) before a translation.
+``sm.squash_replay``
+    transiently squash an in-flight global-memory instruction before its
+    translation phase and replay it after a penalty — the scheme's own
+    squash/replay machinery exercised without a real fault.
+
+Every injection increments a ``chaos.<hook>`` counter and emits one
+``chaos.inject`` telemetry event (rare-ring, so campaigns are traceable
+in Perfetto), tagged with the hook name and site arguments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Optional
+
+from repro.telemetry.events import EV_CHAOS
+
+#: every perturbation hook the engine may fire, in taxonomy order
+ALL_HOOKS = (
+    "fault.cpu_latency",
+    "fault.link_latency",
+    "fault.resolve_delay",
+    "fault.storm",
+    "tlb.spurious_miss",
+    "tlb.shootdown",
+    "sm.squash_replay",
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-hook firing rates and magnitudes of one injection campaign.
+
+    Rates are per-opportunity probabilities (each hook call site is one
+    opportunity); magnitudes bound the perturbation drawn when a hook
+    fires.  The defaults describe a *moderate* campaign: every hook
+    exercised on a small workload without drowning the run.
+    """
+
+    #: RNG seed — the campaign's identity (same seed => same injections)
+    seed: int = 0
+    cpu_latency_rate: float = 0.10
+    cpu_latency_max_factor: float = 4.0  # service time inflated 1x..4x
+    link_latency_rate: float = 0.10
+    link_latency_max_factor: float = 4.0
+    resolve_delay_rate: float = 0.10
+    resolve_delay_max_cycles: float = 2000.0
+    storm_rate: float = 0.05
+    storm_max_faults: int = 8  # phantom faults per burst
+    tlb_miss_rate: float = 0.002
+    shootdown_rate: float = 0.0005
+    squash_rate: float = 0.01
+    squash_penalty_cycles: float = 64.0
+
+    def scaled(self, intensity: float) -> "ChaosConfig":
+        """Scale every *rate* by ``intensity`` (clamped to probability 1);
+        magnitudes are untouched.  ``intensity=0`` disables every hook."""
+        if intensity < 0:
+            raise ValueError("intensity must be non-negative")
+        updates = {
+            f.name: min(1.0, getattr(self, f.name) * intensity)
+            for f in fields(self)
+            if f.name.endswith("_rate")
+        }
+        return replace(self, **updates)
+
+    @property
+    def enabled(self) -> bool:
+        """True if any hook can ever fire."""
+        return any(
+            getattr(self, f.name) > 0
+            for f in fields(self)
+            if f.name.endswith("_rate")
+        )
+
+
+class ChaosEngine:
+    """Deterministic injection source shared by one run's components.
+
+    Hooks consume the seeded RNG stream in simulator call order; each
+    returns either the unperturbed value (no injection) or the perturbed
+    one, and records the injection in ``injections`` / telemetry.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ChaosConfig] = None,
+        seed: Optional[int] = None,
+        telemetry=None,
+    ) -> None:
+        """``seed`` overrides ``config.seed`` (convenience for campaigns
+        that reuse one config across retries with fresh seeds)."""
+        base = config if config is not None else ChaosConfig()
+        if seed is not None:
+            base = replace(base, seed=seed)
+        self.config = base
+        self.enabled = base.enabled
+        self._rng = random.Random(base.seed)
+        self.injections: Dict[str, int] = {hook: 0 for hook in ALL_HOOKS}
+        self.tel = None
+        self.attach_telemetry(telemetry)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire the observability layer: one ``chaos.<hook>`` gauge per
+        hook and ``chaos.inject`` event emission on every injection
+        (rare-ring; see docs/ROBUSTNESS.md and docs/OBSERVABILITY.md)."""
+        from repro.telemetry import active
+
+        self.tel = active(telemetry)
+        if self.tel is None:
+            return
+        reg = self.tel.counters
+        for hook in ALL_HOOKS:
+            reg.gauge(
+                f"chaos.{hook}",
+                (lambda h=hook: self.injections[h]),
+            )
+        reg.gauge("chaos.total", lambda: self.total_injections)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def total_injections(self) -> int:
+        """Injections fired so far, across every hook."""
+        return sum(self.injections.values())
+
+    def summary(self) -> Dict[str, int]:
+        """Per-hook injection counts (hooks that fired at least once)."""
+        return {h: n for h, n in self.injections.items() if n}
+
+    def _fire(self, hook: str, time: float, **args) -> None:
+        self.injections[hook] += 1
+        if self.tel is not None:
+            payload = {"hook": hook}
+            payload.update(args)
+            self.tel.tracer.emit(EV_CHAOS, time, "chaos", payload)
+
+    # ------------------------------------------------------------------
+    # hooks (called from the instrumented components)
+    # ------------------------------------------------------------------
+
+    def cpu_latency(self, base: float, time: float) -> float:
+        """Perturb one CPU/local-handler service occupancy of ``base``
+        cycles; returns the (possibly inflated) occupancy."""
+        cfg = self.config
+        if self._rng.random() >= cfg.cpu_latency_rate:
+            return base
+        factor = 1.0 + self._rng.random() * (cfg.cpu_latency_max_factor - 1.0)
+        self._fire("fault.cpu_latency", time, factor=round(factor, 3))
+        return base * factor
+
+    def link_latency(self, base: float, time: float) -> float:
+        """Perturb one link occupancy (message or transfer) of ``base``
+        cycles; returns the (possibly inflated) occupancy."""
+        cfg = self.config
+        if self._rng.random() >= cfg.link_latency_rate:
+            return base
+        factor = 1.0 + self._rng.random() * (cfg.link_latency_max_factor - 1.0)
+        self._fire("fault.link_latency", time, factor=round(factor, 3))
+        return base * factor
+
+    def resolve_delay(self, time: float) -> float:
+        """Extra cycles to add to one fault-group resolution completion
+        (0.0 = no injection)."""
+        cfg = self.config
+        if self._rng.random() >= cfg.resolve_delay_rate:
+            return 0.0
+        delay = self._rng.random() * cfg.resolve_delay_max_cycles
+        self._fire("fault.resolve_delay", time, delay=round(delay, 1))
+        return delay
+
+    def fault_storm(self, time: float) -> int:
+        """Phantom faults to enqueue ahead of a real one (0 = no storm)."""
+        cfg = self.config
+        if self._rng.random() >= cfg.storm_rate:
+            return 0
+        burst = self._rng.randint(1, max(1, cfg.storm_max_faults))
+        self._fire("fault.storm", time, burst=burst)
+        return burst
+
+    def spurious_miss(self, time: float, vpn: int) -> bool:
+        """Force this translation to miss both TLB levels."""
+        if self._rng.random() >= self.config.tlb_miss_rate:
+            return False
+        self._fire("tlb.spurious_miss", time, vpn=vpn)
+        return True
+
+    def tlb_shootdown(self, time: float) -> bool:
+        """Invalidate every TLB entry before this translation."""
+        if self._rng.random() >= self.config.shootdown_rate:
+            return False
+        self._fire("tlb.shootdown", time)
+        return True
+
+    def squash_replay(self, time: float, sm_id: int) -> float:
+        """Penalty cycles before replaying a transiently squashed
+        global-memory instruction (0.0 = no injection)."""
+        cfg = self.config
+        if self._rng.random() >= cfg.squash_rate:
+            return 0.0
+        penalty = cfg.squash_penalty_cycles * (1.0 + self._rng.random())
+        self._fire("sm.squash_replay", time, sm=sm_id,
+                   penalty=round(penalty, 1))
+        return penalty
+
+    def __repr__(self) -> str:
+        return (
+            f"<ChaosEngine seed={self.config.seed} "
+            f"injections={self.total_injections}>"
+        )
+
+
+def chaos_active(engine: Optional[ChaosEngine]) -> Optional[ChaosEngine]:
+    """Normalize a constructor argument: an enabled engine passes
+    through; ``None`` or an all-rates-zero engine becomes ``None``, so
+    hot paths pay exactly one ``is not None`` check (the same contract
+    as :func:`repro.telemetry.active`)."""
+    return engine if engine is not None and engine.enabled else None

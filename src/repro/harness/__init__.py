@@ -1,5 +1,11 @@
-"""Experiment harness: one runner per paper table/figure + result tables."""
+"""Experiment harness: one runner per paper table/figure + result tables,
+plus crash isolation and seeded chaos campaigns (docs/ROBUSTNESS.md)."""
 
+from .chaos_campaign import (
+    DEFAULT_CAMPAIGN_SCHEMES,
+    architectural_digest,
+    run_chaos_campaign,
+)
 from .experiments import (
     ALL_EXPERIMENTS,
     DEFAULT_TIME_SCALE,
@@ -12,6 +18,7 @@ from .experiments import (
     run_table1,
     run_table2,
 )
+from .isolation import ExperimentFailure, run_experiment_isolated
 from .results import ExperimentTable, geomean
 from .tracing import TracedRun, run_traced
 
@@ -19,7 +26,12 @@ __all__ = [
     "TracedRun",
     "run_traced",
     "ALL_EXPERIMENTS",
+    "DEFAULT_CAMPAIGN_SCHEMES",
     "DEFAULT_TIME_SCALE",
+    "ExperimentFailure",
+    "architectural_digest",
+    "run_chaos_campaign",
+    "run_experiment_isolated",
     "run_fig10",
     "run_fig11",
     "run_fig12",

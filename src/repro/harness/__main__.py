@@ -7,10 +7,20 @@ Examples::
     python -m repro.harness fig12 --workloads sgemm histo
     python -m repro.harness all
     python -m repro.harness trace sgemm --scheme wd-commit --block-switching
+    python -m repro.harness chaos saxpy --seed 11
 
 The ``trace`` subcommand runs one workload with telemetry enabled and
 writes a Chrome ``trace_event`` JSON (open in chrome://tracing / Perfetto)
 plus a hierarchical counter dump — see docs/OBSERVABILITY.md.
+
+The ``chaos`` subcommand runs a seeded fault-injection campaign with the
+watchdog and invariant sanitizer enabled — see docs/ROBUSTNESS.md.
+
+Experiments run crash-isolated in a forked child process (see
+:mod:`repro.harness.isolation`): a crashing, hanging or timed-out
+experiment is reported as a structured failure, ``--keep-going`` lets the
+remaining experiments complete, and the harness exits nonzero when any
+experiment failed.
 """
 
 from __future__ import annotations
@@ -25,6 +35,7 @@ from . import (
     run_table1,
 )
 from .diagrams import render_all
+from .isolation import ExperimentFailure, run_experiment_isolated
 
 
 def _trace_main(argv) -> int:
@@ -91,18 +102,101 @@ def _trace_main(argv) -> int:
     return 0
 
 
+def _chaos_main(argv) -> int:
+    """The ``chaos`` subcommand: one seeded fault-injection campaign."""
+    from .chaos_campaign import DEFAULT_CAMPAIGN_SCHEMES, run_chaos_campaign
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness chaos",
+        description=(
+            "Run a seeded, deterministic fault-injection campaign: each "
+            "scheme runs clean and chaotic with the watchdog + invariant "
+            "sanitizer enabled; injection must perturb timing only "
+            "(docs/ROBUSTNESS.md). Exits 0 when every scheme's chaotic "
+            "run matched the clean architectural state, 1 otherwise."
+        ),
+    )
+    parser.add_argument("workload", help="benchmark name (e.g. saxpy, sgemm)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="injection RNG seed (same seed => "
+                             "bit-identical campaign)")
+    parser.add_argument(
+        "--schemes", nargs="+", default=list(DEFAULT_CAMPAIGN_SCHEMES),
+        help="pipeline schemes to exercise",
+    )
+    parser.add_argument(
+        "--paging", default="demand",
+        choices=["premapped", "demand", "demand-output", "demand-heap"],
+        help="paging mode (demand modes actually take faults)",
+    )
+    parser.add_argument(
+        "--interconnect", default="nvlink", choices=["nvlink", "pcie"],
+    )
+    parser.add_argument("--intensity", type=float, default=1.0,
+                        help="scale every hook's firing rate")
+    parser.add_argument("--time-scale", type=float,
+                        default=DEFAULT_TIME_SCALE)
+    parser.add_argument("--cycle-budget", type=float, default=None,
+                        help="watchdog no-progress window in cycles")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="wall-clock timeout in seconds for the whole "
+                             "campaign (runs crash-isolated)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="retries with a fresh seed after a watchdog "
+                             "trip (SimulationHang)")
+    args = parser.parse_args(argv)
+
+    kwargs = dict(
+        workload=args.workload,
+        seed=args.seed,
+        schemes=tuple(args.schemes),
+        paging=args.paging,
+        interconnect=args.interconnect,
+        time_scale=args.time_scale,
+        intensity=args.intensity,
+        cycle_budget=args.cycle_budget,
+    )
+    outcome = run_experiment_isolated(
+        name=f"chaos:{args.workload}",
+        fn=run_chaos_campaign,
+        kwargs=kwargs,
+        timeout=args.timeout,
+        retries=args.retries,
+        reseed=lambda attempt, kw: {
+            **kw, "seed": kw["seed"] + 1000 * attempt
+        },
+    )
+    if isinstance(outcome, ExperimentFailure):
+        print(outcome.render(), file=sys.stderr)
+        return 1
+    print(outcome.render(fmt="{:.1f}"))
+    if outcome.rows and "seed" in outcome.description:
+        seed_used = outcome.description.split("seed=")[1].split()[0]
+        if int(seed_used) != args.seed:
+            print(f"  note: retried with fresh seed {seed_used} after a "
+                  "watchdog trip")
+    clean = all(row[-1] == 1.0 for row in outcome.rows.values())
+    return 0 if clean else 1
+
+
 def main(argv=None) -> int:
-    """Dispatch to an experiment runner or the ``trace`` subcommand."""
+    """Dispatch to an experiment runner or the ``trace`` / ``chaos``
+    subcommand; returns the process exit code (nonzero when any
+    experiment failed)."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's tables and figures.",
         epilog="See also: python -m repro.harness trace <workload> "
-               "(telemetry-enabled run; writes Chrome trace + counters).",
+               "(telemetry-enabled run; writes Chrome trace + counters) "
+               "and python -m repro.harness chaos <workload> "
+               "(seeded fault-injection campaign; docs/ROBUSTNESS.md).",
     )
     parser.add_argument(
         "experiment",
@@ -117,6 +211,18 @@ def main(argv=None) -> int:
         "--workloads", nargs="+", default=None,
         help="explicit benchmark names (overrides --quick)",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="wall-clock timeout in seconds per experiment (a timed-out "
+             "experiment is terminated and reported as a failure)",
+    )
+    parser.add_argument(
+        "--keep-going", action=argparse.BooleanOptionalAction, default=None,
+        help="continue past a failed experiment and report all failures "
+             "at the end (default: on for 'all', off for a single "
+             "experiment); the exit code is nonzero if any experiment "
+             "failed either way",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "table1":
@@ -130,6 +236,12 @@ def main(argv=None) -> int:
         sorted(ALL_EXPERIMENTS) if args.experiment == "all"
         else [args.experiment]
     )
+    keep_going = (
+        args.keep_going
+        if args.keep_going is not None
+        else args.experiment == "all"
+    )
+    failures = []
     for name in names:
         runner = ALL_EXPERIMENTS[name]
         start = time.time()
@@ -138,9 +250,27 @@ def main(argv=None) -> int:
             kwargs["quick"] = args.quick
             if args.workloads:
                 kwargs["workloads"] = args.workloads
-        table = runner(**kwargs)
-        print(table.render())
+        outcome = run_experiment_isolated(
+            name=name, fn=runner, kwargs=kwargs, timeout=args.timeout
+        )
+        if isinstance(outcome, ExperimentFailure):
+            failures.append(outcome)
+            print(outcome.render(), file=sys.stderr)
+            print(file=sys.stderr)
+            if not keep_going:
+                break
+            continue
+        print(outcome.render())
         print(f"  ({time.time() - start:.1f}s)\n")
+    if failures:
+        done = len(names) - len(failures) if keep_going else None
+        summary = ", ".join(f.name for f in failures)
+        print(
+            f"{len(failures)} experiment(s) failed: {summary}"
+            + (f" ({done} completed)" if done is not None else ""),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

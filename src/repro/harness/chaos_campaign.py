@@ -1,0 +1,134 @@
+"""Seeded chaos campaigns: fault injection as a harness experiment.
+
+One campaign runs a workload under each requested scheme twice — once
+clean, once with a seeded :class:`repro.chaos.ChaosEngine`, a watchdog
+and the invariant sanitizer enabled — and checks the property the chaos
+layer exists to enforce (docs/ROBUSTNESS.md): **injection perturbs
+timing only**.  Page faults are the paper's own recovery mechanism, so a
+run whose handler latencies are inflated, whose TLBs are shot down and
+whose memory instructions are transiently squashed must still retire
+every block and install the identical set of GPU page mappings.
+
+Because the engine draws from a single seeded RNG consumed in simulator
+call order, a campaign is bit-reproducible: same workload, scheme and
+seed => identical injections, cycles and final state.
+
+Exposed on the CLI as ``python -m repro.harness chaos <workload>``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.chaos import ChaosConfig, ChaosEngine, Watchdog
+from repro.core import make_scheme
+from repro.system import GPUConfig, GpuSimulator, INTERCONNECTS
+from repro.workloads import get_workload
+
+from .experiments import DEFAULT_TIME_SCALE
+from .results import ExperimentTable
+
+#: schemes a default campaign exercises (the paper's preemptible ones)
+DEFAULT_CAMPAIGN_SCHEMES = ("wd-commit", "replay-queue", "operand-log")
+
+
+def architectural_digest(sim: GpuSimulator) -> Tuple:
+    """Hashable summary of a finished run's architectural memory state.
+
+    Captures the *architecturally visible* outcome — which virtual pages
+    ended GPU-mapped, how many blocks retired, how many instructions
+    committed — and deliberately excludes the vpn->ppn assignment:
+    injection legitimately reorders fault resolution, and with it which
+    physical frame each page happens to land in.
+    """
+    page_state = sim.address_space.page_state
+    return (
+        tuple(page_state.gpu_table.mapped_vpns()),
+        sum(sm.stats.blocks_completed for sm in sim.sms),
+        sum(sm.stats.committed for sm in sim.sms),
+    )
+
+
+def _build_sim(
+    wl, scheme_name: str, paging: str, cfg, ic, chaos=None, watchdog=None
+) -> GpuSimulator:
+    return GpuSimulator(
+        kernel=wl.kernel,
+        trace=wl.trace(),
+        address_space=wl.make_address_space(),
+        config=cfg,
+        scheme=make_scheme(scheme_name),
+        interconnect=ic,
+        paging=paging,
+        chaos=chaos,
+        watchdog=watchdog,
+        sanitize=chaos is not None,
+    )
+
+
+def run_chaos_campaign(
+    workload: str,
+    seed: int = 0,
+    schemes: Sequence[str] = DEFAULT_CAMPAIGN_SCHEMES,
+    paging: str = "demand",
+    interconnect: str = "nvlink",
+    time_scale: float = DEFAULT_TIME_SCALE,
+    intensity: float = 1.0,
+    cycle_budget: Optional[float] = None,
+    config: Optional[GPUConfig] = None,
+) -> ExperimentTable:
+    """Run the seeded chaos campaign; returns the result table.
+
+    For every scheme the table reports the clean cycle count, the chaotic
+    cycle count, the slowdown, the number of injections fired, and
+    ``state-match`` — 1.0 iff the chaotic run's
+    :func:`architectural_digest` equals the clean run's (the campaign's
+    pass criterion).  ``intensity`` scales every hook's firing rate
+    (see :meth:`repro.chaos.ChaosConfig.scaled`); ``cycle_budget``
+    overrides the watchdog's no-progress window.
+    """
+    wl = get_workload(workload)
+    cfg = (config or GPUConfig()).time_scaled(time_scale)
+    ic = INTERCONNECTS[interconnect].scaled(time_scale)
+    chaos_cfg = ChaosConfig(seed=seed).scaled(intensity)
+    table = ExperimentTable(
+        name="chaos",
+        description=(
+            f"{workload} seed={seed} intensity={intensity:g}: "
+            "fault injection must perturb timing only"
+        ),
+        columns=[
+            "base-cycles", "chaos-cycles", "slowdown",
+            "injections", "state-match",
+        ],
+        notes=[
+            "state-match 1.0 = chaotic run retired every block with the "
+            "identical final GPU page mappings and commit count",
+        ],
+        show_geomean=False,
+    )
+    for scheme_name in schemes:
+        base_sim = _build_sim(wl, scheme_name, paging, cfg, ic)
+        base = base_sim.run()
+        chaos = ChaosEngine(chaos_cfg)
+        watchdog = (
+            Watchdog(cycle_budget) if cycle_budget is not None else Watchdog()
+        )
+        chaos_sim = _build_sim(
+            wl, scheme_name, paging, cfg, ic, chaos=chaos, watchdog=watchdog
+        )
+        chaotic = chaos_sim.run()
+        match = architectural_digest(base_sim) == architectural_digest(
+            chaos_sim
+        )
+        table.add_row(
+            scheme_name,
+            [
+                base.cycles,
+                chaotic.cycles,
+                chaotic.cycles / base.cycles if base.cycles else 0.0,
+                float(chaos.total_injections),
+                1.0 if match else 0.0,
+            ],
+        )
+    return table

@@ -1,0 +1,169 @@
+"""Crash isolation for harness experiments.
+
+``python -m repro.harness all`` runs many independent simulations; one
+wedged or crashing experiment must not take the whole campaign down.
+:func:`run_experiment_isolated` executes one experiment function in a
+forked child process with
+
+- a **wall-clock timeout**: a child that outlives it is terminated and
+  reported as a timeout instead of hanging the harness forever;
+- **structured failure capture**: any exception in the child (including
+  :class:`repro.chaos.SimulationHang` and
+  :class:`repro.chaos.InvariantViolation`) comes back as a picklable
+  :class:`ExperimentFailure` carrying the exception type, message and
+  traceback text;
+- **bounded retry with a fresh seed**: when the child failed with a
+  watchdog trip (``SimulationHang``) and the caller supplied a
+  ``reseed`` hook, the experiment is retried up to ``retries`` times
+  with reseeded keyword arguments — the chaos campaign's escape hatch
+  from a seed that genuinely wedges the simulation.
+
+Results cross the process boundary over a ``multiprocessing`` pipe, so
+experiment functions must return picklable values
+(:class:`~repro.harness.results.ExperimentTable` is).  On platforms
+without the ``fork`` start method the experiment runs in-process (no
+timeout enforcement, failures still captured).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+
+@dataclass
+class ExperimentFailure:
+    """A structured record of one failed experiment attempt."""
+
+    name: str
+    kind: str  #: exception type name, or "Timeout"
+    message: str
+    traceback_text: str = ""
+    attempts: int = 1
+    #: kwargs of the failing attempt (after any reseeding)
+    kwargs: Dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """One-paragraph human-readable report."""
+        out = [
+            f"experiment {self.name!r} FAILED after "
+            f"{self.attempts} attempt(s): {self.kind}: {self.message}"
+        ]
+        if self.traceback_text:
+            out.append(self.traceback_text.rstrip())
+        return "\n".join(out)
+
+
+def _child_main(conn, fn, args, kwargs):
+    """Child-process entry: run ``fn`` and ship the outcome up the pipe."""
+    try:
+        result = fn(*args, **kwargs)
+        conn.send(("ok", result))
+    except BaseException as exc:  # noqa: BLE001 - isolation boundary
+        conn.send(
+            ("error", type(exc).__name__, str(exc), traceback.format_exc())
+        )
+    finally:
+        conn.close()
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or ``None`` if unsupported."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def _run_once(
+    fn: Callable,
+    args: Tuple,
+    kwargs: Dict,
+    timeout: Optional[float],
+) -> Tuple[str, object, str, str]:
+    """One attempt; returns ``(status, result, message, tb)`` where status
+    is ``"ok"``, ``"error"`` or ``"timeout"`` (result holds the error's
+    type name for ``"error"``)."""
+    ctx = _fork_context()
+    if ctx is None:  # pragma: no cover - non-POSIX fallback
+        try:
+            return ("ok", fn(*args, **kwargs), "", "")
+        except BaseException as exc:  # noqa: BLE001
+            return ("error", type(exc).__name__, str(exc),
+                    traceback.format_exc())
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(
+        target=_child_main, args=(child_conn, fn, args, kwargs), daemon=True
+    )
+    proc.start()
+    child_conn.close()
+    if not parent_conn.poll(timeout):
+        proc.terminate()
+        proc.join()
+        parent_conn.close()
+        return (
+            "timeout", "Timeout",
+            f"exceeded {timeout:g}s wall-clock timeout", "",
+        )
+    try:
+        payload = parent_conn.recv()
+    except EOFError:
+        proc.join()
+        parent_conn.close()
+        code = proc.exitcode
+        return (
+            "error", "ChildCrash",
+            f"experiment process died with exit code {code}", "",
+        )
+    proc.join()
+    parent_conn.close()
+    if payload[0] == "ok":
+        return ("ok", payload[1], "", "")
+    _, kind, message, tb = payload
+    return ("error", kind, message, tb)
+
+
+def run_experiment_isolated(
+    name: str,
+    fn: Callable,
+    args: Tuple = (),
+    kwargs: Optional[Dict] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    reseed: Optional[Callable[[int, Dict], Dict]] = None,
+):
+    """Run ``fn(*args, **kwargs)`` crash-isolated; returns the result or
+    an :class:`ExperimentFailure`.
+
+    ``retries`` bounds *additional* attempts after a ``SimulationHang``
+    failure; each retry's kwargs come from ``reseed(attempt, kwargs)``
+    (typically bumping a ``seed`` argument).  Other failure kinds —
+    crashes, invariant violations, timeouts — are never retried: they are
+    deterministic under the same inputs or indicate a harness-level
+    problem a fresh seed cannot fix.
+    """
+    kwargs = dict(kwargs or {})
+    attempts = 0
+    while True:
+        attempts += 1
+        status, result, message, tb = _run_once(fn, args, kwargs, timeout)
+        if status == "ok":
+            return result
+        retryable = (
+            status == "error"
+            and result == "SimulationHang"
+            and reseed is not None
+            and attempts <= retries
+        )
+        if not retryable:
+            return ExperimentFailure(
+                name=name,
+                kind=result if status == "error" else "Timeout",
+                message=message,
+                traceback_text=tb,
+                attempts=attempts,
+                kwargs=kwargs,
+            )
+        kwargs = reseed(attempts, kwargs)

@@ -84,7 +84,7 @@ class MemorySubsystem:
     (see :class:`repro.system.faults.FaultController`).
     """
 
-    def __init__(self, config, translate_fn, telemetry=None) -> None:
+    def __init__(self, config, translate_fn, telemetry=None, chaos=None) -> None:
         self.config = config
         dram_unloaded = (
             config.dram_latency
@@ -129,6 +129,7 @@ class MemorySubsystem:
         )
         self._ldst_free = [0.0] * config.num_sms
         self.attach_telemetry(telemetry)
+        self.mmu.attach_chaos(chaos)
 
     def attach_telemetry(self, telemetry) -> None:
         """Wire the observability layer through the memory subsystem:

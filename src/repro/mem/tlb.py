@@ -144,6 +144,7 @@ class Mmu:
         self._pending_walks: Dict[int, Tuple[float, Optional[int]]] = {}
         self.fault_detections = 0
         self.tel = None  # set by attach_telemetry
+        self.chaos = None  # set by attach_chaos
 
     def attach_telemetry(self, telemetry) -> None:
         """Register TLB/walker gauges under ``gpu.tlb.*`` and enable
@@ -175,10 +176,34 @@ class Mmu:
         )
         reg.gauge("gpu.tlb.miss", lambda: self.l2_tlb.stats.misses)
 
+    def attach_chaos(self, chaos) -> None:
+        """Wire the injection hooks ``tlb.spurious_miss`` (a translation
+        forced to miss both levels and take a full walk) and
+        ``tlb.shootdown`` (every TLB entry invalidated) — see
+        docs/ROBUSTNESS.md.  ``None`` when chaos is disabled, so the
+        translation hot path is unchanged without it."""
+        from repro.chaos import chaos_active
+
+        self.chaos = chaos_active(chaos)
+
+    def shootdown(self) -> None:
+        """Invalidate every cached translation (L1s + L2), keeping
+        in-flight walks and walker occupancy intact — the TLB-side effect
+        of a host-initiated unmap, and the ``tlb.shootdown`` injection."""
+        for tlb in self.l1_tlbs:
+            tlb.flush()
+        self.l2_tlb.flush()
+
     def translate(self, sm_id: int, vpn: int, now: float) -> TranslationResult:
         """Translate one page for SM ``sm_id``: L1 TLB -> L2 TLB -> walker
         pool; faults are detected at walk completion."""
         tel = self.tel
+        chaos = self.chaos
+        forced_miss = False
+        if chaos is not None:
+            if chaos.tlb_shootdown(now):
+                self.shootdown()
+            forced_miss = chaos.spurious_miss(now, vpn)
         # A walk in flight for this page: later lookups merge onto it and
         # observe its completion time — the entry is not visible in the
         # TLBs until the walker returns.
@@ -196,25 +221,27 @@ class Mmu:
             return TranslationResult(vpn, walk_ppn, done)
 
         l1 = self.l1_tlbs[sm_id]
-        ppn = l1.lookup(vpn)
-        if ppn is not None:
-            if tel is not None:
-                tel.tracer.emit(
-                    EV_TLB_HIT, now, "mmu",
-                    {"vpn": vpn, "sm": sm_id, "level": "l1"},
-                )
-            return TranslationResult(vpn, ppn, now)
+        if not forced_miss:
+            ppn = l1.lookup(vpn)
+            if ppn is not None:
+                if tel is not None:
+                    tel.tracer.emit(
+                        EV_TLB_HIT, now, "mmu",
+                        {"vpn": vpn, "sm": sm_id, "level": "l1"},
+                    )
+                return TranslationResult(vpn, ppn, now)
 
         t = now + self.l2_tlb.latency
-        ppn = self.l2_tlb.lookup(vpn)
-        if ppn is not None:
-            l1.insert(vpn, ppn)
-            if tel is not None:
-                tel.tracer.emit(
-                    EV_TLB_HIT, t, "mmu",
-                    {"vpn": vpn, "sm": sm_id, "level": "l2"},
-                )
-            return TranslationResult(vpn, ppn, t)
+        if not forced_miss:
+            ppn = self.l2_tlb.lookup(vpn)
+            if ppn is not None:
+                l1.insert(vpn, ppn)
+                if tel is not None:
+                    tel.tracer.emit(
+                        EV_TLB_HIT, t, "mmu",
+                        {"vpn": vpn, "sm": sm_id, "level": "l2"},
+                    )
+                return TranslationResult(vpn, ppn, t)
 
         done = self.walkers.walk(t)
         walk_ppn = self.translate_fn(vpn, done)

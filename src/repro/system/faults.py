@@ -14,7 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.telemetry.events import EV_FAULT_RAISE, EV_FAULT_RESOLVE
+from repro.telemetry.events import (
+    EV_FAULT_JOIN,
+    EV_FAULT_RAISE,
+    EV_FAULT_RESOLVE,
+)
 from repro.vm import (
     FAULT_GRANULARITY_PAGES,
     FaultClass,
@@ -45,6 +49,7 @@ class FaultOutcome:
 @dataclass
 class FaultStats:
     faults_raised: int = 0  # faulting accesses routed here (pre-dedup)
+    joined_pending: int = 0  # accesses that joined an in-flight resolution
     groups_resolved: int = 0
     migrations: int = 0
     alloc_only: int = 0
@@ -67,6 +72,7 @@ class FaultController:
         local_handling: bool = False,
         partitions: Optional[List[FrameAllocator]] = None,
         telemetry=None,
+        chaos=None,
     ) -> None:
         """``partitions`` lets a caller that persists physical memory across
         launches (the runtime facade) supply an existing CPU+per-SM split of
@@ -95,8 +101,12 @@ class FaultController:
         else:
             self._cpu_frames = frame_allocator
             self._sm_frames = []
+        from repro.chaos import chaos_active
         from repro.telemetry import active
 
+        # Injection hooks (docs/ROBUSTNESS.md): ``None`` when chaos is
+        # disabled, so the resolution paths are bit-identical without it.
+        self.chaos = chaos_active(chaos)
         self.tel = active(telemetry)
         if self.tel is not None:
             reg = self.tel.counters
@@ -143,6 +153,13 @@ class FaultController:
         pending = self._group_resolved.get(group)
         if pending is not None and pending > detect_time:
             # Already being resolved: join the pending fault.
+            self.stats.joined_pending += 1
+            if tel is not None:
+                tel.tracer.emit(
+                    EV_FAULT_JOIN, detect_time, "faults",
+                    {"vpn": vpn, "group": group, "sm": sm_id,
+                     "resolved_time": pending},
+                )
             return FaultOutcome(
                 group=group,
                 resolved_time=pending,
@@ -157,6 +174,21 @@ class FaultController:
                 f"SM{sm_id}: access to unmapped address page {vpn:#x}"
             )
 
+        chaos = self.chaos
+        if chaos is not None:
+            # Burst fault storm: phantom faults enqueued just ahead of this
+            # one occupy the link and the CPU handler (timing only — no
+            # pages are installed for them).
+            burst = chaos.fault_storm(detect_time)
+            if burst:
+                ic = self.interconnect
+                link_from = max(self._link_next_free, detect_time)
+                self._link_next_free = link_from + burst * ic.msg_occupancy
+                cpu_from = max(self._cpu_next_free, detect_time)
+                self._cpu_next_free = cpu_from + burst * ic.cpu_service
+                self.stats.link_busy += burst * ic.msg_occupancy
+                self.stats.cpu_busy += burst * ic.cpu_service
+
         position = self._position(detect_time)
         local = self.local_handling and fault_class is FaultClass.FIRST_TOUCH
         if local:
@@ -167,6 +199,9 @@ class FaultController:
             resolved = self._resolve_cpu(detect_time, fault_class)
             self.stats.handled_by_cpu += 1
             frames = self._cpu_frames
+        if chaos is not None:
+            # Delayed resolution completion: the signal arrives late.
+            resolved += chaos.resolve_delay(detect_time)
 
         if fault_class is FaultClass.MIGRATE:
             self.stats.migrations += 1
@@ -210,20 +245,29 @@ class FaultController:
         link, so mass concurrent faults contend on it and on the single CPU
         handler — the effect use case 2 exists to avoid."""
         ic = self.interconnect
+        chaos = self.chaos
+        msg_occupancy = ic.msg_occupancy
+        cpu_service = ic.cpu_service
+        transfer_time = ic.transfer_time
+        if chaos is not None:
+            msg_occupancy = chaos.link_latency(msg_occupancy, detect)
+            cpu_service = chaos.cpu_latency(cpu_service, detect)
         half_signal = ic.signal_latency / 2
         msg_start = max(detect + half_signal, self._link_next_free)
-        msg_done = msg_start + ic.msg_occupancy
+        msg_done = msg_start + msg_occupancy
         self._link_next_free = msg_done
-        self.stats.link_busy += ic.msg_occupancy
+        self.stats.link_busy += msg_occupancy
         cpu_start = max(msg_done, self._cpu_next_free)
-        cpu_done = cpu_start + ic.cpu_service
+        cpu_done = cpu_start + cpu_service
         self._cpu_next_free = cpu_done
-        self.stats.cpu_busy += ic.cpu_service
+        self.stats.cpu_busy += cpu_service
         if fault_class is FaultClass.MIGRATE:
+            if chaos is not None:
+                transfer_time = chaos.link_latency(transfer_time, cpu_done)
             link_start = max(cpu_done, self._link_next_free)
-            link_done = link_start + ic.transfer_time
+            link_done = link_start + transfer_time
             self._link_next_free = link_done
-            self.stats.link_busy += ic.transfer_time
+            self.stats.link_busy += transfer_time
             return link_done + half_signal
         return cpu_done + half_signal
 
@@ -232,7 +276,10 @@ class FaultController:
         handler in system mode.  Handlers on different SMs run concurrently;
         within an SM a short allocator critical section serializes."""
         cfg = self.config
-        handler_done = detect + cfg.gpu_handler_latency
+        handler_latency = cfg.gpu_handler_latency
+        if self.chaos is not None:
+            handler_latency = self.chaos.cpu_latency(handler_latency, detect)
+        handler_done = detect + handler_latency
         serial_start = max(
             handler_done - cfg.gpu_handler_serial,
             self._sm_handler_next_free[sm_id],

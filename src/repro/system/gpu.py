@@ -77,7 +77,17 @@ class GpuSimulator:
         frame_allocator: Optional[FrameAllocator] = None,
         frame_partitions=None,
         telemetry: Optional[Telemetry] = None,
+        chaos=None,
+        watchdog=None,
+        sanitize: bool = False,
     ) -> None:
+        """``chaos`` (a :class:`repro.chaos.ChaosEngine`), ``watchdog``
+        (a :class:`repro.chaos.Watchdog`) and ``sanitize`` enable the
+        robustness layer of docs/ROBUSTNESS.md; all default off, leaving
+        the simulator's timing bit-identical and its hot paths paying a
+        single ``is not None`` check."""
+        from repro.chaos import InvariantSanitizer, chaos_active
+
         self.config = config if config is not None else GPUConfig()
         self.scheme = scheme if scheme is not None else BaselineStallOnFault()
         self.kernel = kernel
@@ -85,6 +95,11 @@ class GpuSimulator:
         self.address_space = address_space
         self.paging = paging
         self.telemetry = _tel_active(telemetry)
+        self.chaos = chaos_active(chaos)
+        self.watchdog = watchdog
+        self.sanitizer = InvariantSanitizer() if sanitize else None
+        if self.chaos is not None:
+            self.chaos.attach_telemetry(self.telemetry)
         cfg = self.config
 
         page_state = address_space.page_state
@@ -101,6 +116,7 @@ class GpuSimulator:
             local_handling=local_handling,
             partitions=frame_partitions,
             telemetry=self.telemetry,
+            chaos=self.chaos,
         )
         # Pre-mapping (driver-side) allocates from the CPU driver's slice.
         driver_frames = self.fault_ctl.cpu_frames
@@ -124,8 +140,11 @@ class GpuSimulator:
             cfg,
             translate_fn=self.fault_ctl.translate,
             telemetry=self.telemetry,
+            chaos=self.chaos,
         )
         self.events = EventQueue()
+        if self.sanitizer is not None:
+            self.events.attach_sanitizer(self.sanitizer)
         self.tb_scheduler = ThreadBlockScheduler(trace)
 
         occupancy = cfg.blocks_per_sm(kernel, trace.block_dim)
@@ -145,6 +164,8 @@ class GpuSimulator:
                 occupancy=occupancy,
                 context_bytes_per_block=context_bytes,
                 telemetry=self.telemetry,
+                chaos=self.chaos,
+                sanitizer=self.sanitizer,
             )
             for i in range(cfg.num_sms)
         ]
@@ -197,6 +218,54 @@ class GpuSimulator:
             sm.refill_slot(time)
 
     # ------------------------------------------------------------------
+    # watchdog support (repro.chaos, docs/ROBUSTNESS.md)
+    # ------------------------------------------------------------------
+
+    def _progress(self):
+        """The watchdog's forward-progress signature.  Deliberately *not*
+        ``events.processed``: a self-rescheduling stuck event fires events
+        forever without ever committing work, and must still count as a
+        hang."""
+        return (
+            self.blocks_remaining,
+            sum(sm.stats.committed for sm in self.sms),
+        )
+
+    def _hang_diagnostic(self, cycle: float):
+        """Snapshot the stuck simulation for :class:`SimulationHang`."""
+        from repro.chaos import HangDiagnostic
+
+        warp_states = {}
+        for sm in self.sms:
+            warp_states[f"sm{sm.sm_id}"] = [
+                {
+                    "warp": w.slot,
+                    "idx": w.idx,
+                    "trace_len": len(w.trace),
+                    "inflight": w.inflight,
+                    "fetch_holds": w.fetch_holds,
+                    "at_barrier": w.at_barrier,
+                    "replays": len(w.replay_list),
+                    "done": w.done,
+                }
+                for w in sm.warps
+            ]
+        tel = self.telemetry
+        return HangDiagnostic(
+            cycle=cycle,
+            cycle_budget=self.watchdog.cycle_budget,
+            blocks_remaining=self.blocks_remaining,
+            committed=sum(sm.stats.committed for sm in self.sms),
+            pending_fault_groups=self.fault_ctl.pending_groups(cycle),
+            event_heap_depth=len(self.events),
+            next_event_time=self.events.next_time,
+            warp_states=warp_states,
+            telemetry_summary=(
+                tel.tracer.names() if tel is not None else {}
+            ),
+        )
+
+    # ------------------------------------------------------------------
 
     def run(self, max_cycles: float = 2e9) -> SimResult:
         """Run the launch to completion; returns the results."""
@@ -214,6 +283,12 @@ class GpuSimulator:
         sms = self.sms
         tel = self.telemetry
         next_sample = tel.sample_interval if tel is not None else math.inf
+        wd = self.watchdog
+        next_wd = math.inf
+        if wd is not None:
+            wd.reset()
+            wd.observe(self._progress())  # baseline signature at cycle 0
+            next_wd = wd.cycle_budget
         while self.blocks_remaining > 0:
             if cycle > max_cycles:
                 raise DeadlockError(f"exceeded {max_cycles:g} cycles")
@@ -228,6 +303,12 @@ class GpuSimulator:
             if cycle >= next_sample:
                 tel.sample(cycle)
                 next_sample = cycle + tel.sample_interval
+            if cycle >= next_wd:
+                if not wd.observe(self._progress()):
+                    from repro.chaos import SimulationHang
+
+                    raise SimulationHang(self._hang_diagnostic(cycle))
+                next_wd = cycle + wd.cycle_budget
             if awake:
                 cycle += 1
             else:
@@ -239,6 +320,8 @@ class GpuSimulator:
                     )
                 cycle = max(cycle + 1, math.ceil(nxt))
 
+        if self.sanitizer is not None:
+            self.sanitizer.check_frames(self.address_space.page_state)
         if tel is not None:
             tel.sample(self.last_block_done)
             tel.tracer.emit_span(

@@ -31,6 +31,7 @@ import os
 from typing import Dict, Optional
 
 from . import events as ev
+from .compare import CounterDiff, diff_counters, diff_files
 from .counters import Counter, CounterRegistry
 from .events import ALL_EVENT_NAMES, RingBufferTracer
 
@@ -118,10 +119,13 @@ def active(telemetry: Optional[Telemetry]) -> Optional[Telemetry]:
 __all__ = [
     "ALL_EVENT_NAMES",
     "Counter",
+    "CounterDiff",
     "CounterRegistry",
     "DEFAULT_SAMPLE_INTERVAL",
     "RingBufferTracer",
     "Telemetry",
     "active",
+    "diff_counters",
+    "diff_files",
     "ev",
 ]

@@ -1,0 +1,190 @@
+"""Counter-diff utility for two telemetry counter dumps.
+
+A traced run writes ``<stem>.counters.json`` (see
+:mod:`repro.harness.tracing` and docs/OBSERVABILITY.md); this module diffs
+the flat ``counters`` section of two such dumps — the fastest way to answer
+"what changed between these two runs?" after a scheme tweak, a config bump
+or a chaos campaign (docs/ROBUSTNESS.md).
+
+Programmatic use::
+
+    from repro.telemetry.compare import diff_files
+    diff = diff_files("a.counters.json", "b.counters.json")
+    for entry in diff.changed:
+        print(entry.path, entry.a, entry.b)
+
+CLI use (exit code 0 when the selected counters match, 1 otherwise)::
+
+    python -m repro.telemetry.compare a.counters.json b.counters.json
+    python -m repro.telemetry.compare a.json b.json --pattern 'gpu.tlb.*'
+    python -m repro.telemetry.compare a.json b.json --threshold 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .counters import _match
+
+
+@dataclass
+class DiffEntry:
+    """One counter path whose value differs between the two dumps."""
+
+    path: str
+    a: Optional[float]  #: value in the first dump (None = absent)
+    b: Optional[float]  #: value in the second dump (None = absent)
+
+    @property
+    def delta(self) -> float:
+        """Signed change ``b - a`` (absent values count as 0)."""
+        return (self.b or 0.0) - (self.a or 0.0)
+
+    @property
+    def pct(self) -> Optional[float]:
+        """Relative change in percent, or ``None`` when ``a`` is 0/absent."""
+        if not self.a:
+            return None
+        return 100.0 * self.delta / self.a
+
+
+@dataclass
+class CounterDiff:
+    """Structured result of diffing two counter dumps."""
+
+    changed: List[DiffEntry] = field(default_factory=list)
+    only_a: List[str] = field(default_factory=list)
+    only_b: List[str] = field(default_factory=list)
+    compared: int = 0  #: number of counter paths examined
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing differs (the CLI's exit-0 condition)."""
+        return not self.changed and not self.only_a and not self.only_b
+
+    def render(self, label_a: str = "a", label_b: str = "b") -> str:
+        """Human-readable report (what the CLI prints)."""
+        if self.clean:
+            return f"{self.compared} counters compared: identical"
+        lines = [
+            f"{self.compared} counters compared: "
+            f"{len(self.changed)} changed, "
+            f"{len(self.only_a)} only in {label_a}, "
+            f"{len(self.only_b)} only in {label_b}",
+        ]
+        for e in self.changed:
+            pct = f" ({e.pct:+.2f}%)" if e.pct is not None else ""
+            lines.append(f"  {e.path:<48} {e.a:g} -> {e.b:g}{pct}")
+        for p in self.only_a:
+            lines.append(f"  {p:<48} only in {label_a}")
+        for p in self.only_b:
+            lines.append(f"  {p:<48} only in {label_b}")
+        return "\n".join(lines)
+
+
+def diff_counters(
+    a: Dict[str, float],
+    b: Dict[str, float],
+    pattern: Optional[str] = None,
+    threshold_pct: float = 0.0,
+) -> CounterDiff:
+    """Diff two flat ``{path: value}`` counter maps.
+
+    ``pattern`` restricts the comparison to glob-matching paths (the
+    convention of :mod:`repro.telemetry.counters`, where ``[`` / ``]`` are
+    literal index brackets).  ``threshold_pct`` suppresses changes whose
+    relative magnitude is at or below the given percentage — absolute
+    changes from zero always count, since they have no relative size.
+    """
+    keep = (
+        (lambda p: _match(p, pattern)) if pattern is not None else
+        (lambda p: True)
+    )
+    paths_a = {p for p in a if keep(p)}
+    paths_b = {p for p in b if keep(p)}
+    diff = CounterDiff(compared=len(paths_a | paths_b))
+    for path in sorted(paths_a & paths_b):
+        va, vb = a[path], b[path]
+        if va == vb:
+            continue
+        entry = DiffEntry(path, va, vb)
+        pct = entry.pct
+        if pct is not None and abs(pct) <= threshold_pct:
+            continue
+        diff.changed.append(entry)
+    diff.only_a = sorted(paths_a - paths_b)
+    diff.only_b = sorted(paths_b - paths_a)
+    return diff
+
+
+def load_counters(path: str) -> Dict[str, float]:
+    """Read the flat ``counters`` section from a ``.counters.json`` dump.
+
+    Accepts either the full :meth:`CounterRegistry.to_dict` layout or a
+    bare ``{path: value}`` map (handy in tests).
+    """
+    with open(path) as fh:
+        data = json.load(fh)
+    if isinstance(data, dict) and isinstance(data.get("counters"), dict):
+        return data["counters"]
+    if isinstance(data, dict):
+        return data
+    raise ValueError(f"{path}: not a counter dump")
+
+
+def diff_files(
+    path_a: str,
+    path_b: str,
+    pattern: Optional[str] = None,
+    threshold_pct: float = 0.0,
+) -> CounterDiff:
+    """:func:`diff_counters` over two ``.counters.json`` files."""
+    return diff_counters(
+        load_counters(path_a),
+        load_counters(path_b),
+        pattern=pattern,
+        threshold_pct=threshold_pct,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: print the diff report, return the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.compare",
+        description=(
+            "Diff the counters of two telemetry dumps "
+            "(<stem>.counters.json files written by "
+            "'python -m repro.harness trace'). Exits 0 when the selected "
+            "counters are identical, 1 when anything differs."
+        ),
+    )
+    parser.add_argument("a", help="first counters.json file")
+    parser.add_argument("b", help="second counters.json file")
+    parser.add_argument(
+        "--pattern",
+        default=None,
+        metavar="GLOB",
+        help="only compare paths matching this glob "
+        "(e.g. 'gpu.tlb.*' or 'gpu.sm[*].warp_stall.*')",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="ignore relative changes of at most PCT percent "
+        "(changes from zero always count)",
+    )
+    args = parser.parse_args(argv)
+    diff = diff_files(
+        args.a, args.b, pattern=args.pattern, threshold_pct=args.threshold
+    )
+    print(diff.render(label_a=args.a, label_b=args.b))
+    return 0 if diff.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -39,6 +39,9 @@ EV_TLB_MISS = "tlb.miss"
 #: page faults
 EV_FAULT_RAISE = "fault.raise"
 EV_FAULT_RESOLVE = "fault.resolve"
+EV_FAULT_JOIN = "fault.join"
+#: chaos injections (repro.chaos)
+EV_CHAOS = "chaos.inject"
 #: thread-block lifecycle / preemption
 EV_BLOCK_LAUNCH = "block.launch"
 EV_BLOCK_DONE = "block.done"
@@ -60,6 +63,8 @@ ALL_EVENT_NAMES = (
     EV_TLB_MISS,
     EV_FAULT_RAISE,
     EV_FAULT_RESOLVE,
+    EV_FAULT_JOIN,
+    EV_CHAOS,
     EV_BLOCK_LAUNCH,
     EV_BLOCK_DONE,
     EV_BLOCK_SWITCH_OUT,
@@ -77,6 +82,8 @@ RARE_EVENT_NAMES = frozenset(
         EV_REPLAY,
         EV_FAULT_RAISE,
         EV_FAULT_RESOLVE,
+        EV_FAULT_JOIN,
+        EV_CHAOS,
         EV_BLOCK_LAUNCH,
         EV_BLOCK_DONE,
         EV_BLOCK_SWITCH_OUT,

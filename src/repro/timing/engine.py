@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Callable, List, Optional
 
 
@@ -46,9 +47,22 @@ class EventQueue:
         self.processed = 0
         self.scheduled = 0
         self.peak = 0
+        # Invariant sanitizer (repro.chaos): None in production runs, so
+        # schedule/run_until stay on their unchecked fast paths.
+        self._sanitizer = None
+        self._last_fired = -math.inf
+
+    def attach_sanitizer(self, sanitizer) -> None:
+        """Enable heap self-checks (docs/ROBUSTNESS.md): scheduling before
+        the last fired event time raises ``InvariantViolation`` (time
+        regression), and one ``run_until`` advance firing an unbounded
+        event count is declared a same-timestamp livelock."""
+        self._sanitizer = sanitizer
 
     def schedule(self, time: float, fn: Callable[[float], None]) -> Event:
         """Schedule ``fn(time)``; returns the cancellable Event handle."""
+        if self._sanitizer is not None and time < self._last_fired:
+            self._sanitizer.heap_regression(time, self._last_fired)
         event = Event(time, fn)
         heapq.heappush(self._heap, (time, next(self._counter), event))
         self.scheduled += 1
@@ -66,6 +80,8 @@ class EventQueue:
 
     def run_until(self, time: float) -> int:
         """Run every event with timestamp <= ``time``; returns count run."""
+        if self._sanitizer is not None:
+            return self._run_until_sanitized(time)
         ran = 0
         heap = self._heap
         while heap and heap[0][0] <= time:
@@ -74,6 +90,32 @@ class EventQueue:
                 event.fired = True
                 event.fn(event.time)
                 ran += 1
+        self.processed += ran
+        return ran
+
+    def _run_until_sanitized(self, time: float) -> int:
+        """Checked variant of :meth:`run_until`: tracks the last fired
+        time (for the schedule-into-the-past check) and bounds the events
+        one advance may fire (a same-timestamp self-rescheduling event
+        would otherwise spin inside this loop, invisible to the run-loop
+        watchdog)."""
+        san = self._sanitizer
+        limit = san.max_events_per_advance
+        ran = 0
+        heap = self._heap
+        while heap and heap[0][0] <= time:
+            t, _, event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            if t < self._last_fired:
+                san.heap_regression(t, self._last_fired)
+            self._last_fired = t
+            event.fired = True
+            event.fn(event.time)
+            ran += 1
+            if ran > limit:
+                self.processed += ran
+                san.heap_storm(time, ran)
         self.processed += ran
         return ran
 

@@ -200,6 +200,8 @@ class SmPipeline:
         occupancy: int,
         context_bytes_per_block: int,
         telemetry=None,
+        chaos=None,
+        sanitizer=None,
     ) -> None:
         self.sm_id = sm_id
         self.config = config
@@ -233,6 +235,12 @@ class SmPipeline:
         self._log_partition = (
             max(512, log_bytes // max(occupancy, 1)) if log_bytes else 0
         )
+        # Chaos / sanitizer (repro.chaos): both None unless enabled, so the
+        # issue and retirement hot paths pay only an ``is not None`` check.
+        from repro.chaos import chaos_active as _chaos_active
+
+        self.chaos = _chaos_active(chaos)
+        self.sanitizer = sanitizer
         # Telemetry: ``self.tel`` is None unless an *enabled* Telemetry was
         # supplied, so the hot paths pay only an ``is not None`` check.
         self.tel = _tel_active(telemetry)
@@ -290,6 +298,8 @@ class SmPipeline:
         self.rr = 0
 
     def _block_finished(self, block: BlockRT, time: float) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.check_block_retirement(self, block, time)
         block.state = BlockRT.DONE
         self.blocks.remove(block)
         self.free_slots += 1
@@ -579,11 +589,26 @@ class SmPipeline:
         )
 
     def _gmem_translate(
-        self, warp: WarpRT, tinst, dec, now: float, wd_hold: bool
+        self, warp: WarpRT, tinst, dec, now: float, wd_hold: bool,
+        replayed: bool = False,
     ) -> None:
         """Phase 1 of the global-memory path: coalesce + translate; route
         detected page faults to the fault controller and park the faulted
         instruction for replay (the squashable state of Section 3)."""
+        chaos = self.chaos
+        if chaos is not None and not replayed:
+            # ``sm.squash_replay`` injection: transiently squash this
+            # in-flight global-memory instruction and replay it after a
+            # pipeline-refill penalty.  Phase 1 has claimed no timed
+            # resources yet, so deferring the whole phase is leak-free.
+            penalty = chaos.squash_replay(now, self.sm_id)
+            if penalty:
+                self.events.schedule(
+                    now + penalty,
+                    lambda t, w=warp, ti=tinst, d=dec, h=wd_hold:
+                        self._gmem_translate(w, ti, d, t, h, True),
+                )
+                return
         srcs, dests, psrcs, pdests = dec[6], dec[7], dec[8], dec[9]
         is_store = dec[3]
         block = warp.block

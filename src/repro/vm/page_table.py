@@ -70,6 +70,16 @@ class PageTable:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def items(self):
+        """Iterate ``(vpn, PageTableEntry)`` pairs (insertion order) — the
+        read-only view the invariant sanitizer's frame checks and the
+        harness's architectural-state digests use."""
+        return self._entries.items()
+
+    def mapped_vpns(self):
+        """Sorted list of every mapped virtual page number."""
+        return sorted(self._entries)
+
 
 class SystemPageState:
     """Shared CPU/GPU view of every virtual page: ownership + both tables.

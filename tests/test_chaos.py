@@ -1,0 +1,327 @@
+"""Chaos engine tests: deterministic injection, timing-only perturbation,
+watchdog hang detection, invariant sanitizer checks (docs/ROBUSTNESS.md)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.chaos import (
+    ALL_HOOKS,
+    ChaosConfig,
+    ChaosEngine,
+    InvariantSanitizer,
+    InvariantViolation,
+    SimulationHang,
+    Watchdog,
+    chaos_active,
+)
+from repro.core import make_scheme
+from repro.harness import architectural_digest, run_chaos_campaign
+from repro.system import GpuSimulator
+from repro.timing.engine import EventQueue
+from repro.vm import Owner, SystemPageState
+from repro.workloads import MICRO
+
+
+def build_sim(wl, scheme="replay-queue", paging="demand", **kw):
+    return GpuSimulator(
+        kernel=wl.kernel,
+        trace=wl.trace(),
+        address_space=wl.make_address_space(),
+        scheme=make_scheme(scheme),
+        paging=paging,
+        **kw,
+    )
+
+
+@pytest.fixture(scope="module")
+def saxpy():
+    return MICRO.fresh("saxpy")
+
+
+# ---------------------------------------------------------------------------
+# engine
+# ---------------------------------------------------------------------------
+
+class TestChaosEngine:
+    def _drive(self, engine, n=200):
+        out = []
+        for i in range(n):
+            t = float(i)
+            out.append(engine.cpu_latency(100.0, t))
+            out.append(engine.link_latency(40.0, t))
+            out.append(engine.resolve_delay(t))
+            out.append(engine.fault_storm(t))
+            out.append(engine.spurious_miss(t, vpn=i))
+            out.append(engine.tlb_shootdown(t))
+            out.append(engine.squash_replay(t, sm_id=i % 4))
+        return out
+
+    def test_same_seed_same_injections(self):
+        a = ChaosEngine(seed=42)
+        b = ChaosEngine(seed=42)
+        assert self._drive(a) == self._drive(b)
+        assert a.injections == b.injections
+
+    def test_different_seed_differs(self):
+        a = ChaosEngine(seed=1)
+        b = ChaosEngine(seed=2)
+        assert self._drive(a) != self._drive(b)
+
+    def test_every_hook_fires_under_high_intensity(self):
+        engine = ChaosEngine(ChaosConfig(seed=0).scaled(50.0))
+        self._drive(engine, n=3000)
+        assert set(engine.summary()) == set(ALL_HOOKS)
+        assert engine.total_injections == sum(engine.injections.values())
+
+    def test_zero_intensity_disables(self):
+        cfg = ChaosConfig().scaled(0.0)
+        assert not cfg.enabled
+        assert chaos_active(ChaosEngine(cfg)) is None
+        assert chaos_active(None) is None
+        assert chaos_active(ChaosEngine(seed=1)) is not None
+
+    def test_scaled_clamps_rates(self):
+        cfg = ChaosConfig().scaled(1e9)
+        assert cfg.storm_rate == 1.0
+        assert cfg.cpu_latency_rate == 1.0
+        with pytest.raises(ValueError):
+            ChaosConfig().scaled(-1)
+
+    def test_seed_override(self):
+        engine = ChaosEngine(ChaosConfig(seed=3), seed=9)
+        assert engine.config.seed == 9
+
+    def test_injections_emit_telemetry(self):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.events import EV_CHAOS
+
+        tel = Telemetry()
+        engine = ChaosEngine(
+            ChaosConfig(seed=0).scaled(50.0), telemetry=tel
+        )
+        self._drive(engine, n=500)
+        assert tel.tracer.count(EV_CHAOS) > 0
+        assert tel.counters.value("chaos.total") == engine.total_injections
+
+
+# ---------------------------------------------------------------------------
+# timing-only perturbation (the acceptance property)
+# ---------------------------------------------------------------------------
+
+class TestTimingOnlyPerturbation:
+    def test_disabled_chaos_is_bit_identical(self, saxpy):
+        plain = build_sim(saxpy).run()
+        disabled = build_sim(
+            saxpy, chaos=ChaosEngine(ChaosConfig().scaled(0.0))
+        )
+        assert disabled.chaos is None  # normalized away, like telemetry
+        assert disabled.run().cycles == plain.cycles
+
+    def test_campaign_bit_reproducible(self, saxpy):
+        a = run_chaos_campaign(
+            "saxpy", seed=7, schemes=("replay-queue",), intensity=10.0
+        )
+        b = run_chaos_campaign(
+            "saxpy", seed=7, schemes=("replay-queue",), intensity=10.0
+        )
+        assert a.to_dict() == b.to_dict()
+
+    def test_architectural_state_matches_for_all_schemes(self, saxpy):
+        table = run_chaos_campaign(
+            "saxpy",
+            seed=3,
+            schemes=("wd-commit", "replay-queue", "operand-log"),
+            intensity=25.0,
+        )
+        match_idx = table.columns.index("state-match")
+        inject_idx = table.columns.index("injections")
+        for scheme, row in table.rows.items():
+            assert row[match_idx] == 1.0, f"{scheme} diverged under chaos"
+        assert sum(row[inject_idx] for row in table.rows.values()) > 0
+
+    def test_digest_reflects_final_mappings(self, saxpy):
+        sim = build_sim(saxpy)
+        sim.run()
+        vpns, blocks, committed = architectural_digest(sim)
+        assert blocks == saxpy.grid_dim
+        assert committed > 0
+        assert list(vpns) == sorted(vpns)
+        assert len(vpns) > 0
+
+
+# ---------------------------------------------------------------------------
+# watchdog
+# ---------------------------------------------------------------------------
+
+class TestWatchdog:
+    def test_observe_semantics(self):
+        wd = Watchdog(cycle_budget=100.0)
+        assert wd.observe((5, 0))
+        assert wd.observe((5, 10))  # progress
+        assert not wd.observe((5, 10))  # none
+        assert wd.trips == 1
+        wd.reset()
+        assert wd.observe((5, 10))
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Watchdog(cycle_budget=0)
+
+    def test_artificial_hang_caught_within_budget(self, saxpy):
+        """Wedged SMs (awake, never issuing) plus a self-rescheduling
+        stuck event: progress-blind loops like this must trip the
+        watchdog within its cycle budget, not spin to max_cycles."""
+        budget = 5_000.0
+        sim = build_sim(saxpy, watchdog=Watchdog(budget))
+        # a fault raised before the run wedges: its group stays pending
+        page_state = sim.address_space.page_state
+        vpn = next(iter(dict(page_state.cpu_table.items())))
+        sim.fault_ctl.on_fault(vpn=vpn, detect_time=0.0, sm_id=0)
+        for sm in sim.sms:
+            sm.try_issue = lambda cycle: 0  # awake but never issues
+        def stuck(t):
+            sim.events.schedule(t + 50.0, stuck)
+        sim.events.schedule(0.0, stuck)
+
+        with pytest.raises(SimulationHang) as exc_info:
+            sim.run(max_cycles=100 * budget)
+        diag = exc_info.value.diagnostic
+        assert diag.cycle <= 2 * budget  # caught within the budget window
+        assert diag.cycle_budget == budget
+        assert diag.blocks_remaining == saxpy.grid_dim
+        assert diag.committed == 0
+        assert diag.pending_fault_groups  # the pre-raised fault group
+        assert diag.event_heap_depth > 0  # the stuck event keeps pending
+        assert set(diag.warp_states) == {
+            f"sm{sm.sm_id}" for sm in sim.sms
+        }
+        some_sm = next(iter(diag.warp_states.values()))
+        assert {"warp", "idx", "inflight", "fetch_holds"} <= set(
+            some_sm[0]
+        )
+        rendered = str(exc_info.value)
+        assert "no forward progress" in rendered
+        assert "pending fault groups" in rendered
+
+    def test_healthy_run_never_trips(self, saxpy):
+        sim = build_sim(saxpy, watchdog=Watchdog(5_000.0))
+        result = sim.run()
+        assert result.cycles > 0
+        assert sim.watchdog.trips == 0
+
+
+# ---------------------------------------------------------------------------
+# invariant sanitizer
+# ---------------------------------------------------------------------------
+
+def _clean_block():
+    warp = SimpleNamespace(
+        slot=0, pw={}, pr={}, pwp={}, prp={}, inflight=0, replay_list=[]
+    )
+    return SimpleNamespace(
+        block_id=1,
+        warps=[warp],
+        log_used=0,
+        faulted_inflight=[],
+        pending_groups={},
+        unresolved_at=lambda time: False,
+    )
+
+
+class TestSanitizer:
+    def test_clean_retirement_passes(self):
+        san = InvariantSanitizer()
+        san.check_block_retirement(
+            SimpleNamespace(sm_id=0), _clean_block(), 100.0
+        )
+        assert san.checks_run == 1
+
+    @pytest.mark.parametrize(
+        "corrupt,needle",
+        [
+            (lambda b: b.warps[0].pw.update({5: 1}), "scoreboard"),
+            (lambda b: setattr(b.warps[0], "inflight", 2), "in-flight"),
+            (lambda b: b.warps[0].replay_list.append(object()),
+             "unreplayed"),
+            (lambda b: setattr(b, "log_used", 64), "operand log"),
+            (lambda b: setattr(b, "unresolved_at", lambda t: True),
+             "fault groups"),
+        ],
+    )
+    def test_leaks_detected(self, corrupt, needle):
+        san = InvariantSanitizer()
+        block = _clean_block()
+        block.pending_groups = {7: 999.0}
+        corrupt(block)
+        with pytest.raises(InvariantViolation) as exc_info:
+            san.check_block_retirement(
+                SimpleNamespace(sm_id=3), block, 100.0
+            )
+        assert needle in str(exc_info.value)
+        assert exc_info.value.details["sm"] == 3
+
+    def test_fired_faulted_record_tolerated(self):
+        """At a faulted instruction's completion time the commit event
+        fires before the forget event (FIFO tie-break), so a just-fired
+        record may still sit in faulted_inflight at retirement."""
+        san = InvariantSanitizer()
+        block = _clean_block()
+        fired_ev = SimpleNamespace(fired=True, cancelled=False)
+        block.faulted_inflight = [(None, None, fired_ev)]
+        san.check_block_retirement(SimpleNamespace(sm_id=0), block, 10.0)
+        live_ev = SimpleNamespace(fired=False, cancelled=False)
+        block.faulted_inflight = [(None, None, live_ev)]
+        with pytest.raises(InvariantViolation):
+            san.check_block_retirement(SimpleNamespace(sm_id=0), block, 10.0)
+
+    def test_frame_double_allocation_detected(self):
+        san = InvariantSanitizer()
+        state = SystemPageState()
+        state.register_range(0, 8 * 4096, Owner.NONE)
+        state.install_gpu_page(0, ppn=10)
+        state.install_gpu_page(1, ppn=11)
+        san.check_frames(state)  # distinct frames: fine
+        state.install_gpu_page(2, ppn=10)  # same frame twice
+        with pytest.raises(InvariantViolation) as exc_info:
+            san.check_frames(state)
+        assert exc_info.value.details["ppn"] == 10
+
+    def test_heap_time_regression_detected(self):
+        events = EventQueue()
+        events.attach_sanitizer(InvariantSanitizer())
+        events.schedule(10.0, lambda t: None)
+        events.run_until(10.0)
+        with pytest.raises(InvariantViolation, match="time regression"):
+            events.schedule(5.0, lambda t: None)
+
+    def test_heap_storm_detected(self):
+        events = EventQueue()
+        san = InvariantSanitizer()
+        san.max_events_per_advance = 100
+        events.attach_sanitizer(san)
+
+        def stuck(t):
+            events.schedule(t, stuck)  # same-timestamp livelock
+
+        events.schedule(1.0, stuck)
+        with pytest.raises(InvariantViolation, match="event storm"):
+            events.run_until(1.0)
+
+    def test_sanitized_queue_matches_unsanitized(self):
+        order_a, order_b = [], []
+        plain, checked = EventQueue(), EventQueue()
+        checked.attach_sanitizer(InvariantSanitizer())
+        for q, order in ((plain, order_a), (checked, order_b)):
+            for t in (3.0, 1.0, 2.0, 1.0):
+                q.schedule(t, lambda tt, o=order: o.append(tt))
+            q.run_until(5.0)
+        assert order_a == order_b == [1.0, 1.0, 2.0, 3.0]
+        assert plain.processed == checked.processed == 4
+
+    def test_sanitized_full_run_is_bit_identical(self, saxpy):
+        plain = build_sim(saxpy).run()
+        checked_sim = build_sim(saxpy, sanitize=True)
+        checked = checked_sim.run()
+        assert checked.cycles == plain.cycles
+        assert checked_sim.sanitizer.checks_run > 0

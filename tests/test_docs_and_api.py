@@ -20,26 +20,37 @@ PACKAGES = [
     "repro.workloads",
     "repro.harness",
     "repro.telemetry",
+    "repro.chaos",
 ]
 
-#: telemetry modules whose *entire* public surface (classes, functions,
-#: public methods) must be documented — the observability story is a
-#: documented API, not an internal detail (docs/OBSERVABILITY.md).
+#: telemetry/chaos modules whose *entire* public surface (classes,
+#: functions, public methods) must be documented — the observability and
+#: robustness stories are documented APIs, not internal details
+#: (docs/OBSERVABILITY.md, docs/ROBUSTNESS.md).
 TELEMETRY_MODULES = [
     "repro.telemetry",
     "repro.telemetry.counters",
+    "repro.telemetry.compare",
     "repro.telemetry.events",
+    "repro.chaos",
+    "repro.chaos.engine",
+    "repro.chaos.sanitizer",
+    "repro.chaos.watchdog",
 ]
 
-#: instrumentation hook points: the methods that emit telemetry must say so
+#: instrumentation hook points: the methods that emit telemetry or host a
+#: chaos injection/sanitizer check must say so
 HOOK_POINTS = [
     ("repro.timing.sm", "SmPipeline", "try_issue"),
     ("repro.timing.sm", "SmPipeline", "squash_faulted"),
     ("repro.timing.sm", "SmPipeline", "launch_block"),
     ("repro.mem.tlb", "Mmu", "attach_telemetry"),
+    ("repro.mem.tlb", "Mmu", "attach_chaos"),
     ("repro.mem.tlb", "Mmu", "translate"),
+    ("repro.mem.tlb", "Mmu", "shootdown"),
     ("repro.system.faults", "FaultController", "on_fault"),
     ("repro.system.gpu", "GpuSimulator", "run"),
+    ("repro.timing.engine", "EventQueue", "attach_sanitizer"),
 ]
 
 

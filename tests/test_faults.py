@@ -201,6 +201,114 @@ class TestInvalidAccess:
         with pytest.raises(InvalidAccessError):
             ctl.on_fault(vpn=10_000_000, detect_time=0.0, sm_id=0)
 
+    def test_invalid_access_leaves_state_intact(self):
+        """An aborted access must not half-resolve: no group recorded, no
+        frames allocated, no pending-queue entry."""
+        ctl, state = make_controller()
+        before = ctl.cpu_frames.free_frames
+        with pytest.raises(InvalidAccessError):
+            ctl.on_fault(vpn=10_000_000, detect_time=0.0, sm_id=0)
+        assert ctl.stats.groups_resolved == 0
+        assert ctl.stats.faults_raised == 1  # routed, then aborted
+        assert ctl.cpu_frames.free_frames == before
+        assert ctl.pending_groups(0.0) == []
+        # the controller still works for valid faults afterwards
+        outcome = ctl.on_fault(vpn=0, detect_time=0.0, sm_id=0)
+        assert outcome.resolved_time > 0.0
+
+
+class TestJoinTelemetry:
+    """The dedup-join path (a fault joining an in-flight resolution) is
+    observable: a ``fault.join`` event and the ``joined_pending`` stat."""
+
+    def _traced_controller(self):
+        from repro.telemetry import Telemetry
+
+        config = GPUConfig()
+        state = SystemPageState()
+        state.register_range(0, PAGES * 4096, Owner.CPU, cpu_dirty=True)
+        tel = Telemetry()
+        ctl = FaultController(
+            config=config,
+            interconnect=NVLINK,
+            page_state=state,
+            frame_allocator=FrameAllocator(4096),
+            telemetry=tel,
+        )
+        return ctl, tel
+
+    def test_join_emits_event_and_stat(self):
+        from repro.telemetry.events import EV_FAULT_JOIN
+
+        ctl, tel = self._traced_controller()
+        first = ctl.on_fault(vpn=0, detect_time=0.0, sm_id=0)
+        joined = ctl.on_fault(vpn=5, detect_time=10.0, sm_id=1)
+        assert joined.resolved_time == first.resolved_time
+        assert ctl.stats.joined_pending == 1
+        events = [rec for rec in tel.tracer.events()
+                  if rec[0] == EV_FAULT_JOIN]
+        assert len(events) == 1
+        args = events[0][5]
+        assert args["vpn"] == 5
+        assert args["group"] == 0
+        assert args["sm"] == 1
+        assert args["resolved_time"] == first.resolved_time
+
+    def test_no_join_event_for_distinct_groups(self):
+        from repro.telemetry.events import EV_FAULT_JOIN
+
+        ctl, tel = self._traced_controller()
+        ctl.page_state.register_range(
+            PAGES * 4096, PAGES * 4096, Owner.CPU, cpu_dirty=True
+        )
+        ctl.on_fault(vpn=0, detect_time=0.0, sm_id=0)
+        ctl.on_fault(vpn=PAGES, detect_time=1.0, sm_id=0)
+        assert ctl.stats.joined_pending == 0
+        assert tel.tracer.count(EV_FAULT_JOIN) == 0
+
+    def test_fault_past_resolution_does_not_join(self):
+        ctl, _ = self._traced_controller()
+        first = ctl.on_fault(vpn=0, detect_time=0.0, sm_id=0)
+        again = ctl.on_fault(
+            vpn=0, detect_time=first.resolved_time + 1.0, sm_id=0
+        )
+        # raced re-fault after resolution: a fresh (alloc-only) resolution
+        assert ctl.stats.joined_pending == 0
+        assert again.resolved_time > first.resolved_time
+
+
+class TestPendingQueuePruning:
+    """``_position`` prunes resolved groups lazily from the unresolved
+    map, so the pending queue cannot grow without bound."""
+
+    def test_lazy_pruning_drops_resolved_groups(self):
+        ctl, state = make_controller()
+        state.register_range(
+            3 * PAGES * 4096, 3 * PAGES * 4096, Owner.CPU, cpu_dirty=False
+        )
+        outcomes = [
+            ctl.on_fault(vpn=g * PAGES, detect_time=0.0, sm_id=0)
+            for g in (0, 1, 3, 4)
+        ]
+        assert len(ctl._unresolved) == 4
+        last = max(o.resolved_time for o in outcomes)
+        # a query after everything resolved prunes the whole map
+        assert ctl._position(last + 1.0) == 0
+        assert ctl._unresolved == {}
+
+    def test_pruning_keeps_still_pending_groups(self):
+        ctl, state = make_controller()
+        state.register_range(
+            3 * PAGES * 4096, PAGES * 4096, Owner.CPU, cpu_dirty=False
+        )
+        a = ctl.on_fault(vpn=0, detect_time=0.0, sm_id=0)
+        b = ctl.on_fault(vpn=3 * PAGES, detect_time=0.0, sm_id=0)
+        mid = (min(a.resolved_time, b.resolved_time)
+               + max(a.resolved_time, b.resolved_time)) / 2
+        assert ctl._position(mid) == 1
+        assert len(ctl._unresolved) == 1
+        assert ctl.pending_groups(mid) == [3]
+
 
 class TestInterconnectBudget:
     def test_signal_latency_positive(self):

@@ -1,0 +1,209 @@
+"""Crash-isolated harness tests: child-process execution, timeouts,
+structured failures, seed-bumping retries, and CLI exit codes."""
+
+import time
+
+import pytest
+
+from repro.chaos import HangDiagnostic, SimulationHang
+from repro.harness import ExperimentFailure, run_experiment_isolated
+from repro.harness.results import ExperimentTable
+
+
+def _table(name="ok", value=1.0):
+    table = ExperimentTable(
+        name=name, description="test table", columns=["v"], show_geomean=False
+    )
+    table.add_row("row", [value])
+    return table
+
+
+def _ok_experiment(**kw):
+    return _table()
+
+
+def _crashing_experiment(**kw):
+    raise RuntimeError("kaboom")
+
+
+def _sleeping_experiment(**kw):
+    time.sleep(60)
+
+
+def _hang_diag():
+    return HangDiagnostic(
+        cycle=100.0, cycle_budget=50.0, blocks_remaining=3, committed=7
+    )
+
+
+def _hang_unless_reseeded(seed=0, **kw):
+    if seed == 0:
+        raise SimulationHang(_hang_diag())
+    return _table(value=float(seed))
+
+
+def _always_hanging(seed=0, **kw):
+    raise SimulationHang(_hang_diag())
+
+
+class TestRunIsolated:
+    def test_result_crosses_process_boundary(self):
+        result = run_experiment_isolated("ok", _ok_experiment)
+        assert isinstance(result, ExperimentTable)
+        assert result.rows == {"row": [1.0]}
+
+    def test_crash_becomes_structured_failure(self):
+        outcome = run_experiment_isolated("boom", _crashing_experiment)
+        assert isinstance(outcome, ExperimentFailure)
+        assert outcome.kind == "RuntimeError"
+        assert outcome.message == "kaboom"
+        assert "kaboom" in outcome.traceback_text
+        assert outcome.attempts == 1
+        assert "FAILED" in outcome.render()
+
+    def test_timeout_terminates_child(self):
+        start = time.time()
+        outcome = run_experiment_isolated(
+            "slow", _sleeping_experiment, timeout=0.5
+        )
+        assert time.time() - start < 10
+        assert isinstance(outcome, ExperimentFailure)
+        assert outcome.kind == "Timeout"
+
+    def test_hang_retried_with_fresh_seed(self):
+        result = run_experiment_isolated(
+            "hangs-once",
+            _hang_unless_reseeded,
+            kwargs={"seed": 0},
+            retries=2,
+            reseed=lambda attempt, kw: {**kw, "seed": kw["seed"] + 17},
+        )
+        assert isinstance(result, ExperimentTable)
+        assert result.rows == {"row": [17.0]}
+
+    def test_retries_bounded(self):
+        calls = []
+        outcome = run_experiment_isolated(
+            "hangs-always",
+            _always_hanging,
+            kwargs={"seed": 0},
+            retries=2,
+            reseed=lambda attempt, kw: (
+                calls.append(attempt) or {**kw, "seed": attempt}
+            ),
+        )
+        assert isinstance(outcome, ExperimentFailure)
+        assert outcome.kind == "SimulationHang"
+        assert outcome.attempts == 3  # initial + 2 retries
+        assert calls == [1, 2]
+
+    def test_hang_not_retried_without_reseed(self):
+        outcome = run_experiment_isolated(
+            "hangs", _always_hanging, retries=5
+        )
+        assert isinstance(outcome, ExperimentFailure)
+        assert outcome.attempts == 1
+
+    def test_other_errors_not_retried(self):
+        outcome = run_experiment_isolated(
+            "boom",
+            _crashing_experiment,
+            retries=5,
+            reseed=lambda attempt, kw: kw,
+        )
+        assert isinstance(outcome, ExperimentFailure)
+        assert outcome.attempts == 1
+
+
+class TestCliExitCodes:
+    def test_single_experiment_success(self, capsys):
+        from repro.harness.__main__ import main
+
+        code = main(["fig10", "--workloads", "saxpy"])
+        assert code == 0
+        assert "fig10" in capsys.readouterr().out
+
+    def test_failure_gives_nonzero_exit(self, monkeypatch, capsys):
+        import repro.harness.__main__ as cli
+
+        monkeypatch.setattr(
+            cli, "ALL_EXPERIMENTS", {"boom": _crashing_experiment}
+        )
+        code = cli.main(["boom"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "RuntimeError" in err
+        assert "1 experiment(s) failed" in err
+
+    def test_all_keeps_going_past_failures(self, monkeypatch, capsys):
+        import repro.harness.__main__ as cli
+
+        monkeypatch.setattr(
+            cli,
+            "ALL_EXPERIMENTS",
+            {"a-boom": _crashing_experiment, "b-ok": _ok_experiment,
+             "c-boom": _crashing_experiment},
+        )
+        code = cli.main(["all"])
+        assert code == 1
+        captured = capsys.readouterr()
+        # the healthy experiment between two failures still completed
+        assert "test table" in captured.out
+        assert "2 experiment(s) failed" in captured.err
+        assert "(1 completed)" in captured.err
+
+    def test_single_experiment_stops_by_default(self, monkeypatch, capsys):
+        import repro.harness.__main__ as cli
+
+        monkeypatch.setattr(
+            cli,
+            "ALL_EXPERIMENTS",
+            {"a-boom": _crashing_experiment, "b-ok": _ok_experiment},
+        )
+        code = cli.main(["a-boom"])
+        assert code == 1
+        assert "test table" not in capsys.readouterr().out
+
+    def test_keep_going_documented_in_help(self, capsys):
+        from repro.harness.__main__ import main
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--help"])
+        assert exc_info.value.code == 0
+        help_text = capsys.readouterr().out
+        assert "--keep-going" in help_text
+        assert "--timeout" in help_text
+        assert "chaos" in help_text
+
+    def test_timeout_flag_kills_wedged_experiment(self, monkeypatch, capsys):
+        import repro.harness.__main__ as cli
+
+        monkeypatch.setattr(
+            cli, "ALL_EXPERIMENTS", {"wedge": _sleeping_experiment}
+        )
+        start = time.time()
+        code = cli.main(["wedge", "--timeout", "0.5"])
+        assert code == 1
+        assert time.time() - start < 10
+        assert "Timeout" in capsys.readouterr().err
+
+    def test_chaos_subcommand_passes_on_clean_campaign(self, capsys):
+        from repro.harness.__main__ import main
+
+        code = main(
+            ["chaos", "saxpy", "--seed", "5", "--schemes", "replay-queue",
+             "--intensity", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "state-match" in out
+
+    def test_chaos_subcommand_help(self, capsys):
+        from repro.harness.__main__ import main
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["chaos", "--help"])
+        assert exc_info.value.code == 0
+        help_text = capsys.readouterr().out
+        assert "--seed" in help_text
+        assert "--retries" in help_text

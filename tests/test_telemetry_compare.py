@@ -1,0 +1,115 @@
+"""Counter-diff utility tests: structured diffs, globs, thresholds, CLI."""
+
+import json
+
+import pytest
+
+from repro.telemetry.compare import (
+    CounterDiff,
+    diff_counters,
+    diff_files,
+    load_counters,
+    main,
+)
+
+
+class TestDiffCounters:
+    def test_identical_is_clean(self):
+        a = {"gpu.tlb.hit": 10, "gpu.tlb.miss": 2}
+        diff = diff_counters(a, dict(a))
+        assert diff.clean
+        assert diff.compared == 2
+        assert "identical" in diff.render()
+
+    def test_changed_values_reported(self):
+        diff = diff_counters({"x": 10, "y": 5}, {"x": 20, "y": 5})
+        assert not diff.clean
+        assert [e.path for e in diff.changed] == ["x"]
+        entry = diff.changed[0]
+        assert entry.delta == 10
+        assert entry.pct == pytest.approx(100.0)
+
+    def test_missing_paths_reported(self):
+        diff = diff_counters({"only.a": 1}, {"only.b": 2})
+        assert diff.only_a == ["only.a"]
+        assert diff.only_b == ["only.b"]
+        assert not diff.clean
+
+    def test_pattern_restricts_comparison(self):
+        a = {"gpu.tlb.hit": 1, "gpu.sm[0].stats.issued": 5}
+        b = {"gpu.tlb.hit": 2, "gpu.sm[0].stats.issued": 9}
+        diff = diff_counters(a, b, pattern="gpu.tlb.*")
+        assert [e.path for e in diff.changed] == ["gpu.tlb.hit"]
+        assert diff.compared == 1
+        # index brackets are literal in the glob convention
+        diff_sm = diff_counters(a, b, pattern="gpu.sm[*].stats.*")
+        assert [e.path for e in diff_sm.changed] == ["gpu.sm[0].stats.issued"]
+
+    def test_threshold_suppresses_small_changes(self):
+        a = {"x": 1000.0, "y": 1000.0}
+        b = {"x": 1001.0, "y": 1200.0}
+        diff = diff_counters(a, b, threshold_pct=5.0)
+        assert [e.path for e in diff.changed] == ["y"]
+
+    def test_change_from_zero_always_counts(self):
+        diff = diff_counters({"x": 0.0}, {"x": 3.0}, threshold_pct=50.0)
+        assert [e.path for e in diff.changed] == ["x"]
+        assert diff.changed[0].pct is None
+
+
+class TestFilesAndCli:
+    def _write(self, path, counters, full_dump=True):
+        payload = (
+            {"metadata": {}, "counters": counters, "rollup": {},
+             "samples": []}
+            if full_dump
+            else counters
+        )
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_diff_files_reads_dump_layout(self, tmp_path):
+        a = self._write(tmp_path / "a.json", {"x": 1})
+        b = self._write(tmp_path / "b.json", {"x": 2}, full_dump=False)
+        diff = diff_files(a, b)
+        assert isinstance(diff, CounterDiff)
+        assert [e.path for e in diff.changed] == ["x"]
+
+    def test_load_counters_rejects_non_dump(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_counters(str(bad))
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        a = self._write(tmp_path / "a.json", {"x": 1, "y": 2})
+        same = self._write(tmp_path / "same.json", {"x": 1, "y": 2})
+        differs = self._write(tmp_path / "diff.json", {"x": 1, "y": 9})
+        assert main([a, same]) == 0
+        assert main([a, differs]) == 1
+        out = capsys.readouterr().out
+        assert "identical" in out
+        assert "y" in out
+
+    def test_cli_pattern_and_threshold_flags(self, tmp_path, capsys):
+        a = self._write(tmp_path / "a.json", {"gpu.x": 100, "other": 1})
+        b = self._write(tmp_path / "b.json", {"gpu.x": 101, "other": 5})
+        assert main([a, b, "--pattern", "gpu.*", "--threshold", "5"]) == 0
+        assert main([a, b, "--pattern", "gpu.*"]) == 1
+
+    def test_cli_against_real_traced_run(self, tmp_path, capsys):
+        """End to end: two identical traced runs diff clean; a different
+        scheme's counters do not."""
+        from repro.harness.tracing import run_traced
+
+        run_a = run_traced("saxpy", scheme="replay-queue",
+                           out_dir=str(tmp_path / "a"))
+        run_b = run_traced("saxpy", scheme="replay-queue",
+                           out_dir=str(tmp_path / "b"))
+        run_c = run_traced("saxpy", scheme="baseline",
+                           out_dir=str(tmp_path / "c"))
+        assert main([run_a.paths["counters"], run_b.paths["counters"]]) == 0
+        assert main(
+            [run_a.paths["counters"], run_c.paths["counters"],
+             "--pattern", "gpu.sm[*].stats.*"]
+        ) == 1
