@@ -30,6 +30,12 @@ Hook taxonomy (``ALL_HOOKS``):
     transiently squash an in-flight global-memory instruction before its
     translation phase and replay it after a penalty — the scheme's own
     squash/replay machinery exercised without a real fault.
+``cache.mshr_exhaustion``
+    stall one primary cache miss as if every MSHR in the pool were
+    transiently busy — back-pressure from a pathological miss burst.
+``dram.refresh_storm``
+    block the shared DRAM bandwidth pipe for a burst of cycles — a
+    refresh storm stealing the pipe from demand traffic.
 
 Every injection increments a ``chaos.<hook>`` counter and emits one
 ``chaos.inject`` telemetry event (rare-ring, so campaigns are traceable
@@ -53,6 +59,8 @@ ALL_HOOKS = (
     "tlb.spurious_miss",
     "tlb.shootdown",
     "sm.squash_replay",
+    "cache.mshr_exhaustion",
+    "dram.refresh_storm",
 )
 
 
@@ -80,6 +88,10 @@ class ChaosConfig:
     shootdown_rate: float = 0.0005
     squash_rate: float = 0.01
     squash_penalty_cycles: float = 64.0
+    mshr_exhaustion_rate: float = 0.002
+    mshr_stall_max_cycles: float = 400.0
+    refresh_storm_rate: float = 0.001
+    refresh_storm_max_cycles: float = 600.0
 
     def scaled(self, intensity: float) -> "ChaosConfig":
         """Scale every *rate* by ``intensity`` (clamped to probability 1);
@@ -231,6 +243,27 @@ class ChaosEngine:
         self._fire("sm.squash_replay", time, sm=sm_id,
                    penalty=round(penalty, 1))
         return penalty
+
+    def mshr_exhaustion(self, time: float, cache: str) -> float:
+        """Stall cycles before this primary miss may allocate an MSHR,
+        modelling a transiently exhausted pool (0.0 = no injection)."""
+        cfg = self.config
+        if self._rng.random() >= cfg.mshr_exhaustion_rate:
+            return 0.0
+        stall = self._rng.random() * cfg.mshr_stall_max_cycles
+        self._fire("cache.mshr_exhaustion", time, cache=cache,
+                   stall=round(stall, 1))
+        return stall
+
+    def refresh_storm(self, time: float) -> float:
+        """Cycles the shared DRAM pipe is blocked by a refresh burst
+        before this transfer may start (0.0 = no injection)."""
+        cfg = self.config
+        if self._rng.random() >= cfg.refresh_storm_rate:
+            return 0.0
+        block = self._rng.random() * cfg.refresh_storm_max_cycles
+        self._fire("dram.refresh_storm", time, block=round(block, 1))
+        return block
 
     def __repr__(self) -> str:
         return (

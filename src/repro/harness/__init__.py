@@ -1,9 +1,12 @@
 """Experiment harness: one runner per paper table/figure + result tables,
-plus crash isolation and seeded chaos campaigns (docs/ROBUSTNESS.md)."""
+plus crash isolation, seeded chaos campaigns and a fault-tolerant
+parallel campaign runner with resumable checkpoints
+(docs/ROBUSTNESS.md)."""
 
 from .chaos_campaign import (
     DEFAULT_CAMPAIGN_SCHEMES,
     architectural_digest,
+    build_chaos_cells,
     run_chaos_campaign,
 )
 from .experiments import (
@@ -18,18 +21,39 @@ from .experiments import (
     run_table1,
     run_table2,
 )
-from .isolation import ExperimentFailure, run_experiment_isolated
-from .results import ExperimentTable, geomean
+from .isolation import (
+    ExperimentFailure,
+    process_isolation_available,
+    run_experiment_isolated,
+)
+from .results import ExperimentTable, geomean, merge_tables
+from .runner import (
+    CampaignCell,
+    CampaignResult,
+    CampaignRunner,
+    CellOutcome,
+    TRANSIENT_KINDS,
+    build_all_cells,
+)
 from .tracing import TracedRun, run_traced
 
 __all__ = [
     "TracedRun",
     "run_traced",
     "ALL_EXPERIMENTS",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignRunner",
+    "CellOutcome",
     "DEFAULT_CAMPAIGN_SCHEMES",
     "DEFAULT_TIME_SCALE",
     "ExperimentFailure",
+    "TRANSIENT_KINDS",
     "architectural_digest",
+    "build_all_cells",
+    "build_chaos_cells",
+    "merge_tables",
+    "process_isolation_available",
     "run_chaos_campaign",
     "run_experiment_isolated",
     "run_fig10",

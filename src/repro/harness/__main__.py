@@ -5,29 +5,34 @@ Examples::
     python -m repro.harness table1
     python -m repro.harness fig10 --quick
     python -m repro.harness fig12 --workloads sgemm histo
-    python -m repro.harness all
+    python -m repro.harness all --workers 4 --out campaign --resume
     python -m repro.harness trace sgemm --scheme wd-commit --block-switching
     python -m repro.harness chaos saxpy --seed 11
+    python -m repro.harness chaos --workloads all --seeds 0 1 2 --workers 4
 
 The ``trace`` subcommand runs one workload with telemetry enabled and
 writes a Chrome ``trace_event`` JSON (open in chrome://tracing / Perfetto)
 plus a hierarchical counter dump — see docs/OBSERVABILITY.md.
 
 The ``chaos`` subcommand runs a seeded fault-injection campaign with the
-watchdog and invariant sanitizer enabled — see docs/ROBUSTNESS.md.
+watchdog and invariant sanitizer enabled — see docs/ROBUSTNESS.md.  With
+``--workloads``/``--seeds`` it becomes a sharded soak campaign executed
+by the parallel runner.
 
-Experiments run crash-isolated in a forked child process (see
-:mod:`repro.harness.isolation`): a crashing, hanging or timed-out
-experiment is reported as a structured failure, ``--keep-going`` lets the
-remaining experiments complete, and the harness exits nonzero when any
-experiment failed.
+Experiments run as a campaign of crash-isolated shards (see
+:mod:`repro.harness.runner` and :mod:`repro.harness.isolation`): a
+crashing, hanging or timed-out shard is retried with backoff when the
+failure is transient and reported as a structured failure otherwise,
+``--keep-going`` lets the remaining shards complete, ``--workers N``
+runs shards in parallel (bit-identical output for any N), ``--out``
+checkpoints every finished shard so ``--resume`` skips completed work,
+and the harness exits nonzero when any shard failed.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from . import (
     ALL_EXPERIMENTS,
@@ -36,6 +41,7 @@ from . import (
 )
 from .diagrams import render_all
 from .isolation import ExperimentFailure, run_experiment_isolated
+from .runner import CampaignRunner, build_all_cells
 
 
 def _trace_main(argv) -> int:
@@ -102,9 +108,110 @@ def _trace_main(argv) -> int:
     return 0
 
 
+def _add_campaign_flags(parser) -> None:
+    """The campaign-runner knobs shared by the experiment and chaos-soak
+    paths: parallelism, checkpoint directory, resume, retry policy."""
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel shards (output is bit-identical for any N)",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="campaign directory: per-shard checkpoints, manifest.json "
+             "and merged counters.json are written here",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip shards with a valid checkpoint under --out; failed or "
+             "stale (config-changed) shards re-run",
+    )
+    parser.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per shard for transient failures "
+             "(timeout, hang, child crash) before recording the failure",
+    )
+    parser.add_argument(
+        "--backoff-base", type=float, default=0.5,
+        help="base of the exponential retry backoff in seconds",
+    )
+
+
+def _report_campaign(result, fmt: str = "{:.3f}") -> None:
+    """Print a campaign's merged tables (stdout) and failures (stderr)."""
+    for group, table in result.tables.items():
+        print(table.render(fmt=fmt))
+        print(f"  ({result.group_seconds.get(group, 0.0):.1f}s)\n")
+    for failure in result.failures:
+        print(failure.render(), file=sys.stderr)
+        print(file=sys.stderr)
+    if result.manifest_path:
+        print(f"[campaign] manifest: {result.manifest_path}",
+              file=sys.stderr)
+
+
+def _chaos_soak(args, parser) -> int:
+    """Soak mode of the ``chaos`` subcommand: one campaign cell per
+    (workload, seed) pair, executed by the parallel runner with
+    checkpoints/resume; exits 0 only when every shard completed and every
+    chaotic run matched its clean architectural state."""
+    from repro.workloads import HALLOC_NAMES, MICRO_NAMES, PARBOIL_NAMES
+
+    from .chaos_campaign import build_chaos_cells
+
+    workloads = list(args.workloads)
+    if workloads == ["all"]:
+        workloads = list(MICRO_NAMES) + list(PARBOIL_NAMES) + list(
+            HALLOC_NAMES
+        )
+    cells = build_chaos_cells(
+        workloads,
+        seeds=args.seeds,
+        schemes=tuple(args.schemes),
+        paging=args.paging,
+        interconnect=args.interconnect,
+        time_scale=args.time_scale,
+        intensity=args.intensity,
+        cycle_budget=args.cycle_budget,
+    )
+    try:
+        runner = CampaignRunner(
+            cells,
+            workers=args.workers,
+            out_dir=args.out,
+            resume=args.resume,
+            timeout=args.timeout,
+            max_attempts=args.max_attempts,
+            backoff_base=args.backoff_base,
+            keep_going=True,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    result = runner.run()
+    _report_campaign(result, fmt="{:.1f}")
+    table = result.tables.get("chaos")
+    clean = table is not None and all(
+        row[-1] == 1.0 for row in table.rows.values()
+    )
+    if not clean:
+        print("chaos soak: state mismatch detected", file=sys.stderr)
+    if not result.ok:
+        print(
+            f"chaos soak: {len(result.failures)} shard(s) failed, "
+            f"{len(result.not_run)} not run",
+            file=sys.stderr,
+        )
+    return 0 if (result.ok and clean) else 1
+
+
 def _chaos_main(argv) -> int:
-    """The ``chaos`` subcommand: one seeded fault-injection campaign."""
-    from .chaos_campaign import DEFAULT_CAMPAIGN_SCHEMES, run_chaos_campaign
+    """The ``chaos`` subcommand: one seeded fault-injection campaign, or —
+    with ``--workloads``/``--seeds`` — a sharded soak campaign run by the
+    parallel campaign runner."""
+    from .chaos_campaign import (
+        DEFAULT_CAMPAIGN_SCHEMES,
+        build_chaos_cells,
+        run_chaos_campaign,
+    )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness chaos",
@@ -116,10 +223,21 @@ def _chaos_main(argv) -> int:
             "run matched the clean architectural state, 1 otherwise."
         ),
     )
-    parser.add_argument("workload", help="benchmark name (e.g. saxpy, sgemm)")
+    parser.add_argument("workload", nargs="?", default=None,
+                        help="benchmark name (e.g. saxpy, sgemm); omit "
+                             "when using --workloads")
     parser.add_argument("--seed", type=int, default=0,
                         help="injection RNG seed (same seed => "
                              "bit-identical campaign)")
+    parser.add_argument(
+        "--workloads", nargs="+", default=None, metavar="NAME",
+        help="soak mode: run one shard per (workload, seed) pair through "
+             "the parallel campaign runner ('all' = every benchmark)",
+    )
+    parser.add_argument(
+        "--seeds", nargs="+", type=int, default=[0],
+        help="soak mode: injection seeds (one shard per workload x seed)",
+    )
     parser.add_argument(
         "--schemes", nargs="+", default=list(DEFAULT_CAMPAIGN_SCHEMES),
         help="pipeline schemes to exercise",
@@ -143,8 +261,15 @@ def _chaos_main(argv) -> int:
                              "campaign (runs crash-isolated)")
     parser.add_argument("--retries", type=int, default=2,
                         help="retries with a fresh seed after a watchdog "
-                             "trip (SimulationHang)")
+                             "trip (SimulationHang); soak mode uses "
+                             "--max-attempts instead")
+    _add_campaign_flags(parser)
     args = parser.parse_args(argv)
+
+    if args.workloads is not None:
+        return _chaos_soak(args, parser)
+    if args.workload is None:
+        parser.error("a workload (or --workloads for soak mode) is required")
 
     kwargs = dict(
         workload=args.workload,
@@ -223,6 +348,7 @@ def main(argv=None) -> int:
              "experiment); the exit code is nonzero if any experiment "
              "failed either way",
     )
+    _add_campaign_flags(parser)
     args = parser.parse_args(argv)
 
     if args.experiment == "table1":
@@ -241,32 +367,34 @@ def main(argv=None) -> int:
         if args.keep_going is not None
         else args.experiment == "all"
     )
-    failures = []
-    for name in names:
-        runner = ALL_EXPERIMENTS[name]
-        start = time.time()
-        kwargs = {}
-        if name not in ("table2",):
-            kwargs["quick"] = args.quick
-            if args.workloads:
-                kwargs["workloads"] = args.workloads
-        outcome = run_experiment_isolated(
-            name=name, fn=runner, kwargs=kwargs, timeout=args.timeout
+    cells = build_all_cells(
+        {name: ALL_EXPERIMENTS[name] for name in names},
+        quick=args.quick,
+        workloads=args.workloads,
+    )
+    try:
+        runner = CampaignRunner(
+            cells,
+            workers=args.workers,
+            out_dir=args.out,
+            resume=args.resume,
+            timeout=args.timeout,
+            max_attempts=args.max_attempts,
+            backoff_base=args.backoff_base,
+            keep_going=keep_going,
         )
-        if isinstance(outcome, ExperimentFailure):
-            failures.append(outcome)
-            print(outcome.render(), file=sys.stderr)
-            print(file=sys.stderr)
-            if not keep_going:
-                break
-            continue
-        print(outcome.render())
-        print(f"  ({time.time() - start:.1f}s)\n")
-    if failures:
-        done = len(names) - len(failures) if keep_going else None
-        summary = ", ".join(f.name for f in failures)
+    except ValueError as exc:
+        parser.error(str(exc))
+    result = runner.run()
+    _report_campaign(result)
+    if result.failures:
+        done = None
+        if keep_going:
+            groups = {cell.group for cell in cells}
+            done = len(groups) - len(result.failed_groups)
+        summary = ", ".join(f.name for f in result.failures)
         print(
-            f"{len(failures)} experiment(s) failed: {summary}"
+            f"{len(result.failures)} experiment(s) failed: {summary}"
             + (f" ({done} completed)" if done is not None else ""),
             file=sys.stderr,
         )

@@ -13,12 +13,15 @@ Because the engine draws from a single seeded RNG consumed in simulator
 call order, a campaign is bit-reproducible: same workload, scheme and
 seed => identical injections, cycles and final state.
 
-Exposed on the CLI as ``python -m repro.harness chaos <workload>``.
+Exposed on the CLI as ``python -m repro.harness chaos <workload>`` — and,
+through :func:`build_chaos_cells`, as a sharded soak campaign
+(``chaos --workloads ... --seeds ...``) executed by the parallel
+:class:`repro.harness.runner.CampaignRunner`.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.chaos import ChaosConfig, ChaosEngine, Watchdog
 from repro.core import make_scheme
@@ -132,3 +135,48 @@ def run_chaos_campaign(
             ],
         )
     return table
+
+
+def build_chaos_cells(
+    workloads: Sequence[str],
+    seeds: Sequence[int] = (0,),
+    schemes: Sequence[str] = DEFAULT_CAMPAIGN_SCHEMES,
+    paging: str = "demand",
+    interconnect: str = "nvlink",
+    time_scale: float = DEFAULT_TIME_SCALE,
+    intensity: float = 1.0,
+    cycle_budget: Optional[float] = None,
+) -> List["CampaignCell"]:
+    """The chaos-soak campaign spec: one cell per (workload, seed) pair,
+    each running :func:`run_chaos_campaign` over every scheme.
+
+    All cells share the ``chaos`` merge group; row labels get a
+    ``<workload>/s<seed>/`` prefix so the per-scheme rows of different
+    shards stay distinct in the merged table.  Each cell's kwargs carry
+    its ``seed``, so the campaign runner's reseed-on-hang retry policy
+    applies shard-locally.
+    """
+    from .runner import CampaignCell
+
+    cells: List[CampaignCell] = []
+    for workload in workloads:
+        for seed in seeds:
+            cells.append(
+                CampaignCell(
+                    key=f"chaos/{workload}/s{seed}",
+                    fn=run_chaos_campaign,
+                    kwargs=dict(
+                        workload=workload,
+                        seed=seed,
+                        schemes=tuple(schemes),
+                        paging=paging,
+                        interconnect=interconnect,
+                        time_scale=time_scale,
+                        intensity=intensity,
+                        cycle_budget=cycle_budget,
+                    ),
+                    group="chaos",
+                    row_prefix=f"{workload}/s{seed}/",
+                )
+            )
+    return cells

@@ -326,3 +326,27 @@ ALL_EXPERIMENTS = {
     "fig13": run_fig13,
     "fig14": run_fig14,
 }
+
+#: experiments whose rows are *not* benchmarks (table2's rows are operand
+#: log sizes) — the campaign runner cannot shard these per workload
+UNSHARDED_EXPERIMENTS = frozenset({"table2"})
+
+
+def experiment_workloads(
+    name: str,
+    quick: bool = False,
+    workloads: Optional[Sequence[str]] = None,
+) -> Optional[List[str]]:
+    """The per-workload shard axis of experiment ``name``: the benchmark
+    rows it would produce, in row order — the campaign runner cuts one
+    cell per entry and merges shard tables back in this exact order, so
+    a parallel run is bit-identical to the serial one.  ``None`` for
+    experiments that don't iterate over workloads (see
+    ``UNSHARDED_EXPERIMENTS``) and for unknown/custom experiments."""
+    if name in UNSHARDED_EXPERIMENTS or name not in ALL_EXPERIMENTS:
+        return None
+    if name == "fig13":
+        if workloads is not None:
+            return list(workloads)
+        return list(QUICK_HALLOC) if quick else list(HALLOC_NAMES)
+    return _parboil_names(quick, workloads)

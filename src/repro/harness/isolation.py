@@ -21,8 +21,12 @@ forked child process with
 Results cross the process boundary over a ``multiprocessing`` pipe, so
 experiment functions must return picklable values
 (:class:`~repro.harness.results.ExperimentTable` is).  On platforms
-without the ``fork`` start method the experiment runs in-process (no
-timeout enforcement, failures still captured).
+without the ``fork`` start method the child uses ``spawn`` instead —
+slower to start, but timeouts stay enforceable by killing the child
+(the experiment function must then be an importable module-level
+callable, which every harness experiment is).  Only when *neither*
+start method exists does the experiment run in-process, where failures
+are still captured but a timeout cannot be enforced.
 """
 
 from __future__ import annotations
@@ -69,12 +73,24 @@ def _child_main(conn, fn, args, kwargs):
         conn.close()
 
 
-def _fork_context():
-    """The ``fork`` multiprocessing context, or ``None`` if unsupported."""
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return None
+def _exec_context():
+    """The best multiprocessing context for crash isolation: ``fork``
+    where available (cheap, inherits loaded state), else ``spawn`` — so a
+    wall-clock timeout is still enforceable by terminating the child.
+    ``None`` only when the platform offers neither start method."""
+    for method in ("fork", "spawn"):
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:
+            continue
+    return None  # pragma: no cover - no start method at all
+
+
+def process_isolation_available() -> bool:
+    """True when experiments can run in a killable child process (some
+    multiprocessing start method exists).  The campaign runner degrades
+    to serial in-process execution when this is False."""
+    return _exec_context() is not None
 
 
 def _run_once(
@@ -86,8 +102,8 @@ def _run_once(
     """One attempt; returns ``(status, result, message, tb)`` where status
     is ``"ok"``, ``"error"`` or ``"timeout"`` (result holds the error's
     type name for ``"error"``)."""
-    ctx = _fork_context()
-    if ctx is None:  # pragma: no cover - non-POSIX fallback
+    ctx = _exec_context()
+    if ctx is None:  # pragma: no cover - no start method: in-process
         try:
             return ("ok", fn(*args, **kwargs), "", "")
         except BaseException as exc:  # noqa: BLE001

@@ -93,4 +93,72 @@ class ExperimentTable:
             "geomeans": self.geomeans(),
             "notes": self.notes,
             "artifacts": self.artifacts,
+            "show_geomean": self.show_geomean,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ExperimentTable":
+        """Rebuild a table from :meth:`to_dict` output (the campaign
+        runner's checkpoint format); geomeans are recomputed, not read."""
+        table = cls(
+            name=data["name"],
+            description=data["description"],
+            columns=list(data["columns"]),
+            notes=list(data.get("notes", [])),
+            artifacts=dict(data.get("artifacts", {})),
+            show_geomean=bool(data.get("show_geomean", True)),
+        )
+        for label, values in data["rows"].items():
+            table.add_row(label, values)
+        return table
+
+    def with_row_prefix(self, prefix: str) -> "ExperimentTable":
+        """A copy whose row labels carry ``prefix`` — how campaign shards
+        that would otherwise collide (e.g. per-workload chaos tables all
+        keyed by scheme) stay distinct when merged."""
+        if not prefix:
+            return self
+        data = self.to_dict()
+        data["rows"] = {
+            f"{prefix}{label}": values
+            for label, values in self.rows.items()
+        }
+        return type(self).from_dict(data)
+
+
+def merge_tables(shards: Sequence[ExperimentTable]) -> ExperimentTable:
+    """Merge shard tables of one experiment into a single table.
+
+    Rows are concatenated **in shard order** (the caller fixes that order
+    by cell key, never by completion order, so a parallel campaign merges
+    deterministically); columns must agree; notes are deduplicated
+    preserving first occurrence; artifacts merge with first-writer-wins.
+    Duplicate row labels are an error — shards must partition the rows.
+    """
+    if not shards:
+        raise ValueError("merge_tables needs at least one shard")
+    first = shards[0]
+    merged = ExperimentTable(
+        name=first.name,
+        description=first.description,
+        columns=list(first.columns),
+        show_geomean=first.show_geomean,
+    )
+    for shard in shards:
+        if shard.columns != first.columns:
+            raise ValueError(
+                f"{first.name}: shard {shard.name!r} columns "
+                f"{shard.columns} != {first.columns}"
+            )
+        for label, values in shard.rows.items():
+            if label in merged.rows:
+                raise ValueError(
+                    f"{first.name}: duplicate row {label!r} across shards"
+                )
+            merged.add_row(label, values)
+        for note in shard.notes:
+            if note not in merged.notes:
+                merged.notes.append(note)
+        for kind, path in shard.artifacts.items():
+            merged.artifacts.setdefault(kind, path)
+    return merged

@@ -1,0 +1,637 @@
+"""Fault-tolerant parallel campaign runner.
+
+``python -m repro.harness all`` is a *campaign*: a cross-product of
+independent experiment shards (one simulation sweep per workload per
+figure).  This module executes such a campaign the way a production
+fleet would — sharded, checkpointed, retried, and degradable — instead
+of as one long serial loop that loses everything on the first wedge:
+
+**Sharding.**  :func:`build_all_cells` cuts every experiment along its
+workload axis (see :func:`repro.harness.experiments.experiment_workloads`)
+into :class:`CampaignCell`\\ s, and :class:`CampaignRunner` executes them
+on ``workers`` supervisor threads.  Each cell still runs through PR 2's
+crash-isolated machinery (:func:`repro.harness.isolation.run_experiment_isolated`:
+child process, wall-clock timeout, structured failures), so the "pool"
+is really N threads each baby-sitting one killable child at a time —
+unlike a ``ProcessPoolExecutor``, a hung cell can be terminated without
+tearing the whole pool down.
+
+**Retry with backoff.**  Transient failure kinds (``Timeout``,
+``SimulationHang``, ``ChildCrash`` — see ``TRANSIENT_KINDS``) are
+retried up to ``max_attempts`` with exponential backoff
+(``backoff_base * 2**(attempt-1)``, capped at ``backoff_cap``); hangs
+are additionally reseeded (``seed + 1000*attempt``, the chaos CLI's
+convention) when the cell's kwargs carry a ``seed``.  Deterministic
+failure kinds (crashes, invariant violations) fail fast.  Every attempt
+lands in the cell's *attempt ledger*, persisted with the checkpoint.
+
+**Checkpoints and resume.**  With an ``out_dir``, every finished cell
+writes a content-addressed checkpoint (``cells/<key>.<config-hash>.json``
+holding the result table, the attempt ledger and the cell's counter
+dump) via atomic rename, plus a campaign ``manifest.json`` rewritten as
+cells finish.  ``resume=True`` restores cells whose checkpoint matches
+their current config hash and succeeded; failed, stale (hash-mismatched)
+or truncated checkpoints are re-executed.  A campaign SIGKILLed mid-run
+therefore resumes from its last completed cell.
+
+**Deterministic merge.**  Shard tables merge per experiment group in
+**cell order** — fixed by the spec, never by completion order — through
+:func:`repro.harness.results.merge_tables`, so ``--workers N`` output is
+bit-identical to the serial run for any N.  Per-cell counter dumps and
+the campaign's own ``harness.campaign.*`` counters aggregate through
+:func:`repro.telemetry.merge_dumps` into ``counters.json``.
+
+**Graceful degradation.**  A platform without any multiprocessing start
+method, or a worker-pool setup failure, degrades to the serial
+single-supervisor path with a logged warning — the campaign completes
+either way (``harness.campaign.degraded`` records that it happened).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.counters import CounterRegistry, merge_dumps
+
+from .experiments import (
+    ALL_EXPERIMENTS,
+    UNSHARDED_EXPERIMENTS,
+    experiment_workloads,
+)
+from .isolation import (
+    ExperimentFailure,
+    process_isolation_available,
+    run_experiment_isolated,
+)
+from .results import ExperimentTable, merge_tables
+
+#: failure kinds worth retrying: they depend on scheduling/load, not on
+#: the cell's inputs (a crash or invariant violation is deterministic
+#: under the same inputs and retrying it only burns time)
+TRANSIENT_KINDS = frozenset({"Timeout", "SimulationHang", "ChildCrash"})
+
+#: checkpoint/manifest schema version (bump on incompatible change)
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One independent unit of campaign work.
+
+    ``key`` doubles as identity and merge position: the runner merges
+    shard tables in cell order, so two runs over the same spec produce
+    identical output no matter which workers finish first.  ``fn`` must
+    be an importable module-level callable (it crosses a process
+    boundary) returning an :class:`ExperimentTable`.
+    """
+
+    key: str
+    fn: Callable
+    kwargs: Dict = field(default_factory=dict)
+    #: experiment name the cell's table merges into (e.g. ``fig10``)
+    group: str = ""
+    #: prefix applied to the shard's row labels at merge time (keeps
+    #: rows distinct when every shard uses the same labels)
+    row_prefix: str = ""
+
+    def config_hash(self) -> str:
+        """Content hash of everything that determines this cell's result;
+        a checkpoint is valid for resume only while this hash matches."""
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "key": self.key,
+            "fn": f"{self.fn.__module__}.{self.fn.__qualname__}",
+            "kwargs": self.kwargs,
+            "group": self.group,
+            "row_prefix": self.row_prefix,
+        }
+        blob = json.dumps(payload, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass
+class CellOutcome:
+    """What one cell produced this campaign (fresh run or restored)."""
+
+    cell: CampaignCell
+    table: Optional[ExperimentTable]
+    failure: Optional[ExperimentFailure]
+    ledger: List[Dict]
+    duration_s: float
+    restored: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True when the cell has a result table."""
+        return self.table is not None
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign run produced, merged deterministically."""
+
+    #: group -> merged table (partial if some of the group's cells failed)
+    tables: Dict[str, ExperimentTable]
+    failures: List[ExperimentFailure]
+    completed: List[str]  #: cell keys executed successfully this run
+    skipped: List[str]  #: cell keys restored from checkpoints
+    failed: List[str]  #: cell keys that exhausted their attempts
+    not_run: List[str]  #: cells never started (stop-on-failure abort)
+    group_seconds: Dict[str, float]
+    degraded: bool
+    counters: Dict
+    #: groups with a failed or never-started cell, in cell order
+    failed_groups: List[str] = field(default_factory=list)
+    manifest_path: Optional[str] = None
+    counters_path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell completed (fresh or restored)."""
+        return not self.failures and not self.not_run
+
+
+def build_all_cells(
+    experiments: Optional[Dict[str, Callable]] = None,
+    quick: bool = False,
+    workloads: Optional[Sequence[str]] = None,
+) -> List[CampaignCell]:
+    """The campaign spec behind ``python -m repro.harness all``: one cell
+    per (experiment, workload) shard, in the exact row order the serial
+    runners produce, so the merged tables are bit-identical to theirs.
+    Experiments without a workload axis become a single cell."""
+    experiments = ALL_EXPERIMENTS if experiments is None else experiments
+    cells: List[CampaignCell] = []
+    for name in sorted(experiments):
+        fn = experiments[name]
+        axis = experiment_workloads(name, quick=quick, workloads=workloads)
+        if axis is None:
+            kwargs: Dict = {}
+            if name not in UNSHARDED_EXPERIMENTS:
+                kwargs["quick"] = quick
+                if workloads:
+                    kwargs["workloads"] = list(workloads)
+            cells.append(
+                CampaignCell(key=name, fn=fn, kwargs=kwargs, group=name)
+            )
+        else:
+            for wl in axis:
+                cells.append(
+                    CampaignCell(
+                        key=f"{name}/{wl}",
+                        fn=fn,
+                        kwargs={"workloads": [wl]},
+                        group=name,
+                    )
+                )
+    return cells
+
+
+def _default_echo(message: str) -> None:
+    """Default progress/warning sink: one line to stderr."""
+    import sys
+
+    print(message, file=sys.stderr)
+
+
+class CampaignRunner:
+    """Executes a list of :class:`CampaignCell`\\ s with sharding,
+    checkpoints, retry/backoff and graceful degradation (module
+    docstring has the full story).
+
+    ``sleep`` is injectable so tests can assert the backoff schedule
+    without waiting it out; ``echo`` receives progress/warning lines
+    (default: stderr).
+    """
+
+    def __init__(
+        self,
+        cells: Sequence[CampaignCell],
+        *,
+        workers: int = 1,
+        out_dir: Optional[str] = None,
+        resume: bool = False,
+        timeout: Optional[float] = None,
+        max_attempts: int = 3,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        keep_going: bool = True,
+        sleep: Callable[[float], None] = time.sleep,
+        echo: Callable[[str], None] = _default_echo,
+    ) -> None:
+        keys = [cell.key for cell in cells]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ValueError(f"duplicate cell keys: {dupes}")
+        if resume and out_dir is None:
+            raise ValueError("resume requires an out_dir to resume from")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.cells = list(cells)
+        self.workers = workers
+        self.out_dir = out_dir
+        self.resume = resume
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.keep_going = keep_going
+        self._sleep = sleep
+        self._echo = echo
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._outcomes: Dict[str, CellOutcome] = {}
+        self._degraded = False
+        self.counters = CounterRegistry()
+        self.counters.metadata.update(
+            campaign="harness", workers=workers, resume=resume
+        )
+        for leaf in (
+            "cells", "completed", "skipped", "failed", "attempts",
+            "retries", "backoff_seconds", "degraded",
+        ):
+            self.counters.counter(f"harness.campaign.{leaf}")
+
+    # ------------------------------------------------------------------
+    # checkpoint plumbing
+    # ------------------------------------------------------------------
+
+    def _cells_dir(self) -> str:
+        return os.path.join(self.out_dir, "cells")
+
+    def _checkpoint_path(self, cell: CampaignCell) -> str:
+        safe = cell.key.replace(os.sep, "__").replace("/", "__")
+        return os.path.join(
+            self._cells_dir(), f"{safe}.{cell.config_hash()}.json"
+        )
+
+    def _load_checkpoint(self, cell: CampaignCell) -> Optional[CellOutcome]:
+        """Restore a cell from its checkpoint, or ``None`` when it must
+        (re)run: no checkpoint, truncated/corrupt JSON, config-hash
+        mismatch, or a recorded failure (failures always re-execute)."""
+        path = self._checkpoint_path(cell)
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if (
+            data.get("version") != CHECKPOINT_VERSION
+            or data.get("config_hash") != cell.config_hash()
+            or data.get("status") != "ok"
+            or not data.get("table")
+        ):
+            return None
+        try:
+            table = ExperimentTable.from_dict(data["table"])
+        except (KeyError, TypeError, ValueError):
+            return None
+        return CellOutcome(
+            cell=cell,
+            table=table,
+            failure=None,
+            ledger=list(data.get("ledger", [])),
+            duration_s=float(data.get("duration_s", 0.0)),
+            restored=True,
+        )
+
+    def _cell_counter_dump(self, outcome: CellOutcome) -> Dict:
+        """The cell's own counter dump (aggregated across the campaign by
+        :func:`repro.telemetry.merge_dumps` into ``counters.json``)."""
+        reg = CounterRegistry()
+        reg.metadata.update(
+            cell=outcome.cell.key,
+            group=outcome.cell.group,
+            config_hash=outcome.cell.config_hash(),
+        )
+        reg.counter("harness.cell.attempts").add(len(outcome.ledger))
+        reg.counter("harness.cell.retries").add(
+            max(0, len(outcome.ledger) - 1)
+        )
+        reg.counter("harness.cell.failures").add(0 if outcome.ok else 1)
+        backoff = sum(e.get("backoff_s", 0.0) for e in outcome.ledger)
+        reg.counter("harness.cell.backoff_seconds").add(backoff)
+        return reg.to_dict()
+
+    def _write_checkpoint(self, outcome: CellOutcome) -> None:
+        """Persist one finished cell atomically (tmp file + rename), so a
+        SIGKILL mid-write can never leave a half-checkpoint that a later
+        ``--resume`` would trust."""
+        if self.out_dir is None:
+            return
+        cell = outcome.cell
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "key": cell.key,
+            "group": cell.group,
+            "config_hash": cell.config_hash(),
+            "status": "ok" if outcome.ok else "failed",
+            "table": outcome.table.to_dict() if outcome.ok else None,
+            "failure": (
+                None
+                if outcome.failure is None
+                else {
+                    "kind": outcome.failure.kind,
+                    "message": outcome.failure.message,
+                    "attempts": outcome.failure.attempts,
+                    "traceback": outcome.failure.traceback_text,
+                }
+            ),
+            "ledger": outcome.ledger,
+            "counters": self._cell_counter_dump(outcome),
+            "duration_s": outcome.duration_s,
+        }
+        path = self._checkpoint_path(cell)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{threading.get_ident()}"
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+
+    def _write_manifest(self) -> Optional[str]:
+        """(Re)write ``manifest.json`` reflecting every cell's current
+        status — called as cells finish, so a killed campaign leaves an
+        honest partial manifest behind."""
+        if self.out_dir is None:
+            return None
+        cells = []
+        totals = {"cells": len(self.cells), "completed": 0, "skipped": 0,
+                  "failed": 0, "not_run": 0}
+        for cell in self.cells:
+            outcome = self._outcomes.get(cell.key)
+            if outcome is None:
+                status = "not-run"
+                totals["not_run"] += 1
+            elif not outcome.ok:
+                status = "failed"
+                totals["failed"] += 1
+            elif outcome.restored:
+                status = "restored"
+                totals["skipped"] += 1
+            else:
+                status = "ok"
+                totals["completed"] += 1
+            entry = {
+                "key": cell.key,
+                "group": cell.group,
+                "config_hash": cell.config_hash(),
+                "status": status,
+                "checkpoint": os.path.relpath(
+                    self._checkpoint_path(cell), self.out_dir
+                ),
+            }
+            if outcome is not None:
+                entry["attempts"] = len(outcome.ledger)
+                entry["duration_s"] = round(outcome.duration_s, 3)
+            cells.append(entry)
+        manifest = {
+            "version": CHECKPOINT_VERSION,
+            "workers": self.workers,
+            "degraded": self._degraded,
+            "resume": self.resume,
+            "totals": totals,
+            "cells": cells,
+        }
+        path = os.path.join(self.out_dir, "manifest.json")
+        os.makedirs(self.out_dir, exist_ok=True)
+        tmp = f"{path}.tmp.{threading.get_ident()}"
+        with open(tmp, "w") as fh:
+            json.dump(manifest, fh, indent=1, sort_keys=True)
+        os.replace(tmp, path)
+        return path
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt + 1`` (exponential,
+        capped)."""
+        return min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+
+    def _run_cell(self, cell: CampaignCell) -> CellOutcome:
+        """Run one cell to completion: crash-isolated attempts, transient
+        retries with backoff, hang reseeding.  Returns the outcome with
+        its full attempt ledger (never raises)."""
+        ledger: List[Dict] = []
+        kwargs = dict(cell.kwargs)
+        started = time.time()
+        failure: Optional[ExperimentFailure] = None
+        table: Optional[ExperimentTable] = None
+        for attempt in range(1, self.max_attempts + 1):
+            outcome = run_experiment_isolated(
+                name=cell.key, fn=cell.fn, kwargs=kwargs,
+                timeout=self.timeout,
+            )
+            if not isinstance(outcome, ExperimentFailure):
+                ledger.append({"attempt": attempt, "status": "ok"})
+                table = outcome
+                failure = None
+                break
+            failure = outcome
+            transient = outcome.kind in TRANSIENT_KINDS
+            final = (attempt == self.max_attempts) or not transient
+            delay = 0.0 if final else self._backoff(attempt)
+            entry = {
+                "attempt": attempt,
+                "status": "failed",
+                "kind": outcome.kind,
+                "message": outcome.message,
+                "backoff_s": delay,
+            }
+            if not final and outcome.kind == "SimulationHang" and isinstance(
+                kwargs.get("seed"), int
+            ):
+                kwargs = {**kwargs, "seed": kwargs["seed"] + 1000 * attempt}
+                entry["reseeded"] = kwargs["seed"]
+            ledger.append(entry)
+            if final:
+                failure.attempts = attempt
+                break
+            if delay:
+                self._sleep(delay)
+        return CellOutcome(
+            cell=cell,
+            table=table,
+            failure=failure,
+            ledger=ledger,
+            duration_s=time.time() - started,
+        )
+
+    def _record(self, outcome: CellOutcome) -> None:
+        """Book one finished cell: shared state, counters, checkpoint,
+        manifest, progress line (thread-safe)."""
+        with self._lock:
+            self._outcomes[outcome.cell.key] = outcome
+            ctr = self.counters.counter
+            ctr("harness.campaign.attempts").add(len(outcome.ledger))
+            ctr("harness.campaign.retries").add(
+                max(0, len(outcome.ledger) - 1)
+            )
+            ctr("harness.campaign.backoff_seconds").add(
+                sum(e.get("backoff_s", 0.0) for e in outcome.ledger)
+            )
+            if outcome.restored:
+                ctr("harness.campaign.skipped").add(1)
+            elif outcome.ok:
+                ctr("harness.campaign.completed").add(1)
+            else:
+                ctr("harness.campaign.failed").add(1)
+            if not outcome.restored:
+                self._write_checkpoint(outcome)
+            self._write_manifest()
+            if outcome.restored:
+                self._echo(f"[campaign] {outcome.cell.key}: restored "
+                           "from checkpoint")
+            elif outcome.ok:
+                self._echo(
+                    f"[campaign] {outcome.cell.key}: ok "
+                    f"({outcome.duration_s:.1f}s, "
+                    f"{len(outcome.ledger)} attempt(s))"
+                )
+            else:
+                self._echo(
+                    f"[campaign] {outcome.cell.key}: FAILED "
+                    f"({outcome.failure.kind}) after "
+                    f"{len(outcome.ledger)} attempt(s)"
+                )
+        if not outcome.ok and not self.keep_going:
+            self._stop.set()
+
+    def _worker(self, queue: List[CampaignCell]) -> None:
+        """Supervisor loop: pop the next pending cell, run it, record it;
+        exits when the queue drains or stop-on-failure triggers."""
+        while True:
+            if self._stop.is_set():
+                return
+            with self._lock:
+                if not queue:
+                    return
+                cell = queue.pop(0)
+            self._record(self._run_cell(cell))
+
+    def _degrade(self, reason: str) -> None:
+        """Fall back to serial execution, loudly."""
+        if not self._degraded:
+            self._degraded = True
+            self.counters.counter("harness.campaign.degraded").add(1)
+            self._echo(f"[campaign] warning: {reason}; "
+                       "falling back to serial execution")
+
+    def run(self) -> CampaignResult:
+        """Execute the campaign; returns the merged
+        :class:`CampaignResult` (never raises for cell failures — they
+        are data, reported in ``failures``)."""
+        self.counters.counter("harness.campaign.cells").add(len(self.cells))
+        pending: List[CampaignCell] = []
+        for cell in self.cells:
+            restored = self._load_checkpoint(cell) if self.resume else None
+            if restored is not None:
+                self._record(restored)
+            else:
+                pending.append(cell)
+
+        workers = self.workers
+        if workers > 1 and not process_isolation_available():
+            self._degrade(
+                "no multiprocessing start method on this platform"
+            )
+            workers = 1
+        if workers > 1 and pending:
+            threads: List[threading.Thread] = []
+            try:
+                for i in range(min(workers, len(pending))):
+                    thread = threading.Thread(
+                        target=self._worker,
+                        args=(pending,),
+                        name=f"campaign-worker-{i}",
+                        daemon=True,
+                    )
+                    thread.start()
+                    threads.append(thread)
+            except (RuntimeError, OSError) as exc:
+                self._degrade(f"worker pool setup failed ({exc})")
+            # Drain alongside (or instead of) the pool: the shared queue
+            # makes the serial fallback the same loop on the main thread.
+            if self._degraded:
+                self._worker(pending)
+            for thread in threads:
+                thread.join()
+        else:
+            self._worker(pending)
+
+        return self._collect()
+
+    # ------------------------------------------------------------------
+    # merge + report
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> CampaignResult:
+        """Merge outcomes deterministically (cell order) and write the
+        aggregated counter dump."""
+        tables: Dict[str, ExperimentTable] = {}
+        group_shards: Dict[str, List[ExperimentTable]] = {}
+        group_seconds: Dict[str, float] = {}
+        failures: List[ExperimentFailure] = []
+        completed: List[str] = []
+        skipped: List[str] = []
+        failed: List[str] = []
+        not_run: List[str] = []
+        failed_groups: List[str] = []
+        dumps: List[Dict] = [self.counters.to_dict()]
+        for cell in self.cells:  # cell order == merge order
+            outcome = self._outcomes.get(cell.key)
+            if outcome is None:
+                not_run.append(cell.key)
+                if cell.group not in failed_groups:
+                    failed_groups.append(cell.group)
+                continue
+            dumps.append(self._cell_counter_dump(outcome))
+            group_seconds[cell.group] = (
+                group_seconds.get(cell.group, 0.0) + outcome.duration_s
+            )
+            if outcome.ok:
+                (skipped if outcome.restored else completed).append(cell.key)
+                group_shards.setdefault(cell.group, []).append(
+                    outcome.table.with_row_prefix(cell.row_prefix)
+                )
+            else:
+                failed.append(cell.key)
+                failures.append(outcome.failure)
+                if cell.group not in failed_groups:
+                    failed_groups.append(cell.group)
+        for cell in self.cells:
+            shards = group_shards.get(cell.group)
+            if shards and cell.group not in tables:
+                tables[cell.group] = merge_tables(shards)
+        counters = merge_dumps(dumps)
+        manifest_path = self._write_manifest()
+        counters_path = None
+        if self.out_dir is not None:
+            counters_path = os.path.join(self.out_dir, "counters.json")
+            tmp = f"{counters_path}.tmp.{threading.get_ident()}"
+            with open(tmp, "w") as fh:
+                json.dump(counters, fh, indent=1, sort_keys=True)
+            os.replace(tmp, counters_path)
+        return CampaignResult(
+            tables=tables,
+            failures=failures,
+            completed=completed,
+            skipped=skipped,
+            failed=failed,
+            not_run=not_run,
+            group_seconds=group_seconds,
+            degraded=self._degraded,
+            counters=counters,
+            failed_groups=failed_groups,
+            manifest_path=manifest_path,
+            counters_path=counters_path,
+        )

@@ -81,6 +81,16 @@ class Cache:
         # min-heap of outstanding primary-miss completion times (MSHR pool)
         self._mshr_busy: list = []
         self.stats = CacheStats()
+        self.chaos = None  # set by attach_chaos
+
+    def attach_chaos(self, chaos) -> None:
+        """Wire the ``cache.mshr_exhaustion`` injection hook: a primary
+        miss stalled as if the whole MSHR pool were transiently busy
+        (docs/ROBUSTNESS.md).  ``None`` when chaos is disabled, so the
+        access hot path is unchanged without it."""
+        from repro.chaos import chaos_active
+
+        self.chaos = chaos_active(chaos)
 
     def _set_of(self, line: int) -> OrderedDict:
         return self._sets[line % self.num_sets]
@@ -133,6 +143,15 @@ class Cache:
         # Primary miss.
         self.stats.misses += 1
         slot = self._reserve_mshr(now)
+        chaos = self.chaos
+        if chaos is not None:
+            stall = chaos.mshr_exhaustion(now, self.name)
+            if stall:
+                # Injected exhaustion: the miss waits as if every MSHR
+                # were busy, taking the same future-service path (and
+                # unloaded downstream charge) as a real pool stall.
+                self.stats.mshr_stalls += 1
+                slot = max(slot, now + stall)
         if slot <= now:
             ready = next_level_access(now + self.latency, line, is_store)
         else:
@@ -185,8 +204,27 @@ class Dram:
         self.line_size = line_size
         self._next_free = 0.0
         self.stats = DramStats()
+        self.chaos = None  # set by attach_chaos
+
+    def attach_chaos(self, chaos) -> None:
+        """Wire the ``dram.refresh_storm`` injection hook: the shared
+        bandwidth pipe blocked for a burst of cycles ahead of a transfer
+        (docs/ROBUSTNESS.md).  ``None`` when chaos is disabled."""
+        from repro.chaos import chaos_active
+
+        self.chaos = chaos_active(chaos)
+
+    def _maybe_refresh(self, now: float) -> None:
+        """Chaos hook site: push ``_next_free`` past an injected refresh
+        burst so the next transfer queues behind it (timing only)."""
+        block = self.chaos.refresh_storm(now)
+        if block:
+            self._next_free = max(self._next_free, now) + block
+            self.stats.busy_cycles += block
 
     def access(self, now: float, line: int, is_store: bool) -> float:
+        if self.chaos is not None:
+            self._maybe_refresh(now)
         occupancy = self.line_size / self.bytes_per_cycle
         start = max(now, self._next_free)
         self._next_free = start + occupancy
@@ -198,6 +236,8 @@ class Dram:
     def reserve_bandwidth(self, now: float, nbytes: int) -> float:
         """Occupy the pipe for a bulk transfer (context save/restore, page
         migration landing in GPU memory); returns completion time."""
+        if self.chaos is not None:
+            self._maybe_refresh(now)
         occupancy = nbytes / self.bytes_per_cycle
         start = max(now, self._next_free)
         self._next_free = start + occupancy

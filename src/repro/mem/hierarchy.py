@@ -129,7 +129,7 @@ class MemorySubsystem:
         )
         self._ldst_free = [0.0] * config.num_sms
         self.attach_telemetry(telemetry)
-        self.mmu.attach_chaos(chaos)
+        self.attach_chaos(chaos)
 
     def attach_telemetry(self, telemetry) -> None:
         """Wire the observability layer through the memory subsystem:
@@ -147,6 +147,21 @@ class MemorySubsystem:
             reg.bind_stats(f"gpu.cache.l1[{i}]", cache.stats)
         reg.bind_stats("gpu.cache.l2", self.l2_cache.stats)
         reg.bind_stats("gpu.dram", self.dram.stats)
+
+    def attach_chaos(self, chaos) -> None:
+        """Wire the injection hooks across the memory subsystem: the MMU's
+        ``tlb.*`` hooks, ``cache.mshr_exhaustion`` on every cache level and
+        ``dram.refresh_storm`` on the DRAM pipe (docs/ROBUSTNESS.md).  A
+        disabled engine normalizes to ``None`` everywhere, leaving the hot
+        paths untouched."""
+        from repro.chaos import chaos_active
+
+        engine = chaos_active(chaos)
+        self.mmu.attach_chaos(engine)
+        for cache in self.l1_caches:
+            cache.attach_chaos(engine)
+        self.l2_cache.attach_chaos(engine)
+        self.dram.attach_chaos(engine)
 
     # ------------------------------------------------------------------
 

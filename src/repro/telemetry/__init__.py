@@ -32,7 +32,7 @@ from typing import Dict, Optional
 
 from . import events as ev
 from .compare import CounterDiff, diff_counters, diff_files
-from .counters import Counter, CounterRegistry
+from .counters import Counter, CounterRegistry, merge_dumps, rollup_flat
 from .events import ALL_EVENT_NAMES, RingBufferTracer
 
 #: default counter-sampling period (cycles)
@@ -128,4 +128,6 @@ __all__ = [
     "diff_counters",
     "diff_files",
     "ev",
+    "merge_dumps",
+    "rollup_flat",
 ]

@@ -18,13 +18,17 @@ time series (``series(path)``) suitable for plotting stall or miss rates
 over the run.  ``rollup()`` folds the flat namespace into a nested tree
 whose interior nodes carry subtree sums, and ``aggregate(pattern)`` sums a
 glob over paths (``gpu.sm[*].warp_stall.fault``).
+
+:func:`merge_dumps` combines the JSON dumps of several registries (the
+shards of a parallel campaign) into one aggregated dump — values summed
+per path, rollup recomputed — deterministically in the order given.
 """
 
 from __future__ import annotations
 
 import json
 from fnmatch import fnmatchcase
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 
 def _match(path: str, pattern: str) -> bool:
@@ -32,6 +36,48 @@ def _match(path: str, pattern: str) -> bool:
     the counter naming convention, not character classes), so
     ``gpu.sm[*].warp_stall.fault`` matches every SM's fault-stall counter."""
     return fnmatchcase(path, pattern.replace("[", "[[]"))
+
+
+def rollup_flat(flat: Dict[str, float]) -> Dict:
+    """Fold a flat ``{path: value}`` mapping into the nested rollup tree
+    (interior nodes carry subtree sums in ``_total``) — the pure function
+    behind :meth:`CounterRegistry.rollup`, reused when merging dumps."""
+    tree: Dict = {}
+    for path, value in flat.items():
+        parts = path.split(".")
+        node = tree
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+            node["_total"] = node.get("_total", 0) + value
+        node[parts[-1]] = value
+    return tree
+
+
+def merge_dumps(dumps: Sequence[Dict]) -> Dict:
+    """Deterministically merge counter dumps (:meth:`CounterRegistry.to_dict`
+    format): counter values are **summed** per path, metadata keys merge
+    first-writer-wins (plus a ``merged_dumps`` count), samples concatenate
+    in the order given — so the caller controls merge order (the campaign
+    runner fixes it by cell key, never completion order) and two merges of
+    the same dumps are identical.  The rollup tree is recomputed from the
+    summed values."""
+    counters: Dict[str, float] = {}
+    metadata: Dict[str, object] = {}
+    samples: List[Dict] = []
+    for dump in dumps:
+        for path, value in dump.get("counters", {}).items():
+            counters[path] = counters.get(path, 0) + value
+        for key, value in dump.get("metadata", {}).items():
+            metadata.setdefault(key, value)
+        samples.extend(dump.get("samples", []))
+    metadata["merged_dumps"] = len(dumps)
+    ordered = dict(sorted(counters.items()))
+    return {
+        "metadata": metadata,
+        "counters": ordered,
+        "rollup": rollup_flat(ordered),
+        "samples": samples,
+    }
 
 
 class Counter:
@@ -122,15 +168,7 @@ class CounterRegistry:
 
     def rollup(self) -> Dict:
         """Nested dict view; interior nodes hold subtree sums in ``_total``."""
-        tree: Dict = {}
-        for path, value in self.snapshot().items():
-            parts = path.split(".")
-            node = tree
-            for part in parts[:-1]:
-                node = node.setdefault(part, {})
-                node["_total"] = node.get("_total", 0) + value
-            node[parts[-1]] = value
-        return tree
+        return rollup_flat(self.snapshot())
 
     # ------------------------------------------------------------------
     # time series

@@ -1,9 +1,12 @@
 """Chaos engine tests: deterministic injection, timing-only perturbation,
-watchdog hang detection, invariant sanitizer checks (docs/ROBUSTNESS.md)."""
+memory-hierarchy hooks, hypothesis intensity sweeps, watchdog hang
+detection, invariant sanitizer checks (docs/ROBUSTNESS.md)."""
 
 from types import SimpleNamespace
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.chaos import (
     ALL_HOOKS,
@@ -39,6 +42,25 @@ def saxpy():
     return MICRO.fresh("saxpy")
 
 
+@pytest.fixture(scope="module")
+def mshr_storm():
+    return MICRO.fresh("mshr-storm")
+
+
+_BASELINES = {}
+
+
+def clean_baseline(wl):
+    """Clean-run ``(cycles, digest)`` for a workload, computed once per
+    module (the reference every chaotic run must architecturally match)."""
+    cached = _BASELINES.get(wl.name)
+    if cached is None:
+        sim = build_sim(wl)
+        cycles = sim.run().cycles
+        cached = _BASELINES[wl.name] = (cycles, architectural_digest(sim))
+    return cached
+
+
 # ---------------------------------------------------------------------------
 # engine
 # ---------------------------------------------------------------------------
@@ -55,6 +77,8 @@ class TestChaosEngine:
             out.append(engine.spurious_miss(t, vpn=i))
             out.append(engine.tlb_shootdown(t))
             out.append(engine.squash_replay(t, sm_id=i % 4))
+            out.append(engine.mshr_exhaustion(t, cache="l1[0]"))
+            out.append(engine.refresh_storm(t))
         return out
 
     def test_same_seed_same_injections(self):
@@ -148,6 +172,111 @@ class TestTimingOnlyPerturbation:
         assert committed > 0
         assert list(vpns) == sorted(vpns)
         assert len(vpns) > 0
+
+
+# ---------------------------------------------------------------------------
+# memory-hierarchy hooks (MSHR exhaustion, DRAM refresh storms)
+# ---------------------------------------------------------------------------
+
+#: only the cache/DRAM hooks enabled, at rates that fire on a small run
+MEM_ONLY_CFG = ChaosConfig(
+    cpu_latency_rate=0.0,
+    link_latency_rate=0.0,
+    resolve_delay_rate=0.0,
+    storm_rate=0.0,
+    tlb_miss_rate=0.0,
+    shootdown_rate=0.0,
+    squash_rate=0.0,
+    mshr_exhaustion_rate=0.05,
+    refresh_storm_rate=0.02,
+)
+
+
+class TestMemoryHierarchyHooks:
+    def test_hooks_registered(self):
+        assert "cache.mshr_exhaustion" in ALL_HOOKS
+        assert "dram.refresh_storm" in ALL_HOOKS
+
+    def test_hooks_fire_and_state_matches(self, mshr_storm):
+        clean_cycles, clean_digest = clean_baseline(mshr_storm)
+        engine = ChaosEngine(MEM_ONLY_CFG, seed=4)
+        sim = build_sim(mshr_storm, chaos=engine, sanitize=True)
+        result = sim.run()
+        assert engine.injections["cache.mshr_exhaustion"] > 0
+        assert engine.injections["dram.refresh_storm"] > 0
+        # the hooks only ever delay, so they can't speed the run up —
+        # and must not change what the run computed
+        assert result.cycles >= clean_cycles
+        assert architectural_digest(sim) == clean_digest
+
+    def test_hooks_emit_inject_events(self):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.events import EV_CHAOS
+
+        tel = Telemetry()
+        engine = ChaosEngine(MEM_ONLY_CFG, seed=1, telemetry=tel)
+        for i in range(500):
+            engine.mshr_exhaustion(float(i), cache="l2")
+            engine.refresh_storm(float(i))
+        assert tel.tracer.count(EV_CHAOS) == engine.total_injections > 0
+        assert (
+            tel.counters.value("chaos.cache.mshr_exhaustion")
+            == engine.injections["cache.mshr_exhaustion"]
+        )
+
+    def test_mshr_stall_takes_future_service_path(self):
+        """An injected exhaustion must charge the unloaded downstream
+        latency (the future-service path), not book shared resources."""
+        from repro.mem.cache import Cache
+
+        always = ChaosConfig(mshr_exhaustion_rate=1.0,
+                             mshr_stall_max_cycles=100.0)
+        cache = Cache("l1", size_bytes=1024, assoc=2, line_size=64,
+                      latency=4, num_mshrs=8, next_level_unloaded=50.0)
+        cache.attach_chaos(ChaosEngine(always, seed=0))
+        calls = []
+        ready = cache.access(
+            0, 10.0, False, lambda t, line, st: calls.append(line) or t + 1
+        )
+        assert not calls  # stalled miss never touched the next level
+        assert ready > 10.0 + cache.latency + cache.next_level_unloaded
+        assert cache.stats.mshr_stalls == 1
+
+
+# ---------------------------------------------------------------------------
+# hypothesis intensity sweeps (ROADMAP chaos follow-up)
+# ---------------------------------------------------------------------------
+
+class TestIntensitySweepProperties:
+    """Property tests along the intensity axis: zero intensity must be
+    bit-identical to an uninjected run; any intensity must leave the run
+    sanitizer-clean with the identical architectural state."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_zero_intensity_bit_identical(self, saxpy, seed):
+        clean_cycles, _ = clean_baseline(saxpy)
+        engine = ChaosEngine(ChaosConfig(seed=seed).scaled(0.0))
+        sim = build_sim(saxpy, chaos=engine)
+        assert sim.chaos is None  # normalized away regardless of seed
+        assert sim.run().cycles == clean_cycles
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        intensity=st.floats(0.0, 40.0, allow_nan=False),
+    )
+    def test_any_intensity_sanitizer_clean_state(self, saxpy, seed,
+                                                 intensity):
+        _, clean_digest = clean_baseline(saxpy)
+        engine = ChaosEngine(ChaosConfig(seed=seed).scaled(intensity))
+        sim = build_sim(
+            saxpy, chaos=engine, watchdog=Watchdog(), sanitize=True
+        )
+        sim.run()
+        assert sim.sanitizer.checks_run > 0
+        assert sim.watchdog.trips == 0
+        assert architectural_digest(sim) == clean_digest
 
 
 # ---------------------------------------------------------------------------

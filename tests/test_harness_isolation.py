@@ -1,6 +1,8 @@
 """Crash-isolated harness tests: child-process execution, timeouts,
-structured failures, seed-bumping retries, and CLI exit codes."""
+structured failures, seed-bumping retries, the spawn fallback, and CLI
+exit codes."""
 
+import multiprocessing
 import time
 
 import pytest
@@ -113,6 +115,63 @@ class TestRunIsolated:
         )
         assert isinstance(outcome, ExperimentFailure)
         assert outcome.attempts == 1
+
+
+class TestSpawnFallback:
+    """Without ``fork`` the harness must fall back to ``spawn``, keeping
+    timeouts enforceable (the old in-process fallback silently lost
+    them)."""
+
+    @pytest.fixture
+    def no_fork(self, monkeypatch):
+        import repro.harness.isolation as iso
+
+        real = multiprocessing.get_context
+
+        def probe(method=None):
+            if method == "fork":
+                raise ValueError("fork unavailable (mocked platform)")
+            return real(method)
+
+        monkeypatch.setattr(iso.multiprocessing, "get_context", probe)
+
+    def test_falls_back_to_spawn(self, no_fork):
+        from repro.harness.isolation import (
+            _exec_context,
+            process_isolation_available,
+        )
+
+        ctx = _exec_context()
+        assert ctx is not None
+        assert ctx.get_start_method() == "spawn"
+        assert process_isolation_available()
+
+    def test_result_crosses_spawn_boundary(self, no_fork):
+        result = run_experiment_isolated("ok", _ok_experiment)
+        assert isinstance(result, ExperimentTable)
+        assert result.rows == {"row": [1.0]}
+
+    def test_timeout_still_enforced_under_spawn(self, no_fork):
+        start = time.time()
+        outcome = run_experiment_isolated(
+            "slow", _sleeping_experiment, timeout=1.0
+        )
+        assert time.time() - start < 30
+        assert isinstance(outcome, ExperimentFailure)
+        assert outcome.kind == "Timeout"
+
+    def test_no_start_method_at_all_runs_in_process(self, monkeypatch):
+        import repro.harness.isolation as iso
+
+        monkeypatch.setattr(
+            iso.multiprocessing,
+            "get_context",
+            lambda method=None: (_ for _ in ()).throw(ValueError(method)),
+        )
+        assert not iso.process_isolation_available()
+        outcome = run_experiment_isolated("boom", _crashing_experiment)
+        assert isinstance(outcome, ExperimentFailure)
+        assert outcome.kind == "RuntimeError"
 
 
 class TestCliExitCodes:
