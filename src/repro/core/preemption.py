@@ -117,15 +117,18 @@ def _advance_to(sim: "GpuSimulator", stop_time: float) -> None:
             break
         awake = False
         for sm in sms:
-            if not sm.sleeping:
+            if not sm.sleeping or sm.next_ready_cycle <= cycle:
                 sm.try_issue(cycle)
                 awake = awake or not sm.sleeping
         if awake:
             cycle += 1
         else:
             nxt = events.next_time
-            if nxt is None:
+            wake = min(sm.next_ready_cycle for sm in sms)
+            if nxt is None and wake == math.inf:
                 break
+            if nxt is None or wake < nxt:
+                nxt = wake
             cycle = min(stop_time, max(cycle + 1, math.ceil(nxt)))
 
 

@@ -43,6 +43,14 @@ class PipelineScheme:
     log_bytes = 0
     #: warp-disable anchor: None (no disable), "commit" or "lastcheck"
     disable_anchor = None
+    #: hot-path hint (docs/PERFORMANCE.md): must be True iff
+    #: ``source_release_time(oprd_time, x) == oprd_time`` for every ``x``.
+    #: When True the SM releases global-memory source scoreboards inline at
+    #: operand read instead of via a heap event; a subclass that overrides
+    #: ``source_release_time`` with a later release MUST set this False
+    #: (see :class:`ReplayQueue`) or replayed instructions may read
+    #: clobbered sources.
+    immediate_source_release = True
     #: extend the scheme to arithmetic exceptions (paper Sections 3.1/3.2:
     #: "this scheme is also applicable to other types of exceptions, such
     #: as divide-by-zero, by treating the instructions that may trigger the
@@ -139,6 +147,7 @@ class ReplayQueue(PipelineScheme):
 
     name = "replay-queue"
     preemptible = True
+    immediate_source_release = False  # held until the last TLB check
 
     def __init__(self, cover_arithmetic: bool = False) -> None:
         self.cover_arithmetic = cover_arithmetic
@@ -162,6 +171,7 @@ class OperandLog(ReplayQueue):
 
     name = "operand-log"
     preemptible = True
+    immediate_source_release = True  # the log preserves replay data
 
     def __init__(self, log_kbytes: int = 16, cover_arithmetic: bool = False) -> None:
         if log_kbytes <= 0:

@@ -27,6 +27,13 @@ from .trace import BlockTrace, KernelTrace, TraceInst, WarpTrace
 
 WARP_SIZE = 32
 
+#: the all-lanes-active mask, shared read-only by every undiverged warp.
+#: Masks are never mutated in place (consumers rebind), so aliasing one
+#: array is safe, and ``mask is _FULL_MASK`` gives the interpreter an O(1)
+#: "no divergence, no guard" test that skips masked numpy blends entirely.
+_FULL_MASK = np.ones(WARP_SIZE, dtype=bool)
+_FULL_MASK.setflags(write=False)
+
 
 class FunctionalError(Exception):
     """Raised on malformed programs or runtime errors (e.g. bad free)."""
@@ -57,12 +64,15 @@ class Launch:
 
 
 class _StackEntry:
-    __slots__ = ("pc", "rpc", "mask")
+    __slots__ = ("pc", "rpc", "mask", "alive")
 
     def __init__(self, pc: int, rpc: Optional[int], mask: np.ndarray) -> None:
         self.pc = pc
         self.rpc = rpc
         self.mask = mask
+        # cached ``mask.any()`` — masks only change at EXIT, which refreshes
+        # this; saves a numpy reduction per dynamic instruction in ``_step``
+        self.alive = bool(mask.any())
 
 
 class WarpState:
@@ -77,8 +87,11 @@ class WarpState:
         self.preds = np.zeros((WARP_SIZE, 8), dtype=bool)
         first_thread = warp_id * WARP_SIZE
         live = min(WARP_SIZE, launch.block_dim - first_thread)
-        mask = np.zeros(WARP_SIZE, dtype=bool)
-        mask[:live] = True
+        if live >= WARP_SIZE:  # always, given block_dim % WARP_SIZE == 0
+            mask = _FULL_MASK
+        else:  # pragma: no cover - unreachable under Launch validation
+            mask = np.zeros(WARP_SIZE, dtype=bool)
+            mask[:live] = True
         self.stack: List[_StackEntry] = [_StackEntry(0, None, mask)]
         self.at_barrier = False
         self.done = False
@@ -160,7 +173,7 @@ class Interpreter:
         stack = warp.stack
         # Pop reconverged / emptied entries.
         while stack and (
-            not stack[-1].mask.any() or stack[-1].pc == stack[-1].rpc
+            not stack[-1].alive or stack[-1].pc == stack[-1].rpc
         ):
             stack.pop()
         if not stack:
@@ -172,12 +185,15 @@ class Interpreter:
             raise FunctionalError(f"pc {top.pc} out of range")
         inst = program[top.pc]
 
-        exec_mask = top.mask.copy()
-        if inst.guard is not None:
+        # Masks are never mutated in place (every consumer rebinds), so the
+        # unguarded common case can alias the stack mask instead of copying.
+        if inst.guard is None:
+            exec_mask = top.mask
+        else:
             guard_vals = warp.preds[:, inst.guard.index]
             if inst.guard_negate:
                 guard_vals = ~guard_vals
-            exec_mask &= guard_vals
+            exec_mask = top.mask & guard_vals
 
         self._executed += 1
         if self._executed > self.max_dynamic_instructions:
@@ -185,17 +201,26 @@ class Interpreter:
 
         addresses = self.execute(inst, warp, exec_mask, shared)
 
-        if self.collect_trace and inst.op is not Opcode.NOP:
+        op = inst.op
+        if self.collect_trace and op is not Opcode.NOP:
             wtrace.append(
                 TraceInst(
                     pc=top.pc,
                     inst=inst,
-                    active=int(exec_mask.sum()),
+                    active=(
+                        WARP_SIZE
+                        if exec_mask is _FULL_MASK
+                        else int(np.count_nonzero(exec_mask))
+                    ),
                     addresses=addresses,
                 )
             )
 
-        self._advance(inst, warp, top, exec_mask)
+        # Inlined _advance common case: plain fall-through instructions.
+        if op is Opcode.EXIT or op is Opcode.BAR or op is Opcode.BRA:
+            self._advance(inst, warp, top, exec_mask)
+        else:
+            top.pc += 1
 
     def _advance(
         self,
@@ -208,7 +233,8 @@ class Interpreter:
             if exec_mask.any():
                 for entry in warp.stack:
                     entry.mask = entry.mask & ~exec_mask
-            if not any(e.mask.any() for e in warp.stack):
+                    entry.alive = bool(entry.mask.any())
+            if not any(e.alive for e in warp.stack):
                 warp.done = True
                 return
             top.pc += 1
@@ -274,10 +300,16 @@ class Interpreter:
         return operand.value
 
     def _write_reg(self, dest: Reg, warp: WarpState, mask: np.ndarray, value) -> None:
+        if mask is _FULL_MASK:  # no blend needed: every lane writes
+            warp.regs[:, dest.index] = value
+            return
         col = warp.regs[:, dest.index]
         warp.regs[:, dest.index] = np.where(mask, value, col)
 
     def _write_pred(self, dest: Pred, warp: WarpState, mask: np.ndarray, value) -> None:
+        if mask is _FULL_MASK:
+            warp.preds[:, dest.index] = value
+            return
         col = warp.preds[:, dest.index]
         warp.preds[:, dest.index] = np.where(mask, value, col)
 
@@ -301,100 +333,121 @@ class Interpreter:
 
         Returns the tuple of byte addresses accessed (memory instructions
         with at least one active lane) or ``None``.
-        """
-        op = inst.op
-        srcs = inst.srcs
 
-        if op in _INT_BINOPS:
-            a = self._read(srcs[0], warp)
-            b = self._read(srcs[1], warp)
-            self._write_reg(inst.dest, warp, mask, _INT_BINOPS[op](a, b))
+        Dispatch runs on a per-static-instruction execution plan
+        (:func:`_plan`: a small kind integer plus the resolved ufunc),
+        computed once and cached on the instruction — the same memoization
+        idea as the timing decode cache (docs/PERFORMANCE.md)."""
+        srcs = inst.srcs
+        kind, fn = _plan(inst)
+
+        # The dispatch chain is ordered by dynamic frequency (arithmetic,
+        # then memory); register source operands — the overwhelmingly common
+        # kind — read inline instead of through ``_read``.
+        regs = warp.regs
+        if kind == _K_BINOP:
+            o = srcs[0]
+            a = regs[:, o.index] if type(o) is Reg else self._read(o, warp)
+            o = srcs[1]
+            b = regs[:, o.index] if type(o) is Reg else self._read(o, warp)
+            self._write_reg(inst.dest, warp, mask, fn(a, b))
             return None
-        if op in _FLOAT_BINOPS:
-            a = self._read(srcs[0], warp)
-            b = self._read(srcs[1], warp)
-            self._write_reg(inst.dest, warp, mask, _FLOAT_BINOPS[op](a, b))
-            return None
-        if op in (Opcode.IMAD, Opcode.FFMA):
-            a = self._read(srcs[0], warp)
-            b = self._read(srcs[1], warp)
-            c = self._read(srcs[2], warp)
+        if kind == _K_MAD:
+            o = srcs[0]
+            a = regs[:, o.index] if type(o) is Reg else self._read(o, warp)
+            o = srcs[1]
+            b = regs[:, o.index] if type(o) is Reg else self._read(o, warp)
+            o = srcs[2]
+            c = regs[:, o.index] if type(o) is Reg else self._read(o, warp)
             val = a * b + c
-            if op is Opcode.IMAD:
+            if inst.op is Opcode.IMAD:
                 val = np.floor(val + 0.5 * np.sign(val))
             self._write_reg(inst.dest, warp, mask, val)
             return None
-        if op in _SFU_OPS:
+        if kind == _K_LD:
+            mem = self.memory if inst.op is Opcode.LD_GLOBAL else shared
+            base = self._read(srcs[0], warp)
+            addrs = self._lane_addresses(base, inst, mask)
+            if addrs:
+                width = inst.width
+                try:
+                    vals = mem.load_many(addrs, width)
+                except AttributeError:
+                    vals = [mem.load(a, width) for a in addrs]
+                if mask is _FULL_MASK:
+                    warp.regs[:, inst.dest.index] = vals
+                else:
+                    warp.regs[mask, inst.dest.index] = vals
+                return tuple(addrs)
+            return None
+        if kind == _K_ST:
+            mem = self.memory if inst.op is Opcode.ST_GLOBAL else shared
+            base = self._read(srcs[0], warp)
+            value = _warp_f64(self._read(srcs[1], warp))
+            addrs = self._lane_addresses(base, inst, mask)
+            if addrs:
+                width = inst.width
+                vals = (value if mask is _FULL_MASK else value[mask]).tolist()
+                try:
+                    mem.store_many(addrs, vals, width)
+                except AttributeError:
+                    for addr, v in zip(addrs, vals):
+                        mem.store(addr, v, width)
+                return tuple(addrs)
+            return None
+        if kind == _K_SFU:
             a = self._read(srcs[0], warp)
-            if op is Opcode.FDIV:
+            if fn is None:  # FDIV: the only two-source SFU op
                 b = self._read(srcs[1], warp)
                 with np.errstate(divide="ignore", invalid="ignore"):
                     val = np.where(np.asarray(b) != 0, a / np.where(b == 0, 1, b), 0.0)
             else:
-                val = _SFU_OPS[op](np.asarray(a, dtype=float))
+                val = fn(np.asarray(a, dtype=float))
             self._write_reg(inst.dest, warp, mask, val)
             return None
-        if op is Opcode.MOV:
+        if kind == _K_MOV:
             val = self._read(srcs[0], warp)
             if isinstance(inst.dest, Pred):
                 self._write_pred(inst.dest, warp, mask, val)
             else:
                 self._write_reg(inst.dest, warp, mask, val)
             return None
-        if op is Opcode.I2F or op is Opcode.F2I:
+        if kind == _K_CVT:
             val = self._read(srcs[0], warp)
-            if op is Opcode.F2I:
+            if inst.op is Opcode.F2I:
                 val = np.trunc(val)
             self._write_reg(inst.dest, warp, mask, val)
             return None
-        if op is Opcode.SEL:
+        if kind == _K_SEL:
             p = self._read(srcs[0], warp)
             a = self._read(srcs[1], warp)
             b = self._read(srcs[2], warp)
             self._write_reg(inst.dest, warp, mask, np.where(p, a, b))
             return None
-        if op in (Opcode.ISETP, Opcode.FSETP):
+        if kind == _K_SETP:
             a = self._read(srcs[0], warp)
             b = self._read(srcs[1], warp)
             if inst.cmp not in self._CMP:
                 raise FunctionalError(f"bad comparison {inst.cmp!r}")
             self._write_pred(inst.dest, warp, mask, self._CMP[inst.cmp](a, b))
             return None
-        if op in (Opcode.LD_GLOBAL, Opcode.LD_SHARED):
-            mem = self.memory if op is Opcode.LD_GLOBAL else shared
+        if kind == _K_ATOM:
             base = self._read(srcs[0], warp)
+            value = _warp_f64(self._read(srcs[1], warp))
             addrs = self._lane_addresses(base, inst, mask)
-            lanes = np.flatnonzero(mask)
-            vals = warp.regs[:, inst.dest.index].copy()
-            for lane, addr in zip(lanes, addrs):
-                vals[lane] = mem.load(addr, inst.width)
-            warp.regs[:, inst.dest.index] = vals
+            atom = inst.atom or "add"
+            vals = (value if mask is _FULL_MASK else value[mask]).tolist()
+            olds = [
+                self.memory.atomic(addr, atom, v)
+                for addr, v in zip(addrs, vals)
+            ]
+            if inst.dest is not None and addrs:
+                if mask is _FULL_MASK:
+                    warp.regs[:, inst.dest.index] = olds
+                else:
+                    warp.regs[mask, inst.dest.index] = olds
             return tuple(addrs) if addrs else None
-        if op in (Opcode.ST_GLOBAL, Opcode.ST_SHARED):
-            mem = self.memory if op is Opcode.ST_GLOBAL else shared
-            base = self._read(srcs[0], warp)
-            value = self._read(srcs[1], warp)
-            value = np.broadcast_to(np.asarray(value, dtype=float), (WARP_SIZE,))
-            addrs = self._lane_addresses(base, inst, mask)
-            lanes = np.flatnonzero(mask)
-            for lane, addr in zip(lanes, addrs):
-                mem.store(addr, float(value[lane]), inst.width)
-            return tuple(addrs) if addrs else None
-        if op is Opcode.ATOM_GLOBAL:
-            base = self._read(srcs[0], warp)
-            value = self._read(srcs[1], warp)
-            value = np.broadcast_to(np.asarray(value, dtype=float), (WARP_SIZE,))
-            addrs = self._lane_addresses(base, inst, mask)
-            lanes = np.flatnonzero(mask)
-            old_vals = warp.regs[:, inst.dest.index].copy() if inst.dest else None
-            for lane, addr in zip(lanes, addrs):
-                old = self.memory.atomic(addr, inst.atom or "add", float(value[lane]))
-                if old_vals is not None:
-                    old_vals[lane] = old
-            if inst.dest is not None:
-                warp.regs[:, inst.dest.index] = old_vals
-            return tuple(addrs) if addrs else None
-        if op is Opcode.MALLOC:
+        if kind == _K_MALLOC:
             if self.heap is None:
                 raise FunctionalError("MALLOC executed but no device heap attached")
             size = self._read(srcs[0], warp)
@@ -404,7 +457,7 @@ class Interpreter:
                 ptrs[lane] = self.heap.malloc(warp.global_warp_id, int(size[lane]))
             warp.regs[:, inst.dest.index] = ptrs
             return None
-        if op is Opcode.FREE:
+        if kind == _K_FREE:
             if self.heap is None:
                 raise FunctionalError("FREE executed but no device heap attached")
             ptr = self._read(srcs[0], warp)
@@ -412,20 +465,22 @@ class Interpreter:
             for lane in np.flatnonzero(mask):
                 self.heap.free(warp.global_warp_id, int(ptr[lane]))
             return None
-        if op is Opcode.TRAP:
+        if kind == _K_TRAP:
             if mask.any():
                 raise TrapRaised(
                     f"trap in block {warp.block_id} warp {warp.warp_id}"
                 )
             return None
-        if op in (Opcode.BRA, Opcode.BAR, Opcode.EXIT, Opcode.NOP):
+        if kind == _K_CTRL:
             return None
-        raise FunctionalError(f"unimplemented opcode {op}")
+        raise FunctionalError(f"unimplemented opcode {inst.op}")
 
     def _lane_addresses(self, base, inst: Instruction, mask: np.ndarray) -> list:
-        base = np.broadcast_to(np.asarray(base, dtype=float), (WARP_SIZE,))
-        lanes = np.flatnonzero(mask)
-        return [int(base[lane]) + inst.offset for lane in lanes]
+        # truncation toward zero, exactly like the per-lane int() it replaces
+        arr = _warp_f64(base)
+        if mask is not _FULL_MASK:
+            arr = arr[mask]
+        return (arr.astype(np.int64) + inst.offset).tolist()
 
 
 _INT_BINOPS = {
@@ -458,3 +513,88 @@ _SFU_OPS = {
     Opcode.FEXP: lambda a: np.exp(np.clip(a, -80, 80)),
     Opcode.FLOG: lambda a: np.log(np.maximum(np.abs(a), 1e-30)),
 }
+
+_F64 = np.dtype(np.float64)
+_WSHAPE = (WARP_SIZE,)
+
+
+def _warp_f64(val) -> np.ndarray:
+    """A ``(WARP_SIZE,)`` float64 vector of ``val``.
+
+    Register-column reads already have that exact shape and dtype — the
+    common case — so they pass through untouched; scalars and predicate
+    vectors take the original asarray+broadcast path (same values)."""
+    if type(val) is np.ndarray and val.dtype == _F64 and val.shape == _WSHAPE:
+        return val
+    return np.broadcast_to(np.asarray(val, dtype=float), _WSHAPE)
+
+
+# Execution-plan kinds.  ``_plan`` classifies a static instruction once —
+# resolving the opcode's category and its ufunc — and caches the result on
+# the instruction object, so the hot ``execute`` path dispatches on a small
+# integer instead of re-testing enum-dict membership per dynamic record.
+_K_BINOP = 0
+_K_MAD = 1
+_K_SFU = 2
+_K_MOV = 3
+_K_CVT = 4
+_K_SEL = 5
+_K_SETP = 6
+_K_LD = 7
+_K_ST = 8
+_K_ATOM = 9
+_K_MALLOC = 10
+_K_FREE = 11
+_K_TRAP = 12
+_K_CTRL = 13
+_K_UNKNOWN = 14
+
+
+def _classify(op) -> tuple:
+    # Same category order as the original chained membership tests (no
+    # opcode appears in more than one table, so order is cosmetic).
+    if op in _INT_BINOPS:
+        return (_K_BINOP, _INT_BINOPS[op])
+    if op in _FLOAT_BINOPS:
+        return (_K_BINOP, _FLOAT_BINOPS[op])
+    if op is Opcode.IMAD or op is Opcode.FFMA:
+        return (_K_MAD, None)
+    if op in _SFU_OPS:
+        return (_K_SFU, _SFU_OPS[op])
+    if op is Opcode.MOV:
+        return (_K_MOV, None)
+    if op is Opcode.I2F or op is Opcode.F2I:
+        return (_K_CVT, None)
+    if op is Opcode.SEL:
+        return (_K_SEL, None)
+    if op is Opcode.ISETP or op is Opcode.FSETP:
+        return (_K_SETP, None)
+    if op is Opcode.LD_GLOBAL or op is Opcode.LD_SHARED:
+        return (_K_LD, None)
+    if op is Opcode.ST_GLOBAL or op is Opcode.ST_SHARED:
+        return (_K_ST, None)
+    if op is Opcode.ATOM_GLOBAL:
+        return (_K_ATOM, None)
+    if op is Opcode.MALLOC:
+        return (_K_MALLOC, None)
+    if op is Opcode.FREE:
+        return (_K_FREE, None)
+    if op is Opcode.TRAP:
+        return (_K_TRAP, None)
+    if op in (Opcode.BRA, Opcode.BAR, Opcode.EXIT, Opcode.NOP):
+        return (_K_CTRL, None)
+    return (_K_UNKNOWN, None)
+
+
+def _plan(inst: Instruction) -> tuple:
+    """Memoized ``(kind, fn)`` execution plan for a static instruction.
+
+    Safe to cache on the instruction: opcodes are immutable after kernel
+    construction (same contract as the timing-side ``inst._dec`` cache).
+    """
+    try:
+        return inst._ek
+    except AttributeError:
+        ek = _classify(inst.op)
+        inst._ek = ek
+        return ek

@@ -304,16 +304,62 @@ def _chaos_main(argv) -> int:
     return 0 if clean else 1
 
 
+def _golden_main(argv) -> int:
+    """The ``golden`` subcommand: regenerate or verify the bit-identity
+    digest fixture (tests/golden_digests.json, docs/PERFORMANCE.md)."""
+    from . import golden
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness golden",
+        description=(
+            "Verify (default) or regenerate the golden end-state digest "
+            "fixture that pins the timing simulator's bit-identity "
+            "contract.  Regenerate only when an intentional model change "
+            "lands — never to make a performance PR pass."
+        ),
+    )
+    parser.add_argument("--update", action="store_true",
+                        help="recompute every digest and rewrite the fixture")
+    parser.add_argument("--fast", action="store_true",
+                        help="restrict to the fast subset tier-1 runs")
+    parser.add_argument("--fixture", default=None,
+                        help=f"fixture path (default: {golden.fixture_path()})")
+    args = parser.parse_args(argv)
+
+    if args.update:
+        fixture = golden.generate(full=not args.fast)
+        path = golden.save_fixture(fixture, args.fixture)
+        print(f"wrote {len(fixture['cases'])} case digests to {path}")
+        return 0
+    fixture = golden.load_fixture(args.fixture)
+    problems = golden.verify(fixture, full=not args.fast)
+    for p in problems:
+        print(p, file=sys.stderr)
+    scope = "fast subset" if args.fast else "full matrix"
+    if problems:
+        print(f"golden: {len(problems)} mismatch(es) in the {scope}",
+              file=sys.stderr)
+        return 1
+    print(f"golden: {scope} bit-identical to the committed fixture")
+    return 0
+
+
 def main(argv=None) -> int:
-    """Dispatch to an experiment runner or the ``trace`` / ``chaos``
-    subcommand; returns the process exit code (nonzero when any
-    experiment failed)."""
+    """Dispatch to an experiment runner or the ``trace`` / ``chaos`` /
+    ``golden`` subcommand; returns the process exit code (nonzero when
+    any experiment failed)."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
+    if argv and argv[0] == "golden":
+        return _golden_main(argv[1:])
+    if argv and argv[0] == "hotloop":
+        from .hotloop_bench import main as hotloop_main
+
+        return hotloop_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",

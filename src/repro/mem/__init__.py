@@ -1,7 +1,7 @@
 """Timing models of the GPU memory hierarchy (caches, TLBs, DRAM, MMU)."""
 
 from .cache import Cache, CacheStats, Dram, DramStats
-from .coalescer import CoalescedAccess, coalesce
+from .coalescer import CoalescedAccess, coalesce, coalesce_inst
 from .hierarchy import AccessResult, FaultInfo, MemorySubsystem
 from .tlb import Mmu, Tlb, TlbStats, TranslationResult, WalkerPool
 
@@ -12,6 +12,7 @@ __all__ = [
     "DramStats",
     "CoalescedAccess",
     "coalesce",
+    "coalesce_inst",
     "AccessResult",
     "FaultInfo",
     "MemorySubsystem",

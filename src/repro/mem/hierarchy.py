@@ -182,19 +182,72 @@ class MemorySubsystem:
         first request reaches the TLB-check slot.  Page faults are detected
         here, at walk completion.
         """
-        access = coalesce(addresses, self.config.line_size)
+        return self.translate_access_coalesced(
+            sm_id, coalesce(addresses, self.config.line_size), is_store, now
+        )
 
+    def translate_access_coalesced(
+        self,
+        sm_id: int,
+        access,
+        is_store: bool,
+        now: float,
+    ) -> TranslationOutcome:
+        """:meth:`translate_access` for an already-coalesced access.
+
+        The SM pipeline's fast path feeds memoized per-trace-record
+        coalescing results (:func:`repro.mem.coalescer.coalesce_inst`)
+        through this entry point so the bucketing work is not redone on
+        every issue or replay (docs/PERFORMANCE.md)."""
+        lines = access.lines
+        nreq = len(lines)
         start0 = max(now, self._ldst_free[sm_id])
-        self._ldst_free[sm_id] = start0 + access.num_requests
+        self._ldst_free[sm_id] = start0 + nreq
+
+        vpns = access.vpns
+        if len(vpns) == 1 and lines:
+            # Fast path: the whole access sits on one page (the common case
+            # for unit-stride warps) — one TLB check at the first request
+            # slot covers every line.  ``translation_done`` collapses to
+            # max(last request slot + 1, walk completion), exactly what the
+            # general loop below computes for a single shared result.
+            vpn = vpns[0]
+            result = self.mmu.translate(sm_id, vpn, start0)
+            translation_done = max(start0 + nreq, result.done_time)
+            if result.faulted:
+                return TranslationOutcome(
+                    translation_done=translation_done,
+                    ready_lines=[],
+                    faults=[
+                        FaultInfo(
+                            vpn=vpn,
+                            detect_time=result.done_time,
+                            sm_id=sm_id,
+                            is_store=is_store,
+                        )
+                    ],
+                    num_requests=nreq,
+                )
+            return TranslationOutcome(
+                translation_done=translation_done,
+                ready_lines=list(lines),
+                faults=[],
+                num_requests=nreq,
+            )
 
         line_size = self.config.line_size
+        line_vpns = access.line_vpns
         page_results: Dict[int, object] = {}
         faults: Dict[int, FaultInfo] = {}
         ready_lines: List[int] = []
         translation_done = now
         for i, line in enumerate(access.lines):
             slot = start0 + i
-            vpn = (line * line_size) >> PAGE_SHIFT
+            vpn = (
+                line_vpns[i]
+                if line_vpns
+                else (line * line_size) >> PAGE_SHIFT
+            )
             result = page_results.get(vpn)
             if result is None:
                 result = self.mmu.translate(sm_id, vpn, slot)
@@ -284,7 +337,15 @@ class MemorySubsystem:
         the replay executes far in the future relative to the accesses being
         simulated now.
         """
-        access = coalesce(addresses, self.config.line_size)
+        return self.replay_after_fault_coalesced(
+            sm_id, coalesce(addresses, self.config.line_size), resolved_time
+        )
+
+    def replay_after_fault_coalesced(
+        self, sm_id: int, access, resolved_time: float
+    ) -> AccessResult:
+        """:meth:`replay_after_fault` for an already-coalesced access (the
+        SM fast path reuses the memoized coalescing of the original issue)."""
         cfg = self.config
         # Requests re-enter the address pipeline back to back.
         last_check = (

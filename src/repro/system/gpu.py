@@ -25,6 +25,7 @@ from repro.functional.trace import KernelTrace
 from repro.isa import Kernel
 from repro.mem import MemorySubsystem
 from repro.telemetry import Telemetry, active as _tel_active, ev as _ev
+from repro.timing.decode import predecode_trace
 from repro.timing.engine import EventQueue
 from repro.timing.sm import SmPipeline
 from repro.vm import AddressSpace, FrameAllocator
@@ -80,12 +81,16 @@ class GpuSimulator:
         chaos=None,
         watchdog=None,
         sanitize: bool = False,
+        reference_issue: bool = False,
     ) -> None:
         """``chaos`` (a :class:`repro.chaos.ChaosEngine`), ``watchdog``
         (a :class:`repro.chaos.Watchdog`) and ``sanitize`` enable the
         robustness layer of docs/ROBUSTNESS.md; all default off, leaving
         the simulator's timing bit-identical and its hot paths paying a
-        single ``is not None`` check."""
+        single ``is not None`` check.  ``reference_issue`` selects the
+        pre-overhaul full round-robin issue scan on every SM (the
+        executable spec the fast path is pinned against; also via
+        ``REPRO_REFERENCE_ISSUE=1``)."""
         from repro.chaos import InvariantSanitizer, chaos_active
 
         self.config = config if config is not None else GPUConfig()
@@ -146,6 +151,9 @@ class GpuSimulator:
         if self.sanitizer is not None:
             self.events.attach_sanitizer(self.sanitizer)
         self.tb_scheduler = ThreadBlockScheduler(trace)
+        # Decode every static instruction once, up front: the issue loop
+        # then only ever reads cached tuples (docs/PERFORMANCE.md).
+        predecode_trace(trace)
 
         occupancy = cfg.blocks_per_sm(kernel, trace.block_dim)
         context_bytes = (
@@ -166,6 +174,7 @@ class GpuSimulator:
                 telemetry=self.telemetry,
                 chaos=self.chaos,
                 sanitizer=self.sanitizer,
+                reference_issue=reference_issue,
             )
             for i in range(cfg.num_sms)
         ]
@@ -195,6 +204,7 @@ class GpuSimulator:
             reg.gauge("gpu.events.processed", lambda: self.events.processed)
             reg.gauge("gpu.events.scheduled", lambda: self.events.scheduled)
             reg.gauge("gpu.events.peak_depth", lambda: self.events.peak)
+            reg.gauge("gpu.events.coalesced", lambda: self.events.coalesced)
             reg.gauge(
                 "gpu.blocks.remaining", lambda: self.blocks_remaining
             )
@@ -280,6 +290,7 @@ class GpuSimulator:
 
         cycle = 0.0
         events = self.events
+        times = events._times  # guard: skip the run_until call when idle
         sms = self.sms
         tel = self.telemetry
         next_sample = tel.sample_interval if tel is not None else math.inf
@@ -292,14 +303,18 @@ class GpuSimulator:
         while self.blocks_remaining > 0:
             if cycle > max_cycles:
                 raise DeadlockError(f"exceeded {max_cycles:g} cycles")
-            events.run_until(cycle)
-            if self.blocks_remaining <= 0:
-                break
+            if times and times[0] <= cycle:
+                events.run_until(cycle)
+                if self.blocks_remaining <= 0:
+                    break
             awake = False
             for sm in sms:
-                if not sm.sleeping:
+                # A sleeping SM is re-scanned when its armed ready time is
+                # due — the scalar that replaced pure wake-up heap events.
+                if not sm.sleeping or sm.next_ready_cycle <= cycle:
                     sm.try_issue(cycle)
-                    awake = awake or not sm.sleeping
+                    if not sm.sleeping:
+                        awake = True
             if cycle >= next_sample:
                 tel.sample(cycle)
                 next_sample = cycle + tel.sample_interval
@@ -312,12 +327,21 @@ class GpuSimulator:
             if awake:
                 cycle += 1
             else:
+                # Jump to whichever comes first: the next heap event or the
+                # earliest armed SM ready time.
                 nxt = events.next_time
-                if nxt is None:
+                wake = math.inf
+                for sm in sms:
+                    t = sm.next_ready_cycle
+                    if t < wake:
+                        wake = t
+                if nxt is None and wake == math.inf:
                     raise DeadlockError(
                         f"{self.blocks_remaining} blocks stuck with no events "
                         f"at cycle {cycle:g}"
                     )
+                if nxt is None or wake < nxt:
+                    nxt = wake
                 cycle = max(cycle + 1, math.ceil(nxt))
 
         if self.sanitizer is not None:

@@ -1,6 +1,16 @@
 """Cycle-level timing simulation: event engine and the SM pipeline model."""
 
+from .decode import decode, predecode_trace
 from .engine import Event, EventQueue
 from .sm import BlockRT, SmPipeline, SmStats, WarpRT
 
-__all__ = ["Event", "EventQueue", "BlockRT", "SmPipeline", "SmStats", "WarpRT"]
+__all__ = [
+    "Event",
+    "EventQueue",
+    "BlockRT",
+    "SmPipeline",
+    "SmStats",
+    "WarpRT",
+    "decode",
+    "predecode_trace",
+]

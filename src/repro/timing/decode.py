@@ -1,0 +1,63 @@
+"""Static-instruction decode memoization (hot-loop overhaul).
+
+The issue stage needs a handful of facts per static instruction (unit,
+latency, faultability, operand registers, ...).  Computing them involves
+enum-keyed dict lookups and operand-tuple construction — cheap once, hot
+when repeated on every *issue attempt* (a scoreboard-blocked warp is
+re-scanned every cycle).  ``decode`` computes the facts once and caches the
+tuple on the instruction itself; ``predecode_trace`` warms the cache for a
+whole kernel trace at load time so the simulator's issue loop only ever
+reads.  See docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Opcode, Unit
+
+_UNIT_IDX = {Unit.MATH: 0, Unit.SFU: 1, Unit.LDST: 2, Unit.BRANCH: 3}
+
+
+def decode(inst):
+    """Return the decode tuple for ``inst``, caching it on ``inst._dec``.
+
+    Tuple layout (indices are what the issue loop reads):
+    0 unit index, 1 latency, 2 can_fault, 3 is_store, 4 is_control,
+    5 is BAR, 6 reg_srcs, 7 reg_dests, 8 pred_srcs, 9 pred_dests,
+    10 is atomic, 11 may raise an arithmetic exception (FDIV).
+    """
+    try:
+        return inst._dec
+    except AttributeError:
+        info = inst.info
+        dec = (
+            _UNIT_IDX[info.unit],  # 0: unit index
+            info.latency,  # 1
+            info.can_fault,  # 2
+            info.is_store,  # 3
+            info.is_control,  # 4
+            inst.op is Opcode.BAR,  # 5
+            inst.reg_srcs(),  # 6
+            inst.reg_dests(),  # 7
+            inst.pred_srcs(),  # 8
+            inst.pred_dests(),  # 9
+            inst.op is Opcode.ATOM_GLOBAL,  # 10: atomic (completes like a load)
+            inst.op is Opcode.FDIV,  # 11: may raise an arithmetic exception
+        )
+        inst._dec = dec
+        return dec
+
+
+def predecode_trace(ktrace) -> int:
+    """Decode every instruction referenced by a kernel trace.
+
+    Static instructions are shared between dynamic records, so this is
+    cheap; afterwards the timing simulator's per-warp decode lists are
+    built from cache hits only.  Returns the dynamic record count.
+    """
+    n = 0
+    for block in ktrace.blocks:
+        for warp in block.warps:
+            for tinst in warp.instructions:
+                decode(tinst.inst)
+                n += 1
+    return n

@@ -15,18 +15,35 @@ The preemptible-exception schemes of Section 3 plug in through a
 (a) how long a warp's fetch stays disabled after a global-memory instruction,
 (b) when source scoreboards of global-memory instructions are released, and
 (c) operand-log capacity accounting.
+
+Hot-loop structure (docs/PERFORMANCE.md)
+----------------------------------------
+:meth:`SmPipeline.try_issue` is the simulator's hottest function; it runs on
+a *ready scan list* (warps that are not done, not parked at a barrier, and
+not out of trace), consults pre-decoded instruction tuples, caches each
+warp's last scoreboard verdict (``WarpRT.sb_wait``), and arms a per-SM
+``next_ready_cycle`` scalar instead of scheduling pure wake-up heap events —
+all provably bit-identical to the reference scan, which is kept as
+:meth:`SmPipeline._try_issue_reference` (select it with
+``reference_issue=True`` or ``REPRO_REFERENCE_ISSUE=1``) and pinned against
+the fast path by the golden digests (``tests/golden_digests.json``) and the
+hypothesis equivalence suite.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import os
+from bisect import bisect_left, insort
+from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 from repro.functional.trace import BlockTrace, TraceInst
-from repro.isa import Opcode, Unit
+from repro.mem.coalescer import coalesce_inst
 from repro.telemetry import active as _tel_active, ev as _ev
 
+from .decode import decode as _decode
 from .engine import EventQueue
 
 #: cycles from fetch decision to issue — folded into issue; operand read and
@@ -35,32 +52,7 @@ BARRIER_RESTART_LATENCY = 6
 #: pipeline refill penalty after squashing a faulted instruction is replayed
 REPLAY_ISSUE_COST = 8
 
-_UNIT_IDX = {Unit.MATH: 0, Unit.SFU: 1, Unit.LDST: 2, Unit.BRANCH: 3}
-
-
-def _decode(inst):
-    """Cache the per-static-instruction facts the issue loop needs, avoiding
-    repeated enum-keyed dict lookups on the hot path."""
-    try:
-        return inst._dec
-    except AttributeError:
-        info = inst.info
-        dec = (
-            _UNIT_IDX[info.unit],  # 0: unit index
-            info.latency,  # 1
-            info.can_fault,  # 2
-            info.is_store,  # 3
-            info.is_control,  # 4
-            inst.op is Opcode.BAR,  # 5
-            inst.reg_srcs(),  # 6
-            inst.reg_dests(),  # 7
-            inst.pred_srcs(),  # 8
-            inst.pred_dests(),  # 9
-            inst.op is Opcode.ATOM_GLOBAL,  # 10: atomic (completes like a load)
-            inst.op is Opcode.FDIV,  # 11: may raise an arithmetic exception
-        )
-        inst._dec = dec
-        return dec
+_INF = math.inf
 
 
 @dataclass
@@ -96,6 +88,10 @@ class WarpRT:
         "done",
         "block",
         "replay_list",
+        "dtrace",
+        "tlen",
+        "pos",
+        "sb_wait",
     )
 
     def __init__(self, slot: int, trace: List[TraceInst], block: "BlockRT") -> None:
@@ -113,11 +109,22 @@ class WarpRT:
         self.done = False
         self.block = block
         self.replay_list: List[TraceInst] = []
+        #: decode tuple per trace record (cache hits when the trace was
+        #: predecoded at load time — repro.timing.decode)
+        self.dtrace = [_decode(t.inst) for t in trace]
+        self.tlen = len(trace)
+        #: index in the SM's master warp list (maintained by the scan
+        #: rebuild; the round-robin pointer is expressed in these positions)
+        self.pos = 0
+        #: cached scoreboard verdict: True = the warp's next instruction was
+        #: scoreboard-blocked and nothing that could unblock it has happened
+        #: since (cleared on commit / source release / squash / issue)
+        self.sb_wait = False
 
     def next_inst(self) -> Optional[TraceInst]:
         if self.replay_list:
             return self.replay_list[0]
-        if self.idx < len(self.trace):
+        if self.idx < self.tlen:
             return self.trace[self.idx]
         return None
 
@@ -130,7 +137,7 @@ class WarpRT:
     def maybe_done(self) -> bool:
         if (
             not self.done
-            and self.idx >= len(self.trace)
+            and self.idx >= self.tlen
             and not self.replay_list
             and self.inflight == 0
         ):
@@ -202,6 +209,7 @@ class SmPipeline:
         telemetry=None,
         chaos=None,
         sanitizer=None,
+        reference_issue: bool = False,
     ) -> None:
         self.sm_id = sm_id
         self.config = config
@@ -218,6 +226,21 @@ class SmPipeline:
         self.warps: List[WarpRT] = []
         self.rr = 0
         self.sleeping = False
+        #: the earliest future cycle at which this SM must be re-scanned
+        #: even though no heap event targets it — the min over pending
+        #: warp-ready transitions (barrier restarts armed via
+        #: :meth:`schedule_wake`; per-issue ``fetch_ready`` advances never
+        #: outlive an awake cycle, see docs/PERFORMANCE.md).  The run loop
+        #: jumps to ``min(next event, next_ready_cycle)`` when every SM
+        #: sleeps.
+        self.next_ready_cycle = _INF
+        self._wakes: List[float] = []  # pending schedule_wake times, sorted
+        # Pending source-scoreboard releases, keyed by due time (each key
+        # also has a ``_wakes`` entry).  SM-local and commutative with the
+        # same-timestamp heap events, so they bypass the global event queue
+        # entirely; :meth:`try_issue` retires due entries before scanning —
+        # the same point in the cycle the heap used to fire them.
+        self._rel: Dict[float, list] = {}
         #: faulted memory instructions parked in the LD/ST pipeline; at
         #: config.pending_fault_limit the SM cannot issue further global
         #: memory instructions (the clogging that preemption relieves)
@@ -231,9 +254,41 @@ class SmPipeline:
             config.num_ldst_units,
             config.num_branch_units,
         )
+        # The fast scan may skip a ``sb_wait`` warp before the unit-budget
+        # check only if no unit has a zero budget: otherwise the reference
+        # scan could attribute that warp to ``structural`` (budget exhausted
+        # at zero issues) where the skip would say ``sb_block``.  With every
+        # budget >= 1, exhaustion implies at least one issue this cycle, and
+        # neither flag is observable (sleeping is False, stall counters only
+        # tick on zero-issue cycles) — see docs/PERFORMANCE.md.
+        self._sb_early = min(self._unit_budget_template) > 0
         log_bytes = getattr(scheme, "log_bytes", 0)
         self._log_partition = (
             max(512, log_bytes // max(occupancy, 1)) if log_bytes else 0
+        )
+        # Ready scan list (fast issue path): master-order subset of
+        # ``self.warps`` that can possibly issue — lazily rebuilt when a
+        # membership transition marks it dirty.
+        self._scan: List[WarpRT] = []
+        self._scan_pos: List[int] = []
+        self._scan_dirty = True
+        # Per-run constants hoisted out of the issue loop.
+        self._issue_width = config.issue_width
+        self._oprd_lat = config.operand_read_latency
+        self._pending_limit = config.pending_fault_limit
+        self._line_size = config.line_size
+        self._anchor = getattr(scheme, "disable_anchor", None)
+        self._cover_arith = getattr(scheme, "cover_arithmetic", False)
+        self._log_need = (
+            scheme.log_bytes_needed(False),
+            scheme.log_bytes_needed(True),
+        )
+        # Schemes declare (core.schemes) whether source scoreboards release
+        # right at operand read; custom schemes without the hint take the
+        # method-call path, which inlines the release anyway when it is due.
+        self._src_imm = getattr(scheme, "immediate_source_release", False)
+        self._memsys_fast = hasattr(memsys, "translate_access_coalesced") and (
+            hasattr(memsys, "replay_after_fault_coalesced")
         )
         # Chaos / sanitizer (repro.chaos): both None unless enabled, so the
         # issue and retirement hot paths pay only an ``is not None`` check.
@@ -252,8 +307,16 @@ class SmPipeline:
             self._c_stall_fault = reg.counter(f"{prefix}.warp_stall.fault")
             self._c_stall_sb = reg.counter(f"{prefix}.warp_stall.scoreboard")
             self._c_stall_log = reg.counter(f"{prefix}.warp_stall.log")
+            self._c_stall_struct = reg.counter(
+                f"{prefix}.warp_stall.structural"
+            )
             reg.bind_stats(f"{prefix}.stats", self.stats)
             reg.gauge(f"{prefix}.pending_faults", lambda: self.pending_faults)
+            reg.gauge(f"{prefix}.ready_warps", self.ready_warp_count)
+        if reference_issue or os.environ.get("REPRO_REFERENCE_ISSUE") == "1":
+            # Executable spec: shadow the fast path with the reference scan
+            # (bound as an instance attribute) for A/B equivalence testing.
+            self.try_issue = self._try_issue_reference
 
     # ------------------------------------------------------------------
     # block lifecycle
@@ -261,6 +324,17 @@ class SmPipeline:
 
     def wake(self) -> None:
         self.sleeping = False
+
+    def schedule_wake(self, time: float) -> None:
+        """Arm the run loop to re-scan this SM at ``time`` without pushing a
+        heap event: the wake time joins a (tiny) sorted pending list and
+        lowers ``next_ready_cycle``; :meth:`try_issue` retires due entries.
+        Replaces the pure-wake events the barrier-release path used to
+        schedule (counted in ``EventQueue.coalesced``)."""
+        self.events.coalesced += 1
+        insort(self._wakes, time)
+        if time < self.next_ready_cycle:
+            self.next_ready_cycle = time
 
     def launch_block(self, btrace: BlockTrace, time: float) -> BlockRT:
         """Bring a fresh thread block on chip."""
@@ -296,6 +370,9 @@ class SmPipeline:
             if not w.done
         ]
         self.rr = 0
+        self._scan_dirty = True
+        for w in self.warps:
+            w.sb_wait = False  # conservative: context moved, recheck all
 
     def _block_finished(self, block: BlockRT, time: float) -> None:
         if self.sanitizer is not None:
@@ -325,8 +402,166 @@ class SmPipeline:
     # issue logic
     # ------------------------------------------------------------------
 
+    def _rebuild_scan(self) -> None:
+        """Recompute the ready scan list from the master warp list.
+
+        Membership: not done, not parked at a barrier, and still has an
+        instruction to issue (replay pending or trace remaining).  Warps
+        whose fetch is held/not-ready stay listed — hold churn is
+        per-issue, so evicting them would cost more rebuilds than the one
+        flag test they cost in the loop.  Master positions are refreshed
+        here so the round-robin pointer maps exactly onto the reference
+        scan order."""
+        scan = []
+        pos_list = []
+        for pos, w in enumerate(self.warps):
+            w.pos = pos
+            if w.done or w.at_barrier:
+                continue
+            if not w.replay_list and w.idx >= w.tlen:
+                continue  # trace exhausted, draining in-flight work
+            scan.append(w)
+            pos_list.append(pos)
+        self._scan = scan
+        self._scan_pos = pos_list
+        self._scan_dirty = False
+
+    def ready_warp_count(self) -> int:
+        """Current ready-list size (telemetry gauge
+        ``gpu.sm[*].ready_warps``)."""
+        if self._scan_dirty:
+            self._rebuild_scan()
+        return len(self._scan)
+
     def try_issue(self, cycle: float) -> int:
-        """Attempt up to ``issue_width`` issues this cycle; returns count."""
+        """Attempt up to ``issue_width`` issues this cycle; returns count.
+
+        Fast path of the hot-loop overhaul: scans only the ready list, in
+        the exact order and with the exact stall attribution of
+        :meth:`_try_issue_reference` (the original full round-robin scan,
+        kept as the executable spec)."""
+        if self.next_ready_cycle <= cycle:
+            wakes = self._wakes
+            rel = self._rel
+            while wakes and wakes[0] <= cycle:
+                t = wakes.pop(0)
+                if rel:
+                    lst = rel.pop(t, None)
+                    if lst is not None:
+                        for warp, srcs, psrcs in lst:
+                            self._do_src_release(warp, srcs, psrcs, t)
+            self.next_ready_cycle = wakes[0] if wakes else _INF
+        warps = self.warps
+        n = len(warps)
+        if n == 0:
+            self.sleeping = True
+            return 0
+        if self._scan_dirty:
+            self._rebuild_scan()
+        scan = self._scan
+        ns = len(scan)
+        issued = 0
+        structural = False
+        sb_block = fault_block = log_block = False  # stall attribution
+        if ns:
+            budget = list(self._unit_budget_template)
+            width = self._issue_width
+            sb_check = self._scoreboard_blocked
+            sb_early = self._sb_early
+            # First scan entry at master position >= rr (wrapping to 0):
+            # identical visit order to the reference scan, which starts at
+            # master index rr and skips non-ready warps as no-ops.
+            start = bisect_left(self._scan_pos, self.rr)
+            if start == ns:
+                start = 0
+            # Rotated copy: a plain for-loop over a list beats per-iteration
+            # wrap-around index arithmetic in the interpreter.
+            order = scan[start:] + scan[:start] if start else scan
+            for warp in order:
+                if (
+                    warp.done
+                    or warp.at_barrier
+                    or warp.fetch_holds
+                    or warp.fetch_ready > cycle
+                ):
+                    continue
+                if warp.sb_wait and sb_early:
+                    # Head instruction and this warp's scoreboards are
+                    # untouched since the last verdict (issue, releases,
+                    # commits and replay squashes all clear the flag), so
+                    # the decode/budget/BAR work below would reach the same
+                    # "blocked" answer — skip it.
+                    sb_block = True
+                    continue
+                rl = warp.replay_list
+                if rl:
+                    tinst = rl[0]
+                    dec = _decode(tinst.inst)
+                else:
+                    idx = warp.idx
+                    if idx >= warp.tlen:
+                        continue  # stale entry: draining
+                    tinst = warp.trace[idx]
+                    dec = warp.dtrace[idx]
+                if budget[dec[0]] <= 0:
+                    structural = True
+                    continue
+                if dec[5] and warp.inflight:  # BAR waits for older insts
+                    continue
+                if warp.sb_wait or sb_check(warp, dec):
+                    warp.sb_wait = True
+                    sb_block = True
+                    continue
+                if dec[2]:
+                    if self.pending_faults >= self._pending_limit:
+                        fault_block = True
+                        continue  # memory pipeline clogged by parked faults
+                    need = self._log_need[dec[3]]
+                    if need and warp.block.log_used + need > warp.block.log_capacity:
+                        log_block = True
+                        continue  # log partition full; event will wake us
+                budget[dec[0]] -= 1
+                self._issue(warp, tinst, dec, cycle)
+                issued += 1
+                if issued >= width:
+                    # Reference-scan equivalent of stopping at issue_width:
+                    # rr advances to just past the last issued warp's
+                    # master position.  (A completed full circle leaves rr
+                    # unchanged, exactly like the reference.)
+                    nxt = warp.pos + 1
+                    self.rr = nxt if nxt < n else 0
+                    break
+        self.sleeping = issued == 0 and not structural
+        if self.sleeping:
+            self.stats.cycles_asleep_entries += 1
+        if issued == 0 and self.tel is not None:
+            self._c_stall.add()
+            if fault_block:
+                self._c_stall_fault.add()
+            if sb_block:
+                self._c_stall_sb.add()
+            if log_block:
+                self._c_stall_log.add()
+            if structural:
+                self._c_stall_struct.add()
+        return issued
+
+    def _try_issue_reference(self, cycle: float) -> int:
+        """Reference issue scan (pre-overhaul behaviour): full round-robin
+        over the master warp list.  Kept as the executable specification the
+        fast path must match bit-for-bit; selected via
+        ``reference_issue=True`` / ``REPRO_REFERENCE_ISSUE=1``."""
+        if self.next_ready_cycle <= cycle:
+            wakes = self._wakes
+            rel = self._rel
+            while wakes and wakes[0] <= cycle:
+                t = wakes.pop(0)
+                if rel:
+                    lst = rel.pop(t, None)
+                    if lst is not None:
+                        for warp, srcs, psrcs in lst:
+                            self._do_src_release(warp, srcs, psrcs, t)
+            self.next_ready_cycle = wakes[0] if wakes else _INF
         warps = self.warps
         n = len(warps)
         if n == 0:
@@ -383,6 +618,8 @@ class SmPipeline:
                 self._c_stall_sb.add()
             if log_block:
                 self._c_stall_log.add()
+            if structural:
+                self._c_stall_struct.add()
         return issued
 
     def _scoreboard_blocked(self, warp: WarpRT, dec) -> bool:
@@ -432,15 +669,33 @@ class SmPipeline:
                 {"op": tinst.inst.op.name, "warp": warp.slot,
                  "block": warp.block.block_id},
             )
-        warp.advance()
+        rl = warp.replay_list
+        if rl:
+            rl.pop(0)
+            if not rl and warp.idx >= warp.tlen:
+                self._scan_dirty = True  # drained: drop from ready list
+        else:
+            warp.idx += 1
+            if warp.idx >= warp.tlen:
+                self._scan_dirty = True
+        warp.sb_wait = False  # the next instruction is a different one
         warp.fetch_ready = cycle + 1
         warp.inflight += 1
-        self._mark(warp.pr, srcs)
-        self._mark(warp.pw, dests)
-        self._mark(warp.prp, psrcs)
-        self._mark(warp.pwp, pdests)
+        # inlined _mark x4 — this is the hottest scoreboard write path
+        table = warp.pr
+        for k in srcs:
+            table[k] = table.get(k, 0) + 1
+        table = warp.pw
+        for k in dests:
+            table[k] = table.get(k, 0) + 1
+        table = warp.prp
+        for k in psrcs:
+            table[k] = table.get(k, 0) + 1
+        table = warp.pwp
+        for k in pdests:
+            table[k] = table.get(k, 0) + 1
         self.stats.issued += 1
-        oprd = cycle + self.config.operand_read_latency
+        oprd = cycle + self._oprd_lat
 
         if dec[2] and tinst.addresses:  # global memory (can fault)
             self.stats.issued_mem += 1
@@ -456,41 +711,95 @@ class SmPipeline:
         # potentially excepting SFU divide is guaranteed exception-free only
         # once it completes execution, so a warp-disable scheme barriers it
         # and the replay-queue scheme holds its source scoreboards that long.
-        covers_arith = dec[11] and getattr(self.scheme, "cover_arithmetic", False)
+        covers_arith = dec[11] and self._cover_arith
         src_release = oprd
-        if covers_arith and self.scheme.disable_anchor is None:
+        if covers_arith and self._anchor is None:
             src_release = self.scheme.source_release_time(oprd, commit_time)
-        self._schedule_src_release(warp, srcs, psrcs, src_release)
-        if dec[4] or (covers_arith and self.scheme.disable_anchor is not None):
+        self._queue_src_release(warp, srcs, psrcs, src_release, cycle)
+        if dec[4] or (covers_arith and self._anchor is not None):
             # control flow: fetch disabled until commit (baseline); covered
-            # arithmetic under a warp-disable scheme behaves the same way
+            # arithmetic under a warp-disable scheme behaves the same way.
+            # The hold release and the commit fall on the same timestamp
+            # (release first), so both dispatch from one merged event.
             warp.fetch_holds += 1
             if self.tel is not None:
                 self.tel.tracer.emit(
                     _ev.EV_FETCH_DISABLE, cycle, self._tid,
                     {"warp": warp.slot, "why": "control"},
                 )
-            self.events.schedule(
-                commit_time, lambda t, w=warp: self._release_fetch_hold(w, t)
+            self.events.coalesced += 1
+            self.events.call(
+                commit_time,
+                partial(self._commit_release_hold, warp, dests, pdests),
             )
-        self.events.schedule(
-            commit_time,
-            lambda t, w=warp, d=dests, pd=pdests: self._commit(w, d, pd, t),
-        )
-        warp.block.drain_time = max(warp.block.drain_time, commit_time)
+        else:
+            self.events.call(
+                commit_time, partial(self._commit, warp, dests, pdests)
+            )
+        if commit_time > warp.block.drain_time:
+            warp.block.drain_time = commit_time
 
-    def _schedule_src_release(self, warp, srcs, psrcs, time: float):
+    def _schedule_src_release(
+        self, warp, srcs, psrcs, time: float, now: float = None
+    ):
+        """Release source scoreboards at ``time``; when the release is due
+        at or before ``now`` it executes inline (no heap push) — same batch,
+        same ordering, one fewer event (docs/PERFORMANCE.md).
+
+        Returns a cancellable Event handle — use this variant only where
+        the caller may need to squash the release (faulted in-flight
+        instructions); everything else goes through the heap-free
+        :meth:`_queue_src_release`."""
         if not srcs and not psrcs:
             return None
+        if now is not None and time <= now:
+            self.events.coalesced += 1
+            self._do_src_release(warp, srcs, psrcs, now)
+            return None
         return self.events.schedule(
-            time,
-            lambda t, w=warp, s=srcs, ps=psrcs: self._do_src_release(w, s, ps),
+            time, partial(self._do_src_release, warp, srcs, psrcs)
         )
 
-    def _do_src_release(self, warp, srcs, psrcs) -> None:
-        self._release(warp.pr, srcs)
-        self._release(warp.prp, psrcs)
-        self.wake()
+    def _queue_src_release(self, warp, srcs, psrcs, time: float, now: float) -> None:
+        """Heap-free :meth:`_schedule_src_release` for releases that are
+        never cancelled: due entries run inline; future ones park in the
+        per-SM ``_rel`` map and fire from :meth:`try_issue`'s wake sweep —
+        the same pre-scan point of their due cycle the heap dispatched them
+        at, and release order within a timestamp is immaterial (counter
+        decrements on per-warp tables commute)."""
+        if not srcs and not psrcs:
+            return
+        self.events.coalesced += 1
+        if time <= now:
+            self._do_src_release(warp, srcs, psrcs, now)
+            return
+        lst = self._rel.get(time)
+        if lst is None:
+            self._rel[time] = [(warp, srcs, psrcs)]
+            insort(self._wakes, time)
+            if time < self.next_ready_cycle:
+                self.next_ready_cycle = time
+        else:
+            lst.append((warp, srcs, psrcs))
+
+    def _do_src_release(self, warp, srcs, psrcs, time: float = 0.0) -> None:
+        # inlined _release x2 (hot path)
+        table = warp.pr
+        for k in srcs:
+            left = table.get(k, 0) - 1
+            if left > 0:
+                table[k] = left
+            else:
+                table.pop(k, None)
+        table = warp.prp
+        for k in psrcs:
+            left = table.get(k, 0) - 1
+            if left > 0:
+                table[k] = left
+            else:
+                table.pop(k, None)
+        warp.sb_wait = False  # a WAR-blocked successor may now pass
+        self.sleeping = False  # inlined wake() (hot path)
 
     def _release_fetch_hold(self, warp: WarpRT, time: float = 0.0) -> None:
         """Drop one fetch hold on ``warp`` (commit / last-check / handler
@@ -500,25 +809,51 @@ class SmPipeline:
             self.tel.tracer.emit(
                 _ev.EV_FETCH_ENABLE, time, self._tid, {"warp": warp.slot}
             )
-        self.wake()
+        self.sleeping = False  # inlined wake()
 
     def _commit(self, warp: WarpRT, dests, pdests, time: float) -> None:
         """Commit one in-flight instruction of ``warp``: release destination
         scoreboards and retire the block if this emptied it."""
-        self._release(warp.pw, dests)
-        self._release(warp.pwp, pdests)
+        # inlined _release x2 (hot path)
+        table = warp.pw
+        for k in dests:
+            left = table.get(k, 0) - 1
+            if left > 0:
+                table[k] = left
+            else:
+                table.pop(k, None)
+        table = warp.pwp
+        for k in pdests:
+            left = table.get(k, 0) - 1
+            if left > 0:
+                table[k] = left
+            else:
+                table.pop(k, None)
         warp.inflight -= 1
+        warp.sb_wait = False  # a RAW/WAW-blocked successor may now pass
         self.stats.committed += 1
         if self.tel is not None:
             self.tel.tracer.emit(
                 _ev.EV_COMMIT, time, self._tid, {"warp": warp.slot}
             )
-        self.wake()
-        if warp.maybe_done():
+        self.sleeping = False  # inlined wake() (hot path)
+        # inlined warp.maybe_done() — the common case (more work in flight)
+        # pays three attribute tests instead of a method call
+        if warp.done or (
+            not warp.inflight and warp.idx >= warp.tlen and not warp.replay_list
+        ):
+            warp.done = True
+            self._scan_dirty = True  # done: drop from ready list
             block = warp.block
             self._check_barrier(block, time)
             if block.state in (BlockRT.ACTIVE, BlockRT.SAVING) and block.is_done():
                 self._block_finished(block, time)
+
+    def _commit_release_hold(self, warp: WarpRT, dests, pdests, time: float) -> None:
+        """Merged same-timestamp dispatch: fetch-hold release followed by
+        commit (the order the reference scheduled them in)."""
+        self._release_fetch_hold(warp, time)
+        self._commit(warp, dests, pdests, time)
 
     # ------------------------------------------------------------------
     # barriers
@@ -527,6 +862,7 @@ class SmPipeline:
     def _issue_barrier(self, warp: WarpRT, tinst, cycle: float, oprd: float) -> None:
         """Park ``warp`` at a BAR; restart everyone once the block arrives."""
         warp.at_barrier = True
+        self._scan_dirty = True  # parked: drop from ready list
         block = warp.block
         if self.tel is not None:
             self.tel.tracer.emit(
@@ -535,9 +871,7 @@ class SmPipeline:
             )
         block.barrier_arrived += 1
         commit_time = oprd + tinst.inst.info.latency
-        self.events.schedule(
-            commit_time, lambda t, w=warp: self._commit(w, (), (), t)
-        )
+        self.events.call(commit_time, partial(self._commit, warp, (), ()))
         self._check_barrier(block, cycle)
 
     def _check_barrier(self, block: BlockRT, time: float) -> None:
@@ -551,7 +885,8 @@ class SmPipeline:
                 w.at_barrier = False
                 w.fetch_ready = max(w.fetch_ready, restart)
             block.barrier_arrived = 0
-            self.events.schedule(restart, lambda t: self.wake())
+            self._scan_dirty = True  # released warps rejoin the ready list
+            self.schedule_wake(restart)
 
     # ------------------------------------------------------------------
     # global memory path (translation, faults, schemes)
@@ -568,7 +903,7 @@ class SmPipeline:
         operand-log space now, then translate at operand read (phase 1)."""
         # Warp-disable schemes stop fetching from the cycle the memory
         # instruction is fetched; the release time is known later.
-        wd_hold = getattr(self.scheme, "disable_anchor", None) is not None
+        wd_hold = self._anchor is not None
         if wd_hold:
             warp.fetch_holds += 1
             if self.tel is not None:
@@ -578,18 +913,15 @@ class SmPipeline:
                 )
         # Operand-log space is claimed at issue (checked by try_issue) and
         # released once the last TLB check clears (scheduled in phase 1).
-        need = self.scheme.log_bytes_needed(dec[3])
+        need = self._log_need[dec[3]]
         if need:
             warp.block.log_used += need
-        self.events.schedule(
-            oprd,
-            lambda t, w=warp, ti=tinst, d=dec, h=wd_hold: self._gmem_translate(
-                w, ti, d, t, h
-            ),
+        self.events.call(
+            oprd, partial(self._gmem_translate, warp, tinst, dec, wd_hold)
         )
 
     def _gmem_translate(
-        self, warp: WarpRT, tinst, dec, now: float, wd_hold: bool,
+        self, warp: WarpRT, tinst, dec, wd_hold: bool, now: float,
         replayed: bool = False,
     ) -> None:
         """Phase 1 of the global-memory path: coalesce + translate; route
@@ -603,36 +935,55 @@ class SmPipeline:
             # resources yet, so deferring the whole phase is leak-free.
             penalty = chaos.squash_replay(now, self.sm_id)
             if penalty:
-                self.events.schedule(
+                self.events.call(
                     now + penalty,
                     lambda t, w=warp, ti=tinst, d=dec, h=wd_hold:
-                        self._gmem_translate(w, ti, d, t, h, True),
+                        self._gmem_translate(w, ti, d, h, t, True),
                 )
                 return
         srcs, dests, psrcs, pdests = dec[6], dec[7], dec[8], dec[9]
         is_store = dec[3]
         block = warp.block
-        anchor = getattr(self.scheme, "disable_anchor", None)
-        outcome = self.memsys.translate_access(
-            self.sm_id, tinst.addresses, is_store, now
-        )
+        anchor = self._anchor
+        if self._memsys_fast:
+            access = coalesce_inst(tinst, self._line_size)
+            outcome = self.memsys.translate_access_coalesced(
+                self.sm_id, access, is_store, now
+            )
+        else:
+            access = None
+            outcome = self.memsys.translate_access(
+                self.sm_id, tinst.addresses, is_store, now
+            )
 
         if not outcome.faults:
             last_check = outcome.translation_done
-            src_ev = self._schedule_src_release(
-                warp, srcs, psrcs, self.scheme.source_release_time(now, last_check)
+            release_t = (
+                now
+                if self._src_imm
+                else self.scheme.source_release_time(now, last_check)
             )
+            self._queue_src_release(warp, srcs, psrcs, release_t, now)
             self._hold_log_until(block, is_store, last_check)
             if wd_hold and anchor == "lastcheck":
-                self.events.schedule(
-                    last_check, lambda t, w=warp: self._release_fetch_hold(w, t)
+                # The hold lifts at the same timestamp phase 2 starts
+                # (release first): one merged event instead of two.
+                self.events.coalesced += 1
+                self.events.call(
+                    last_check,
+                    partial(
+                        self._gmem_data_release_hold,
+                        warp, tinst, dec, outcome.ready_lines,
+                    ),
                 )
-                wd_hold = False  # phase 2 owes no release
-            self.events.schedule(
-                last_check,
-                lambda t, w=warp, ti=tinst, d=dec, ln=outcome.ready_lines,
-                h=wd_hold: self._gmem_data(w, ti, d, ln, t, h),
-            )
+            else:
+                self.events.call(
+                    last_check,
+                    partial(
+                        self._gmem_data,
+                        warp, tinst, dec, outcome.ready_lines, wd_hold,
+                    ),
+                )
             return
 
         # --- faulted instruction ---------------------------------------
@@ -649,15 +1000,23 @@ class SmPipeline:
             block.pending_groups[fo.group] = max(
                 block.pending_groups.get(fo.group, 0.0), fo.resolved_time
             )
-        replay = self.memsys.replay_after_fault(
-            self.sm_id, tinst.addresses, resolved + REPLAY_ISSUE_COST
-        )
+        if access is not None:
+            replay = self.memsys.replay_after_fault_coalesced(
+                self.sm_id, access, resolved + REPLAY_ISSUE_COST
+            )
+        else:
+            replay = self.memsys.replay_after_fault(
+                self.sm_id, tinst.addresses, resolved + REPLAY_ISSUE_COST
+            )
         completion = replay.completion
         last_check_ok = replay.translation_done
 
-        src_ev = self._schedule_src_release(
-            warp, srcs, psrcs, self.scheme.source_release_time(now, last_check_ok)
+        release_t = (
+            now
+            if self._src_imm
+            else self.scheme.source_release_time(now, last_check_ok)
         )
+        src_ev = self._schedule_src_release(warp, srcs, psrcs, release_t, now)
         self._hold_log_until(block, is_store, last_check_ok)
 
         hold_evs = []
@@ -665,7 +1024,7 @@ class SmPipeline:
             release_at = completion if anchor == "commit" else last_check_ok
             hold_evs.append(
                 self.events.schedule(
-                    release_at, lambda t, w=warp: self._release_fetch_hold(w, t)
+                    release_at, partial(self._release_fetch_hold, warp)
                 )
             )
         if handled_locally:
@@ -680,7 +1039,7 @@ class SmPipeline:
                 )
             hold_evs.append(
                 self.events.schedule(
-                    resolved, lambda t, w=warp: self._release_fetch_hold(w, t)
+                    resolved, partial(self._release_fetch_hold, warp)
                 )
             )
 
@@ -688,18 +1047,17 @@ class SmPipeline:
         # replay: it holds a pending-fault slot that throttles the SM.
         self.pending_faults += 1
         slot_ev = self.events.schedule(
-            completion, lambda t: self._release_fault_slot()
+            completion, partial(self._release_fault_slot)
         )
 
         commit_ev = self.events.schedule(
-            completion,
-            lambda t, w=warp, d=dests, pd=pdests: self._commit(w, d, pd, t),
+            completion, partial(self._commit, warp, dests, pdests)
         )
         block.faulted_inflight.append(
             (warp, tinst, commit_ev, dests, pdests, hold_evs, src_ev, slot_ev)
         )
-        self.events.schedule(
-            completion, lambda t, b=block, e=commit_ev: self._forget_faulted(b, e)
+        self.events.call(
+            completion, partial(self._forget_faulted, block, commit_ev)
         )
         if self.local_scheduler is not None:
             if block.state == BlockRT.ACTIVE:
@@ -710,46 +1068,60 @@ class SmPipeline:
                 # The block was switched out between this instruction's
                 # issue and its translation: the switch-out only armed
                 # wake-ups for the groups known then, so watch this one too.
-                self.events.schedule(
+                self.events.call(
                     resolved,
                     lambda t, b=block: self.local_scheduler._on_resolved(b, t),
                 )
 
     def _gmem_data(
-        self, warp: WarpRT, tinst, dec, lines, now: float, wd_hold: bool
+        self, warp: WarpRT, tinst, dec, lines, wd_hold: bool, now: float
     ) -> None:
         """Phase 2 of the global-memory path: run the translated requests
         through the cache hierarchy and schedule the commit."""
         completion = self.memsys.data_access(
             self.sm_id, lines, dec[3], now, is_atomic=dec[10]
         )
-        if wd_hold:  # wd-commit: re-enable fetch when the instruction commits
-            self.events.schedule(
-                completion, lambda t, w=warp: self._release_fetch_hold(w, t)
+        if wd_hold:
+            # wd-commit: fetch re-enables when the instruction commits —
+            # same timestamp, release first, merged into one event.
+            self.events.coalesced += 1
+            self.events.call(
+                completion,
+                partial(self._commit_release_hold, warp, dec[7], dec[9]),
             )
-        self.events.schedule(
-            completion,
-            lambda t, w=warp, d=dec[7], pd=dec[9]: self._commit(w, d, pd, t),
-        )
-        warp.block.drain_time = max(warp.block.drain_time, completion)
+        else:
+            self.events.call(
+                completion, partial(self._commit, warp, dec[7], dec[9])
+            )
+        if completion > warp.block.drain_time:
+            warp.block.drain_time = completion
+
+    def _gmem_data_release_hold(
+        self, warp: WarpRT, tinst, dec, lines, now: float
+    ) -> None:
+        """Merged same-timestamp dispatch for ``wd-lastcheck``: the fetch
+        hold lifts exactly when phase 2 starts (release first, as the
+        reference ordered its two events)."""
+        self._release_fetch_hold(warp, now)
+        self._gmem_data(warp, tinst, dec, lines, False, now)
 
     def _hold_log_until(self, block: BlockRT, is_store: bool, release_at: float) -> None:
         """Schedule the release of the log bytes claimed at issue."""
-        need = self.scheme.log_bytes_needed(is_store)
+        need = self._log_need[is_store]
         if need:
-            self.events.schedule(
-                release_at, lambda t, b=block, n=need: self._release_log(b, n)
+            self.events.call(
+                release_at, partial(self._release_log, block, need)
             )
 
-    def _release_log(self, block: BlockRT, nbytes: int) -> None:
+    def _release_log(self, block: BlockRT, nbytes: int, time: float = 0.0) -> None:
         block.log_used -= nbytes
-        self.wake()
+        self.sleeping = False  # inlined wake()
 
-    def _release_fault_slot(self) -> None:
+    def _release_fault_slot(self, time: float = 0.0) -> None:
         self.pending_faults -= 1
-        self.wake()
+        self.sleeping = False  # inlined wake()
 
-    def _forget_faulted(self, block: BlockRT, commit_ev) -> None:
+    def _forget_faulted(self, block: BlockRT, commit_ev, time: float = 0.0) -> None:
         """A faulted instruction that completed (block was not switched)."""
         block.faulted_inflight = [
             rec for rec in block.faulted_inflight if rec[2] is not commit_ev
@@ -791,6 +1163,9 @@ class SmPipeline:
                 self._release(warp.prp, dec[8])
             warp.inflight -= 1
             warp.replay_list.append(tinst)
+            warp.sb_wait = False  # scoreboards changed + next inst changed
+        if block.faulted_inflight:
+            self._scan_dirty = True  # drained warps regained a replay inst
         block.faulted_inflight = []
 
     def context_bytes(self, block: BlockRT) -> int:

@@ -10,6 +10,10 @@ from __future__ import annotations
 
 from typing import Dict
 
+#: default operand for ``load_many``'s mapped ``dict.get`` (one warp wide,
+#: sliced to the lane count; grown on demand for wider requests)
+_ZEROS = (0,) * 32
+
 
 class SparseMemory:
     """Word-granular sparse memory (reads of untouched words return 0.0/0)."""
@@ -22,6 +26,23 @@ class SparseMemory:
 
     def store(self, addr: int, value, width: int = 4) -> None:
         self._words[addr] = value
+
+    def load_many(self, addrs, width: int = 4) -> list:
+        """Batch :meth:`load`: one call for a warp's worth of lanes.
+
+        ``map`` keeps the per-lane dict lookups in C."""
+        n = len(addrs)
+        if n <= 32:
+            return list(map(self._words.get, addrs, _ZEROS[:n]))
+        get = self._words.get
+        return [get(a, 0) for a in addrs]
+
+    def store_many(self, addrs, values, width: int = 4) -> None:
+        """Batch :meth:`store` for parallel ``addrs``/``values`` sequences.
+
+        ``dict.update`` consumes the zip in C; later duplicates overwrite
+        earlier ones exactly like the serial store loop did."""
+        self._words.update(zip(addrs, values))
 
     def atomic(self, addr: int, op: str, value, compare=None):
         """Atomic read-modify-write; returns the old value."""

@@ -77,3 +77,147 @@ class TestEventQueue:
             q.schedule(t, lambda tt: seen.append(tt))
         q.drain()
         assert seen == sorted(seen)
+
+
+class _StubSanitizer:
+    """Minimal sanitizer double: records violations instead of raising."""
+
+    def __init__(self, max_events_per_advance=1_000_000):
+        self.max_events_per_advance = max_events_per_advance
+        self.regressions = []
+        self.storms = []
+
+    def heap_regression(self, scheduled, last_fired):
+        self.regressions.append((scheduled, last_fired))
+
+    def heap_storm(self, time, ran):
+        self.storms.append((time, ran))
+
+
+class TestCallFastPath:
+    """`EventQueue.call` — the handle-free entry used for never-cancelled
+    events — must be indistinguishable from `schedule` in dispatch order
+    and accounting."""
+
+    def test_call_runs_with_time_argument(self):
+        q = EventQueue()
+        log = []
+        q.call(4.0, log.append)
+        q.call(2.0, log.append)
+        assert q.run_until(10.0) == 2
+        assert log == [2.0, 4.0]
+
+    def test_call_and_schedule_share_bucket_fifo(self):
+        """Mixed entries at one timestamp fire in schedule order — a tuple
+        entry occupies the same FIFO slot an Event would."""
+        q = EventQueue()
+        log = []
+        q.schedule(3.0, lambda t: log.append("ev0"))
+        q.call(3.0, lambda t: log.append("call1"))
+        q.schedule(3.0, lambda t: log.append("ev2"))
+        q.call(3.0, lambda t: log.append("call3"))
+        q.run_until(3.0)
+        assert log == ["ev0", "call1", "ev2", "call3"]
+
+    def test_call_accounting_matches_schedule(self):
+        q = EventQueue()
+        q.call(1.0, lambda t: None)
+        q.call(1.0, lambda t: None)
+        q.schedule(2.0, lambda t: None)
+        assert q.scheduled == 3
+        assert len(q) == 3
+        assert q.peak == 3
+        q.run_until(5.0)
+        assert q.processed == 3
+        assert len(q) == 0
+
+    def test_call_during_dispatch_joins_live_bucket(self):
+        """A call() made at the current timestamp from inside a callback
+        fires in the same pass, like a same-time schedule() does."""
+        q = EventQueue()
+        log = []
+
+        def first(t):
+            log.append("first")
+            q.call(t, lambda t2: log.append("second"))
+
+        q.call(1.0, first)
+        assert q.run_until(1.0) == 2
+        assert log == ["first", "second"]
+
+    def test_drain_dispatches_tuples_and_tracks_frontier(self):
+        q = EventQueue()
+        log = []
+        q.call(7.0, log.append)
+        q.schedule(3.0, log.append)
+        q.drain()
+        assert log == [3.0, 7.0]
+        assert q.processed == 2
+        assert len(q) == 0
+        # drain advances the frontier used by sanitized scheduling checks
+        assert q._last_fired == 7.0
+
+    def test_drain_skips_cancelled_but_counts_tuples(self):
+        q = EventQueue()
+        log = []
+        ev = q.schedule(1.0, lambda t: log.append("cancelled"))
+        ev.cancel()
+        q.call(1.0, lambda t: log.append("kept"))
+        q.drain()
+        assert log == ["kept"]
+        assert q.processed == 1
+
+
+class TestSanitizedDispatch:
+    """The checked dispatch loop (chaos runs) must count each event exactly
+    once and see tuple entries through the same invariants."""
+
+    def test_sanitized_run_fires_tuples_in_order(self):
+        q = EventQueue()
+        q.attach_sanitizer(_StubSanitizer())
+        log = []
+        q.call(2.0, log.append)
+        q.schedule(1.0, log.append)
+        assert q.run_until(5.0) == 2
+        assert log == [1.0, 2.0]
+        assert q.processed == 2
+
+    def test_call_past_frontier_reports_regression(self):
+        q = EventQueue()
+        san = _StubSanitizer()
+        q.attach_sanitizer(san)
+        q.call(5.0, lambda t: None)
+        q.run_until(5.0)
+        q.call(1.0, lambda t: None)  # behind the fired frontier
+        assert san.regressions == [(1.0, 5.0)]
+
+    def test_heap_storm_does_not_double_count_processed(self):
+        """When the per-advance limit trips, events fired before the storm
+        report are folded into ``processed`` exactly once — even with a
+        tolerant sanitizer that returns instead of raising."""
+        q = EventQueue()
+        san = _StubSanitizer(max_events_per_advance=3)
+        q.attach_sanitizer(san)
+        for _ in range(5):
+            q.call(1.0, lambda t: None)
+        ran = q.run_until(1.0)
+        assert ran == 5
+        assert q.processed == 5  # not 5 + pre-storm remainder
+        assert san.storms  # the limit was reported
+
+    def test_sanitized_drain_equivalence(self):
+        """Same event set, same order, sanitizer attached or not."""
+        def build():
+            q = EventQueue()
+            log = []
+            q.call(2.0, lambda t: log.append(("c", t)))
+            q.schedule(2.0, lambda t: log.append(("s", t)))
+            q.call(9.0, lambda t: log.append(("c", t)))
+            return q, log
+
+        q1, log1 = build()
+        q1.run_until(100.0)
+        q2, log2 = build()
+        q2.attach_sanitizer(_StubSanitizer())
+        q2.run_until(100.0)
+        assert log1 == log2

@@ -1,0 +1,131 @@
+"""Property tests: the ready-list fast path vs. the reference issue scan.
+
+`SmPipeline.try_issue` (the hot-loop fast path) and
+`SmPipeline._try_issue_reference` (the original full round-robin scan, kept
+as the executable specification) must be indistinguishable: same
+instructions issued, by the same warps, at the same cycles, for *any*
+trace.  Hypothesis drives randomized warp programs — hazard chains, memory
+instructions, matched barriers — through both paths and requires identical
+issue logs; a second group replays the committed golden-digest cases with
+``REPRO_REFERENCE_ISSUE=1`` so the equivalence also holds end-to-end
+through the full simulator (docs/PERFORMANCE.md).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness import golden
+from repro.isa import R
+
+from tests.test_timing_sm import (
+    _record_issues,
+    make_sm,
+    run_to_completion,
+    t_alu,
+    t_bar,
+    t_exit,
+    t_load,
+    t_store,
+)
+
+# ---------------------------------------------------------------------------
+# random warp-program strategies
+# ---------------------------------------------------------------------------
+
+_reg = st.integers(min_value=0, max_value=7).map(R)
+_line = st.integers(min_value=0, max_value=31)
+
+
+@st.composite
+def _instruction(draw):
+    kind = draw(st.sampled_from(["alu", "alu", "alu", "load", "store"]))
+    if kind == "alu":
+        return t_alu(draw(_reg), draw(_reg))
+    addrs = [
+        ln * 128 + off
+        for ln, off in zip(
+            draw(st.lists(_line, min_size=1, max_size=4)),
+            draw(st.lists(st.integers(0, 31), min_size=4, max_size=4)),
+        )
+    ]
+    if kind == "load":
+        return t_load(draw(_reg), draw(_reg), addrs)
+    return t_store(draw(_reg), draw(_reg), addrs)
+
+
+@st.composite
+def _warp_programs(draw):
+    """1-4 warps, 1-2 segments separated by matched barriers.
+
+    Every warp gets a BAR at each segment boundary (a block-wide barrier
+    must be reached by all warps or the block deadlocks), then EXIT."""
+    n_warps = draw(st.integers(min_value=1, max_value=4))
+    n_segments = draw(st.integers(min_value=1, max_value=2))
+    programs = []
+    for _ in range(n_warps):
+        prog = []
+        for seg in range(n_segments):
+            prog.extend(
+                draw(st.lists(_instruction(), min_size=0, max_size=5))
+            )
+            if seg + 1 < n_segments:
+                prog.append(t_bar())
+        prog.append(t_exit())
+        programs.append(prog)
+    return programs
+
+
+def _run(programs, reference):
+    sm, events, _ = make_sm(programs)
+    if reference:
+        sm.try_issue = sm._try_issue_reference
+    log = _record_issues(sm)
+    cycles = run_to_completion(sm, events)
+    return log, cycles, sm.stats.issued, sm.stats.committed
+
+
+class TestIssuePathEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(_warp_programs())
+    def test_fast_path_matches_reference_scan(self, programs):
+        fast_log, fast_cycles, fast_issued, fast_committed = _run(
+            programs, reference=False
+        )
+        ref_log, ref_cycles, ref_issued, ref_committed = _run(
+            programs, reference=True
+        )
+        assert fast_log == ref_log
+        assert fast_cycles == ref_cycles
+        assert (fast_issued, fast_committed) == (ref_issued, ref_committed)
+
+    @settings(max_examples=25, deadline=None)
+    @given(_warp_programs())
+    def test_fast_path_is_deterministic(self, programs):
+        """Same program twice through the fast path -> same log (guards
+        against accidental dict/set iteration-order dependence)."""
+        log1, cycles1, _, _ = _run(programs, reference=False)
+        log2, cycles2, _, _ = _run(programs, reference=False)
+        assert log1 == log2
+        assert cycles1 == cycles2
+
+
+class TestEndToEndEquivalence:
+    """The reference scan must reproduce the committed golden digests that
+    pin the fast path — closing the loop: fast == golden == reference."""
+
+    def test_reference_issue_matches_golden_digests(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REFERENCE_ISSUE", "1")
+        fixture = golden.load_fixture()
+        cases = [
+            {"workload": "saxpy", "scheme": "baseline", "paging": "demand"},
+            {"workload": "saxpy", "scheme": "replay-queue", "paging": "demand"},
+            {"workload": "tlb-thrash", "scheme": "wd-lastcheck",
+             "paging": "demand"},
+        ]
+        for case in cases:
+            key = golden.case_key(case)
+            want = fixture["cases"][key]
+            got = golden.run_case(case)
+            assert got["digest"] == want["digest"], (
+                f"{key}: reference issue path diverged from golden digest"
+            )

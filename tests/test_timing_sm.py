@@ -125,14 +125,17 @@ def run_to_completion(sm, events, max_cycles=100_000):
             break
         if all(w.done for b in sm.blocks for w in b.warps):
             break
-        if not sm.sleeping:
+        if not sm.sleeping or sm.next_ready_cycle <= cycle:
             sm.try_issue(cycle)
         if not sm.sleeping:
             cycle += 1
         else:
             nxt = events.next_time
-            if nxt is None:
+            wake = sm.next_ready_cycle
+            if nxt is None and wake == math.inf:
                 raise AssertionError(f"deadlock at cycle {cycle}")
+            if nxt is None or wake < nxt:
+                nxt = wake
             cycle = max(cycle + 1, math.ceil(nxt))
         if cycle > max_cycles:
             raise AssertionError("did not finish")
@@ -326,3 +329,131 @@ class TestStats:
         sm, events, _ = make_sm([trace])
         run_to_completion(sm, events)
         assert sm.stats.issued == sm.stats.committed == 3
+
+
+def _record_issues(sm):
+    """Instrument an SM to log (cycle, warp index, opcode) per issue.
+
+    Warps are identified by position in the SM's master warp list — the
+    ordering the round-robin pointer is defined over."""
+    log = []
+    orig = sm._issue
+
+    def spy(warp, tinst, dec, cycle):
+        log.append((cycle, sm.warps.index(warp), tinst.inst.op.name))
+        return orig(warp, tinst, dec, cycle)
+
+    sm._issue = spy
+    return log
+
+
+def _run_logged(warp_traces, reference=False, **kw):
+    sm, events, _ = make_sm(warp_traces, **kw)
+    if reference:
+        sm.try_issue = sm._try_issue_reference
+    log = _record_issues(sm)
+    cycles = run_to_completion(sm, events)
+    return log, cycles, sm
+
+
+class TestRoundRobinOrderPinning:
+    """Pin the exact issue order of the ready-list fast path: it must equal
+    the reference full-scan (`_try_issue_reference`) instruction for
+    instruction, including across sleep/wake, barrier releases, and warps
+    draining out of the scan."""
+
+    def test_rr_rotation_across_alu_warps(self):
+        """4 independent ALU warps, width 2: strict rotation 01/23/01..."""
+        traces = [
+            [t_alu(R(1), R(0)), t_alu(R(2), R(0)), t_exit()]
+            for _ in range(4)
+        ]
+        log, _, _ = _run_logged(traces)
+        per_cycle = {}
+        for cycle, slot, _op in log:
+            per_cycle.setdefault(cycle, []).append(slot)
+        first_cycles = sorted(per_cycle)[:2]
+        assert per_cycle[first_cycles[0]] == [0, 1]
+        assert per_cycle[first_cycles[1]] == [2, 3]
+
+    def test_fast_path_equals_reference_alu_mix(self):
+        traces = [
+            [t_alu(R(1), R(0)), t_alu(R(2), R(1)), t_alu(R(3), R(2)), t_exit()],
+            [t_alu(R(1), R(0)), t_exit()],
+            [t_alu(R(2), R(0)), t_alu(R(3), R(2)), t_exit()],
+        ]
+        fast, fc, fsm = _run_logged(traces)
+        ref, rc, rsm = _run_logged(traces, reference=True)
+        assert fast == ref
+        assert fc == rc
+        assert fsm.stats.issued == rsm.stats.issued
+
+    def test_fast_path_equals_reference_across_sleep_wake(self):
+        """Loads put warps to sleep on scoreboard hazards; wake order after
+        the data returns must match the reference scan exactly."""
+        traces = [
+            [t_load(R(1), R(0), [i * 128]), t_alu(R(2), R(1)), t_exit()]
+            for i in range(3)
+        ] + [[t_alu(R(5), R(4)), t_alu(R(6), R(5)), t_exit()]]
+        fast, fc, _ = _run_logged(traces)
+        ref, rc, _ = _run_logged(traces, reference=True)
+        assert fast == ref
+        assert fc == rc
+
+    def test_fast_path_equals_reference_barrier_release(self):
+        """Warps reach BAR at different times (skewed by hazard chains);
+        post-release issue order must match the reference."""
+        traces = [
+            [t_alu(R(1), R(0)), t_bar(), t_alu(R(2), R(1)), t_exit()],
+            [
+                t_alu(R(1), R(0)),
+                t_alu(R(2), R(1)),
+                t_alu(R(3), R(2)),
+                t_bar(),
+                t_alu(R(4), R(3)),
+                t_exit(),
+            ],
+            [t_bar(), t_alu(R(7), R(6)), t_exit()],
+        ]
+        fast, fc, _ = _run_logged(traces)
+        ref, rc, _ = _run_logged(traces, reference=True)
+        assert fast == ref
+        assert fc == rc
+        bar_issues = [e for e in fast if e[2] == "BAR"]
+        assert len(bar_issues) == 3
+
+    def test_fast_path_equals_reference_when_warps_drain(self):
+        """Warps finish at different times; the scan must keep the same RR
+        positions for the survivors as the reference (stale-entry skips)."""
+        traces = [
+            [t_alu(R(1), R(0)), t_exit()],
+            [
+                t_alu(R(1), R(0)),
+                t_alu(R(2), R(1)),
+                t_alu(R(3), R(2)),
+                t_alu(R(4), R(3)),
+                t_exit(),
+            ],
+            [t_alu(R(1), R(0)), t_alu(R(2), R(1)), t_exit()],
+        ]
+        fast, fc, _ = _run_logged(traces)
+        ref, rc, _ = _run_logged(traces, reference=True)
+        assert fast == ref
+        assert fc == rc
+
+    def test_fast_path_equals_reference_memory_mix(self):
+        """Loads + stores + ALU across warps: exercises the fault-capable
+        decode branch, replay-free memory path, and structural LD/ST limits."""
+        traces = [
+            [
+                t_load(R(1), R(0), [0, 128]),
+                t_store(R(0), R(1), [256]),
+                t_exit(),
+            ],
+            [t_load(R(2), R(0), [512]), t_alu(R(3), R(2)), t_exit()],
+            [t_alu(R(1), R(0)), t_alu(R(2), R(1)), t_exit()],
+        ]
+        fast, fc, _ = _run_logged(traces)
+        ref, rc, _ = _run_logged(traces, reference=True)
+        assert fast == ref
+        assert fc == rc
