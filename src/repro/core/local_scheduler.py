@@ -109,7 +109,7 @@ class LocalScheduler:
         if sm.tel is not None:
             sm.tel.tracer.emit_span(
                 EV_BLOCK_SWITCH_OUT, now, save_done - now, sm._tid,
-                {"block": block.block_id,
+                {"block": block.block_id, "kernel": block.kernel_id,
                  "context_bytes": sm.context_bytes(block)},
             )
         self.events.schedule(
@@ -177,7 +177,7 @@ class LocalScheduler:
         if sm.tel is not None:
             sm.tel.tracer.emit_span(
                 EV_BLOCK_SWITCH_IN, now, restore_done - now, sm._tid,
-                {"block": block.block_id},
+                {"block": block.block_id, "kernel": block.kernel_id},
             )
         self.events.schedule(
             restore_done, lambda t, b=block: self._finish_restore(b, t)

@@ -27,6 +27,7 @@ from .isolation import (
     run_experiment_isolated,
 )
 from .results import ExperimentTable, geomean, merge_tables
+from .streams import overlap_digest, run_streams, run_streams_scenario
 from .runner import (
     CampaignCell,
     CampaignResult,
@@ -62,6 +63,9 @@ __all__ = [
     "run_fig13",
     "run_fig14",
     "run_scalability",
+    "run_streams",
+    "run_streams_scenario",
+    "overlap_digest",
     "run_table1",
     "run_table2",
     "ExperimentTable",

@@ -304,6 +304,75 @@ def _chaos_main(argv) -> int:
     return 0 if clean else 1
 
 
+def _streams_main(argv) -> int:
+    """The ``streams`` subcommand: serial-vs-overlapped multi-kernel runs
+    (docs/CONCURRENCY.md, EXPERIMENTS.md 'Multi-stream contention')."""
+    from repro.workloads import STREAM_SCENARIO_NAMES
+
+    from .streams import run_streams
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness streams",
+        description=(
+            "Run each multi-kernel stream scenario twice — kernels "
+            "launched serially, then overlapped on one stream each — and "
+            "print the serial-sum vs overlapped-makespan table.  The "
+            "overlapped run is replayed to prove bit-reproducibility "
+            "unless --no-verify-repro."
+        ),
+    )
+    parser.add_argument(
+        "scenarios", nargs="*", default=None,
+        metavar="SCENARIO",
+        help=f"scenario names (default: all of "
+             f"{list(STREAM_SCENARIO_NAMES)})",
+    )
+    parser.add_argument(
+        "--scheme", default="replay-queue",
+        help="pipeline scheme (must be preemptible for --block-switching)",
+    )
+    parser.add_argument(
+        "--interconnect", default="nvlink", choices=["nvlink", "pcie"],
+    )
+    parser.add_argument(
+        "--policy", default="partition", choices=["partition", "interleave"],
+        help="SM-to-stream assignment policy",
+    )
+    parser.add_argument("--block-switching", action="store_true",
+                        help="use case 1: context switch faulted blocks "
+                             "(switch-ins may come from another kernel)")
+    parser.add_argument("--time-scale", type=float,
+                        default=DEFAULT_TIME_SCALE)
+    parser.add_argument(
+        "--no-verify-repro", action="store_true",
+        help="skip the determinism replay of the overlapped run",
+    )
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="also write the table as JSON")
+    args = parser.parse_args(argv)
+
+    try:
+        table = run_streams(
+            scenarios=args.scenarios or None,
+            scheme=args.scheme,
+            interconnect=args.interconnect,
+            time_scale=args.time_scale,
+            policy=args.policy,
+            block_switching=args.block_switching,
+            verify_reproducible=not args.no_verify_repro,
+        )
+    except (KeyError, ValueError) as exc:
+        parser.error(str(exc).strip('"'))
+    print(table.render(fmt="{:.1f}", label_width=26))
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(table.to_dict(), fh, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
 def _golden_main(argv) -> int:
     """The ``golden`` subcommand: regenerate or verify the bit-identity
     digest fixture (tests/golden_digests.json, docs/PERFORMANCE.md)."""
@@ -356,6 +425,8 @@ def main(argv=None) -> int:
         return _chaos_main(argv[1:])
     if argv and argv[0] == "golden":
         return _golden_main(argv[1:])
+    if argv and argv[0] == "streams":
+        return _streams_main(argv[1:])
     if argv and argv[0] == "hotloop":
         from .hotloop_bench import main as hotloop_main
 

@@ -1,5 +1,20 @@
-"""Host-side runtime: a CUDA-like managed-memory device facade."""
+"""Host-side runtime: a CUDA-like managed-memory device facade with
+CUDA-stream-like concurrent kernel launches (docs/CONCURRENCY.md)."""
 
-from .device import DevicePointer, GpuDevice, LaunchResult, RuntimeError_
+from .device import (
+    DevicePointer,
+    GpuDevice,
+    LaunchResult,
+    RuntimeError_,
+    Stream,
+    StreamLaunchHandle,
+)
 
-__all__ = ["DevicePointer", "GpuDevice", "LaunchResult", "RuntimeError_"]
+__all__ = [
+    "DevicePointer",
+    "GpuDevice",
+    "LaunchResult",
+    "RuntimeError_",
+    "Stream",
+    "StreamLaunchHandle",
+]

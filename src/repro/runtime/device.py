@@ -17,6 +17,15 @@ State persists across launches: memory contents, page residency (a second
 kernel touching the same data takes no migration faults), physical frames,
 and the accumulated cycle count — exactly the behaviour managed memory
 gives a CUDA application.
+
+Streams (docs/CONCURRENCY.md) add concurrent kernel execution on the same
+device::
+
+    s0, s1 = dev.create_stream(), dev.create_stream()
+    h0 = dev.launch(ka, grid=8, block=128, args=[x], stream=s0)
+    h1 = dev.launch(kb, grid=8, block=128, args=[y], stream=s1)
+    overlap = dev.synchronize()        # both kernels share the GPU
+    print(overlap.cycles, h0.result.faults_raised)
 """
 
 from __future__ import annotations
@@ -27,7 +36,16 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.core import PipelineScheme, make_scheme
 from repro.functional import Interpreter, Launch
 from repro.isa import Kernel
-from repro.system import GPUConfig, GpuSimulator, INTERCONNECTS, SimResult
+from repro.system import (
+    GPUConfig,
+    GpuSimulator,
+    INTERCONNECTS,
+    MultiKernelResult,
+    MultiKernelSimulator,
+    SimResult,
+    StreamKernelResult,
+    StreamLaunch,
+)
 from repro.system.config import InterconnectConfig
 from repro.vm import (
     AddressSpace,
@@ -68,6 +86,69 @@ class LaunchResult:
     @property
     def fault_stats(self):
         return self.sim.fault_stats
+
+
+@dataclass
+class StreamLaunchHandle:
+    """A pending stream launch: returned by ``launch(..., stream=s)``
+    immediately (the kernel has executed *functionally*, so its memory
+    effects are visible to ``read`` and to later enqueues), filled with
+    its timing ``result`` by :meth:`GpuDevice.synchronize`."""
+
+    kernel_name: str
+    stream_id: int
+    kernel_id: int  # device-wide enqueue index (tags faults/blocks/events)
+    trace_instructions: int
+    result: Optional[StreamKernelResult] = None
+
+    @property
+    def done(self) -> bool:
+        """True once a device synchronize has simulated this launch."""
+        return self.result is not None
+
+    @property
+    def cycles(self) -> float:
+        """Completion cycle within the synchronized run (raises until
+        :meth:`GpuDevice.synchronize` has run)."""
+        if self.result is None:
+            raise RuntimeError_(
+                f"{self.kernel_name}: launch not yet synchronized"
+            )
+        return self.result.cycles
+
+
+class Stream:
+    """An in-order launch queue on a :class:`GpuDevice` (CUDA-stream-like).
+
+    Kernels enqueued on the same stream execute in enqueue order; kernels
+    on *different* streams run concurrently on the shared GPU when
+    :meth:`GpuDevice.synchronize` fires — contending on the same fault
+    queue, interconnect and SMs (docs/CONCURRENCY.md).  Create streams
+    with :meth:`GpuDevice.create_stream`."""
+
+    def __init__(self, device: "GpuDevice", stream_id: int) -> None:
+        self.device = device
+        self.stream_id = stream_id
+        #: handles of every launch enqueued on this stream
+        self.launches: List[StreamLaunchHandle] = []
+
+    def launch(
+        self, kernel: Kernel, grid: int, block: int, args: Sequence = ()
+    ) -> StreamLaunchHandle:
+        """Enqueue a kernel on this stream (sugar for
+        ``device.launch(..., stream=self)``)."""
+        return self.device.launch(kernel, grid, block, args, stream=self)
+
+    def synchronize(self) -> Optional[MultiKernelResult]:
+        """Drain the device's queued work.  NOTE: stronger than CUDA —
+        this synchronizes the *whole device*, because all resident kernels
+        are simulated together (docs/CONCURRENCY.md)."""
+        return self.device.synchronize()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Stream {self.stream_id} launches={len(self.launches)}>"
+        )
 
 
 class GpuDevice:
@@ -112,6 +193,13 @@ class GpuDevice:
         self._alloc_counter = 0
         self.total_cycles = 0.0
         self.launches: List[LaunchResult] = []
+        # Stream state (docs/CONCURRENCY.md): streams created by
+        # create_stream(), launches queued by launch(..., stream=s) until
+        # synchronize() simulates them all concurrently.
+        self.streams: List[Stream] = []
+        self.sync_results: List[MultiKernelResult] = []
+        self._queued: List[StreamLaunch] = []
+        self._queued_handles: List[StreamLaunchHandle] = []
 
     # ------------------------------------------------------------------
     # memory management
@@ -167,6 +255,13 @@ class GpuDevice:
     # kernel launch
     # ------------------------------------------------------------------
 
+    def create_stream(self) -> Stream:
+        """Create a new stream: an in-order launch queue whose kernels run
+        concurrently with other streams' at :meth:`synchronize` time."""
+        stream = Stream(self, len(self.streams))
+        self.streams.append(stream)
+        return stream
+
     def launch(
         self,
         kernel: Kernel,
@@ -174,14 +269,33 @@ class GpuDevice:
         block: int,
         args: Sequence = (),
         telemetry=None,
-    ) -> LaunchResult:
+        stream: Optional[Stream] = None,
+    ) -> Union[LaunchResult, StreamLaunchHandle]:
         """Execute ``kernel`` functionally and simulate its timing against
         the device's current paging state.
 
-        Pass a fresh :class:`repro.telemetry.Telemetry` to trace this
-        launch (each launch's cycle clock restarts at zero, so telemetry
-        is per launch); it is reachable afterwards via
-        ``result.sim.telemetry``."""
+        Without ``stream`` the launch is synchronous: it simulates
+        immediately and returns a :class:`LaunchResult` (any queued stream
+        work is drained first via an implicit :meth:`synchronize`, so
+        program order is preserved).  With ``stream`` the launch is
+        *enqueued*: its functional execution happens now (memory effects
+        land in enqueue order — the determinism contract of
+        docs/CONCURRENCY.md), timing is deferred to :meth:`synchronize`,
+        and a :class:`StreamLaunchHandle` is returned.
+
+        Pass a fresh :class:`repro.telemetry.Telemetry` to trace a
+        synchronous launch (each launch's cycle clock restarts at zero, so
+        telemetry is per launch); it is reachable afterwards via
+        ``result.sim.telemetry``.  For stream launches pass the telemetry
+        to :meth:`synchronize` instead."""
+        if stream is not None and telemetry is not None:
+            raise RuntimeError_(
+                "pass telemetry to synchronize(), not to a stream launch"
+            )
+        if stream is None and self._queued:
+            # A synchronous launch must observe every enqueued kernel's
+            # timing state (page residency): drain the queue first.
+            self.synchronize()
         params = [
             float(a.address) if isinstance(a, DevicePointer) else float(a)
             for a in args
@@ -191,6 +305,26 @@ class GpuDevice:
             memory=self.memory, address_space=self.aspace, heap=self.heap
         )
         trace = interp.run(launch)
+
+        if stream is not None:
+            sid = stream.stream_id
+            if sid >= len(self.streams) or self.streams[sid] is not stream:
+                raise RuntimeError_(
+                    "stream does not belong to this device"
+                )
+            handle = StreamLaunchHandle(
+                kernel_name=kernel.name,
+                stream_id=stream.stream_id,
+                kernel_id=len(self._queued),
+                trace_instructions=trace.dynamic_instructions(),
+            )
+            self._queued.append(
+                StreamLaunch(kernel=kernel, trace=trace,
+                             stream=stream.stream_id)
+            )
+            self._queued_handles.append(handle)
+            stream.launches.append(handle)
+            return handle
 
         sim = GpuSimulator(
             kernel=kernel,
@@ -212,6 +346,45 @@ class GpuDevice:
         )
         self.total_cycles += sim_result.cycles
         self.launches.append(result)
+        return result
+
+    def synchronize(
+        self, telemetry=None, policy: str = "partition"
+    ) -> Optional[MultiKernelResult]:
+        """Simulate every queued stream launch concurrently on the shared
+        GPU and block until all complete (CUDA ``cudaDeviceSynchronize``).
+
+        Kernels on the same stream run in enqueue order; kernels on
+        different streams overlap, contending on the single pending-fault
+        queue, the interconnect and the SM array (partitioned per
+        ``policy`` — see :class:`repro.system.MultiKernelScheduler`).
+        Fills each queued launch's :class:`StreamLaunchHandle` and advances
+        ``total_cycles`` by the overlapped makespan.  Returns the
+        :class:`repro.system.MultiKernelResult` (also appended to
+        ``sync_results``), or None when nothing was queued."""
+        if not self._queued:
+            return None
+        queued, handles = self._queued, self._queued_handles
+        self._queued, self._queued_handles = [], []
+        sim = MultiKernelSimulator(
+            queued,
+            address_space=self.aspace,
+            config=self.config,
+            scheme=self.scheme,
+            interconnect=self.interconnect,
+            paging="demand",  # residency decides what faults
+            local_handling=self.local_handling,
+            block_switching=self.block_switching,
+            frame_allocator=self.frames,
+            frame_partitions=self._partitions,
+            telemetry=telemetry,
+            policy=policy,
+        )
+        result = sim.run()
+        for handle, kres in zip(handles, result.kernels):
+            handle.result = kres
+        self.total_cycles += result.cycles
+        self.sync_results.append(result)
         return result
 
     # ------------------------------------------------------------------

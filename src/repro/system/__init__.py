@@ -10,8 +10,16 @@ from .config import (
     InterconnectConfig,
 )
 from .faults import FaultController, FaultOutcome, FaultStats, InvalidAccessError
-from .gpu import DeadlockError, GpuSimulator, SimResult
-from .tb_scheduler import ThreadBlockScheduler
+from .gpu import (
+    DeadlockError,
+    GpuSimulator,
+    MultiKernelResult,
+    MultiKernelSimulator,
+    SimResult,
+    StreamKernelResult,
+    StreamLaunch,
+)
+from .tb_scheduler import MultiKernelScheduler, ThreadBlockScheduler
 
 __all__ = [
     "DEFAULT_CONFIG",
@@ -27,6 +35,11 @@ __all__ = [
     "InvalidAccessError",
     "DeadlockError",
     "GpuSimulator",
+    "MultiKernelResult",
+    "MultiKernelScheduler",
+    "MultiKernelSimulator",
     "SimResult",
+    "StreamKernelResult",
+    "StreamLaunch",
     "ThreadBlockScheduler",
 ]

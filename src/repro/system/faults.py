@@ -82,6 +82,11 @@ class FaultController:
         self.page_state = page_state
         self.local_handling = local_handling
         self.stats = FaultStats()
+        # Per-kernel tallies for multi-stream runs (docs/CONCURRENCY.md).
+        # Kept out of FaultStats: the golden-digest fixture hashes that
+        # dataclass, and single-kernel runs must stay bit-identical.
+        self.kernel_faults: Dict[int, int] = {}
+        self.kernel_groups: Dict[int, int] = {}
         # group -> resolution time (includes already-resolved groups)
         self._group_resolved: Dict[int, float] = {}
         # subset still unresolved at the last _position() query (lazily pruned)
@@ -138,17 +143,25 @@ class FaultController:
     # fault entry point (called by the SM's global-memory path)
     # ------------------------------------------------------------------
 
-    def on_fault(self, vpn: int, detect_time: float, sm_id: int) -> FaultOutcome:
+    def on_fault(
+        self, vpn: int, detect_time: float, sm_id: int, kernel_id: int = 0
+    ) -> FaultOutcome:
         """Route one faulting access: classify, deduplicate at the 64KB
         group granularity, time its resolution (CPU driver path or GPU-local
-        handler) and report the outcome back to the SM."""
+        handler) and report the outcome back to the SM.  ``kernel_id`` tags
+        the fault with the raising launch so multi-stream runs can attribute
+        queue contention per stream (single-kernel runs leave it at 0)."""
         self.stats.faults_raised += 1
+        self.kernel_faults[kernel_id] = (
+            self.kernel_faults.get(kernel_id, 0) + 1
+        )
         group = vpn // FAULT_GRANULARITY_PAGES
         tel = self.tel
         if tel is not None:
             tel.tracer.emit(
                 EV_FAULT_RAISE, detect_time, "faults",
-                {"vpn": vpn, "group": group, "sm": sm_id},
+                {"vpn": vpn, "group": group, "sm": sm_id,
+                 "kernel": kernel_id},
             )
         pending = self._group_resolved.get(group)
         if pending is not None and pending > detect_time:
@@ -158,7 +171,7 @@ class FaultController:
                 tel.tracer.emit(
                     EV_FAULT_JOIN, detect_time, "faults",
                     {"vpn": vpn, "group": group, "sm": sm_id,
-                     "resolved_time": pending},
+                     "kernel": kernel_id, "resolved_time": pending},
                 )
             return FaultOutcome(
                 group=group,
@@ -219,12 +232,16 @@ class FaultController:
         self._group_resolved[group] = resolved
         self._unresolved[group] = resolved
         self.stats.groups_resolved += 1
+        self.kernel_groups[kernel_id] = (
+            self.kernel_groups.get(kernel_id, 0) + 1
+        )
         if tel is not None:
             tel.tracer.emit_span(
                 EV_FAULT_RESOLVE, detect_time, resolved - detect_time,
                 "faults",
-                {"group": group, "sm": sm_id, "class": fault_class.name,
-                 "local": local, "queue_position": position},
+                {"group": group, "sm": sm_id, "kernel": kernel_id,
+                 "class": fault_class.name, "local": local,
+                 "queue_position": position},
             )
         return FaultOutcome(
             group=group,

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.schemes import BaselineStallOnFault, PipelineScheme
-from repro.functional.trace import KernelTrace
+from repro.functional.trace import BlockTrace, KernelTrace
 from repro.isa import Kernel
 from repro.mem import MemorySubsystem
 from repro.telemetry import Telemetry, active as _tel_active, ev as _ev
@@ -32,7 +32,7 @@ from repro.vm import AddressSpace, FrameAllocator
 
 from .config import GPUConfig, InterconnectConfig, NVLINK
 from .faults import FaultController, FaultStats
-from .tb_scheduler import ThreadBlockScheduler
+from .tb_scheduler import MultiKernelScheduler, ThreadBlockScheduler
 
 
 class DeadlockError(Exception):
@@ -60,7 +60,119 @@ class SimResult:
         return self.dynamic_instructions / self.cycles if self.cycles else 0.0
 
 
-class GpuSimulator:
+class _RunLoopMixin:
+    """The cycle/event drive loop shared by :class:`GpuSimulator` and
+    :class:`MultiKernelSimulator`.
+
+    Both simulators expose the same drive-state surface —
+    ``blocks_remaining``, ``sms``, ``events``, ``fault_ctl``, ``telemetry``,
+    ``watchdog`` — so the loop lives here *once*: the multi-kernel path can
+    never drift from the single-kernel timing the golden digests pin."""
+
+    def _progress(self):
+        """The watchdog's forward-progress signature.  Deliberately *not*
+        ``events.processed``: a self-rescheduling stuck event fires events
+        forever without ever committing work, and must still count as a
+        hang."""
+        return (
+            self.blocks_remaining,
+            sum(sm.stats.committed for sm in self.sms),
+        )
+
+    def _hang_diagnostic(self, cycle: float):
+        """Snapshot the stuck simulation for :class:`SimulationHang`."""
+        from repro.chaos import HangDiagnostic
+
+        warp_states = {}
+        for sm in self.sms:
+            warp_states[f"sm{sm.sm_id}"] = [
+                {
+                    "warp": w.slot,
+                    "idx": w.idx,
+                    "trace_len": len(w.trace),
+                    "inflight": w.inflight,
+                    "fetch_holds": w.fetch_holds,
+                    "at_barrier": w.at_barrier,
+                    "replays": len(w.replay_list),
+                    "done": w.done,
+                }
+                for w in sm.warps
+            ]
+        tel = self.telemetry
+        return HangDiagnostic(
+            cycle=cycle,
+            cycle_budget=self.watchdog.cycle_budget,
+            blocks_remaining=self.blocks_remaining,
+            committed=sum(sm.stats.committed for sm in self.sms),
+            pending_fault_groups=self.fault_ctl.pending_groups(cycle),
+            event_heap_depth=len(self.events),
+            next_event_time=self.events.next_time,
+            warp_states=warp_states,
+            telemetry_summary=(
+                tel.tracer.names() if tel is not None else {}
+            ),
+        )
+
+    def _drive(self, max_cycles: float) -> None:
+        """Advance the cycle/event loop until every block has retired."""
+        cycle = 0.0
+        events = self.events
+        times = events._times  # guard: skip the run_until call when idle
+        sms = self.sms
+        tel = self.telemetry
+        next_sample = tel.sample_interval if tel is not None else math.inf
+        wd = self.watchdog
+        next_wd = math.inf
+        if wd is not None:
+            wd.reset()
+            wd.observe(self._progress())  # baseline signature at cycle 0
+            next_wd = wd.cycle_budget
+        while self.blocks_remaining > 0:
+            if cycle > max_cycles:
+                raise DeadlockError(f"exceeded {max_cycles:g} cycles")
+            if times and times[0] <= cycle:
+                events.run_until(cycle)
+                if self.blocks_remaining <= 0:
+                    break
+            awake = False
+            for sm in sms:
+                # A sleeping SM is re-scanned when its armed ready time is
+                # due — the scalar that replaced pure wake-up heap events.
+                if not sm.sleeping or sm.next_ready_cycle <= cycle:
+                    sm.try_issue(cycle)
+                    if not sm.sleeping:
+                        awake = True
+            if cycle >= next_sample:
+                tel.sample(cycle)
+                next_sample = cycle + tel.sample_interval
+            if cycle >= next_wd:
+                if not wd.observe(self._progress()):
+                    from repro.chaos import SimulationHang
+
+                    raise SimulationHang(self._hang_diagnostic(cycle))
+                next_wd = cycle + wd.cycle_budget
+            if awake:
+                cycle += 1
+            else:
+                # Jump to whichever comes first: the next heap event or the
+                # earliest armed SM ready time.
+                nxt = events.next_time
+                wake = math.inf
+                for sm in sms:
+                    t = sm.next_ready_cycle
+                    if t < wake:
+                        wake = t
+                if nxt is None and wake == math.inf:
+                    raise DeadlockError(
+                        f"{self.blocks_remaining} blocks stuck with no events "
+                        f"at cycle {cycle:g}"
+                    )
+                if nxt is None or wake < nxt:
+                    nxt = wake
+                cycle = max(cycle + 1, math.ceil(nxt))
+
+
+class GpuSimulator(_RunLoopMixin):
     """Cycle-level simulation of one kernel launch."""
 
     def __init__(
@@ -228,54 +340,6 @@ class GpuSimulator:
             sm.refill_slot(time)
 
     # ------------------------------------------------------------------
-    # watchdog support (repro.chaos, docs/ROBUSTNESS.md)
-    # ------------------------------------------------------------------
-
-    def _progress(self):
-        """The watchdog's forward-progress signature.  Deliberately *not*
-        ``events.processed``: a self-rescheduling stuck event fires events
-        forever without ever committing work, and must still count as a
-        hang."""
-        return (
-            self.blocks_remaining,
-            sum(sm.stats.committed for sm in self.sms),
-        )
-
-    def _hang_diagnostic(self, cycle: float):
-        """Snapshot the stuck simulation for :class:`SimulationHang`."""
-        from repro.chaos import HangDiagnostic
-
-        warp_states = {}
-        for sm in self.sms:
-            warp_states[f"sm{sm.sm_id}"] = [
-                {
-                    "warp": w.slot,
-                    "idx": w.idx,
-                    "trace_len": len(w.trace),
-                    "inflight": w.inflight,
-                    "fetch_holds": w.fetch_holds,
-                    "at_barrier": w.at_barrier,
-                    "replays": len(w.replay_list),
-                    "done": w.done,
-                }
-                for w in sm.warps
-            ]
-        tel = self.telemetry
-        return HangDiagnostic(
-            cycle=cycle,
-            cycle_budget=self.watchdog.cycle_budget,
-            blocks_remaining=self.blocks_remaining,
-            committed=sum(sm.stats.committed for sm in self.sms),
-            pending_fault_groups=self.fault_ctl.pending_groups(cycle),
-            event_heap_depth=len(self.events),
-            next_event_time=self.events.next_time,
-            warp_states=warp_states,
-            telemetry_summary=(
-                tel.tracer.names() if tel is not None else {}
-            ),
-        )
-
-    # ------------------------------------------------------------------
 
     def run(self, max_cycles: float = 2e9) -> SimResult:
         """Run the launch to completion; returns the results."""
@@ -288,61 +352,8 @@ class GpuSimulator:
                         break
                     sm.launch_block(btrace, 0.0)
 
-        cycle = 0.0
-        events = self.events
-        times = events._times  # guard: skip the run_until call when idle
-        sms = self.sms
+        self._drive(max_cycles)
         tel = self.telemetry
-        next_sample = tel.sample_interval if tel is not None else math.inf
-        wd = self.watchdog
-        next_wd = math.inf
-        if wd is not None:
-            wd.reset()
-            wd.observe(self._progress())  # baseline signature at cycle 0
-            next_wd = wd.cycle_budget
-        while self.blocks_remaining > 0:
-            if cycle > max_cycles:
-                raise DeadlockError(f"exceeded {max_cycles:g} cycles")
-            if times and times[0] <= cycle:
-                events.run_until(cycle)
-                if self.blocks_remaining <= 0:
-                    break
-            awake = False
-            for sm in sms:
-                # A sleeping SM is re-scanned when its armed ready time is
-                # due — the scalar that replaced pure wake-up heap events.
-                if not sm.sleeping or sm.next_ready_cycle <= cycle:
-                    sm.try_issue(cycle)
-                    if not sm.sleeping:
-                        awake = True
-            if cycle >= next_sample:
-                tel.sample(cycle)
-                next_sample = cycle + tel.sample_interval
-            if cycle >= next_wd:
-                if not wd.observe(self._progress()):
-                    from repro.chaos import SimulationHang
-
-                    raise SimulationHang(self._hang_diagnostic(cycle))
-                next_wd = cycle + wd.cycle_budget
-            if awake:
-                cycle += 1
-            else:
-                # Jump to whichever comes first: the next heap event or the
-                # earliest armed SM ready time.
-                nxt = events.next_time
-                wake = math.inf
-                for sm in sms:
-                    t = sm.next_ready_cycle
-                    if t < wake:
-                        wake = t
-                if nxt is None and wake == math.inf:
-                    raise DeadlockError(
-                        f"{self.blocks_remaining} blocks stuck with no events "
-                        f"at cycle {cycle:g}"
-                    )
-                if nxt is None or wake < nxt:
-                    nxt = wake
-                cycle = max(cycle + 1, math.ceil(nxt))
 
         if self.sanitizer is not None:
             self.sanitizer.check_frames(self.address_space.page_state)
@@ -361,5 +372,372 @@ class GpuSimulator:
             blocks=len(self.trace.blocks),
             fault_stats=self.fault_ctl.stats,
             sm_stats=[sm.stats for sm in self.sms],
+            telemetry=tel,
+        )
+
+# ----------------------------------------------------------------------
+# multi-kernel (stream) simulation — docs/CONCURRENCY.md
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StreamLaunch:
+    """One enqueued kernel of a multi-stream run: the kernel, its
+    functional trace, and the stream it was enqueued on."""
+
+    kernel: Kernel
+    trace: KernelTrace
+    stream: int = 0
+
+
+@dataclass
+class StreamKernelResult:
+    """Per-kernel outcome of a :class:`MultiKernelSimulator` run."""
+
+    kernel_name: str
+    kernel_id: int
+    stream: int
+    cycles: float  # completion cycle of the kernel's last block
+    blocks: int
+    dynamic_instructions: int
+    faults_raised: int  # faulting accesses this kernel routed (pre-dedup)
+    fault_groups: int  # 64KB fault groups this kernel enqueued first
+
+
+@dataclass
+class MultiKernelResult:
+    """Outcome of one multi-kernel (stream-overlapped) simulation."""
+
+    scheme: str
+    cycles: float  # makespan: completion cycle of the last block overall
+    kernels: List[StreamKernelResult] = field(default_factory=list)
+    fault_stats: Optional[FaultStats] = None
+    sm_stats: List = field(default_factory=list)
+    #: blocks an SM pulled from a stream other than its home stream
+    stolen_blocks: int = 0
+    #: the run's Telemetry hub when tracing was enabled, else None
+    telemetry: Optional[object] = None
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return sum(k.dynamic_instructions for k in self.kernels)
+
+    @property
+    def ipc(self) -> float:
+        return self.dynamic_instructions / self.cycles if self.cycles else 0.0
+
+    def stream_summary(self) -> Dict[int, Dict[str, float]]:
+        """Per-stream aggregates: kernel launches, completion cycle (max
+        over the stream's kernels), and faulting accesses raised."""
+        out: Dict[int, Dict[str, float]] = {}
+        for k in self.kernels:
+            agg = out.setdefault(
+                k.stream, {"launches": 0, "cycles": 0.0, "faults": 0}
+            )
+            agg["launches"] += 1
+            agg["cycles"] = max(agg["cycles"], k.cycles)
+            agg["faults"] += k.faults_raised
+        return out
+
+
+class MultiKernelSimulator(_RunLoopMixin):
+    """Cycle-level simulation of several kernels resident concurrently.
+
+    The launches share *one* GPU: one fault controller (so faults from
+    different kernels contend on the global pending-fault queue and the
+    interconnect), one memory subsystem, one event queue, and one SM array
+    partitioned across streams by a :class:`MultiKernelScheduler`.  Kernels
+    on the same stream run in enqueue order; kernels on different streams
+    overlap.  With ``block_switching`` the use-case-1 local scheduler can
+    swap a faulted block out and swap in a block from a *different* kernel
+    — the scheduler's ``next_block`` is kernel-agnostic by construction.
+
+    Determinism contract (docs/CONCURRENCY.md): the run is a pure function
+    of the launch list (order included) and the configuration — two runs
+    with the same inputs are bit-identical, and a run with a single stream
+    and a single kernel is bit-identical to :class:`GpuSimulator` on the
+    same trace (the drive loop is shared via :class:`_RunLoopMixin` and
+    pinned by the golden-digest fixture).
+    """
+
+    def __init__(
+        self,
+        launches,
+        address_space: AddressSpace,
+        config: GPUConfig = None,
+        scheme: PipelineScheme = None,
+        interconnect: InterconnectConfig = NVLINK,
+        paging: str = "demand",
+        local_handling: bool = False,
+        block_switching: bool = False,
+        ideal_switch: bool = False,
+        frame_allocator: Optional[FrameAllocator] = None,
+        frame_partitions=None,
+        telemetry: Optional[Telemetry] = None,
+        chaos=None,
+        watchdog=None,
+        sanitize: bool = False,
+        reference_issue: bool = False,
+        policy: str = "partition",
+    ) -> None:
+        """``launches`` is a sequence of :class:`StreamLaunch` (or
+        ``(kernel, trace, stream)`` tuples) sharing ``address_space``;
+        ``policy`` picks the SM-to-stream assignment (``partition`` |
+        ``interleave``), see :class:`MultiKernelScheduler`."""
+        from repro.chaos import InvariantSanitizer, chaos_active
+
+        self.launches: List[StreamLaunch] = [
+            sl if isinstance(sl, StreamLaunch) else StreamLaunch(*sl)
+            for sl in launches
+        ]
+        if not self.launches:
+            raise ValueError("at least one launch is required")
+        self.config = config if config is not None else GPUConfig()
+        self.scheme = scheme if scheme is not None else BaselineStallOnFault()
+        self.address_space = address_space
+        self.paging = paging
+        self.telemetry = _tel_active(telemetry)
+        self.chaos = chaos_active(chaos)
+        self.watchdog = watchdog
+        self.sanitizer = InvariantSanitizer() if sanitize else None
+        if self.chaos is not None:
+            self.chaos.attach_telemetry(self.telemetry)
+        cfg = self.config
+
+        page_state = address_space.page_state
+        frames = (
+            frame_allocator
+            if frame_allocator is not None
+            else FrameAllocator(cfg.num_frames)
+        )
+        self.fault_ctl = FaultController(
+            config=cfg,
+            interconnect=interconnect,
+            page_state=page_state,
+            frame_allocator=frames,
+            local_handling=local_handling,
+            partitions=frame_partitions,
+            telemetry=self.telemetry,
+            chaos=self.chaos,
+        )
+        driver_frames = self.fault_ctl.cpu_frames
+        if paging == "premapped":
+            address_space.premap_all(driver_frames)
+        elif paging == "demand":
+            pass  # inputs migrate on fault; outputs/heap are first-touch
+        else:
+            raise ValueError(
+                f"multi-kernel runs support paging 'premapped' or 'demand', "
+                f"not {paging!r}"
+            )
+        self.memsys = MemorySubsystem(
+            cfg,
+            translate_fn=self.fault_ctl.translate,
+            telemetry=self.telemetry,
+            chaos=self.chaos,
+        )
+        self.events = EventQueue()
+        if self.sanitizer is not None:
+            self.events.attach_sanitizer(self.sanitizer)
+
+        # Streams keep their first-appearance order (enqueue order), so the
+        # SM partitioning — and therefore timing — is a pure function of
+        # the launch list.
+        stream_ids: List[int] = []
+        for sl in self.launches:
+            if sl.stream not in stream_ids:
+                stream_ids.append(sl.stream)
+        self.stream_ids = stream_ids
+        if len(stream_ids) > cfg.num_sms:
+            raise ValueError(
+                f"{len(stream_ids)} streams exceed {cfg.num_sms} SMs"
+            )
+
+        # Tag every block with its kernel id on shallow copies: the cached
+        # workload traces must not be mutated across experiments.
+        stream_kernels: List[List[int]] = [[] for _ in stream_ids]
+        kernel_blocks: Dict[int, List[BlockTrace]] = {}
+        self.kernel_context_bytes: Dict[int, int] = {}
+        occupancy = None
+        for kid, sl in enumerate(self.launches):
+            predecode_trace(sl.trace)
+            stream_kernels[stream_ids.index(sl.stream)].append(kid)
+            kernel_blocks[kid] = [
+                BlockTrace(block_id=b.block_id, warps=b.warps, kernel_id=kid)
+                for b in sl.trace.blocks
+            ]
+            self.kernel_context_bytes[kid] = (
+                sl.kernel.regs_per_thread * 4 * sl.trace.block_dim
+                + sl.kernel.smem_bytes_per_block
+            )
+            occ = cfg.blocks_per_sm(sl.kernel, sl.trace.block_dim)
+            occupancy = occ if occupancy is None else min(occupancy, occ)
+
+        self.tb_scheduler = MultiKernelScheduler(
+            stream_kernels, kernel_blocks, cfg.num_sms, policy=policy
+        )
+        self.sms = [
+            SmPipeline(
+                sm_id=i,
+                config=cfg,
+                events=self.events,
+                memsys=self.memsys,
+                fault_ctl=self.fault_ctl,
+                scheme=self.scheme,
+                block_source=self.tb_scheduler,
+                occupancy=occupancy,
+                context_bytes_per_block=self.kernel_context_bytes[0],
+                telemetry=self.telemetry,
+                chaos=self.chaos,
+                sanitizer=self.sanitizer,
+                reference_issue=reference_issue,
+            )
+            for i in range(cfg.num_sms)
+        ]
+        for sm in self.sms:
+            sm.kernel_context_bytes = self.kernel_context_bytes
+            sm.on_block_done = self._on_block_done
+        self.blocks_remaining = self.tb_scheduler.total_blocks
+        self.last_block_done = 0.0
+        self.kernel_remaining: Dict[int, int] = {
+            kid: len(blocks) for kid, blocks in kernel_blocks.items()
+        }
+        self.kernel_last_done: Dict[int, float] = {
+            kid: 0.0 for kid in kernel_blocks
+        }
+
+        if block_switching:
+            if not self.scheme.preemptible:
+                raise ValueError(
+                    "block switching requires a preemptible-exception scheme"
+                )
+            from repro.core.local_scheduler import LocalScheduler
+
+            for sm in self.sms:
+                sm.local_scheduler = LocalScheduler(
+                    sm=sm,
+                    config=cfg,
+                    events=self.events,
+                    dram=self.memsys.dram,
+                    ideal=ideal_switch,
+                )
+
+        if self.telemetry is not None:
+            reg = self.telemetry.counters
+            reg.gauge("gpu.events.processed", lambda: self.events.processed)
+            reg.gauge("gpu.events.scheduled", lambda: self.events.scheduled)
+            reg.gauge("gpu.events.peak_depth", lambda: self.events.peak)
+            reg.gauge("gpu.events.coalesced", lambda: self.events.coalesced)
+            reg.gauge("gpu.blocks.remaining", lambda: self.blocks_remaining)
+            reg.gauge(
+                "gpu.streams.stolen_blocks",
+                lambda: self.tb_scheduler.stolen,
+            )
+            for sid in stream_ids:
+                kids = [
+                    kid for kid, sl in enumerate(self.launches)
+                    if sl.stream == sid
+                ]
+                prefix = f"gpu.stream[{sid}]"
+                reg.gauge(f"{prefix}.launches", lambda n=len(kids): n)
+                reg.gauge(
+                    f"{prefix}.faults",
+                    lambda ks=tuple(kids): sum(
+                        self.fault_ctl.kernel_faults.get(k, 0) for k in ks
+                    ),
+                )
+                reg.gauge(
+                    f"{prefix}.cycles",
+                    lambda ks=tuple(kids): max(
+                        self.kernel_last_done[k] for k in ks
+                    ),
+                )
+            self.telemetry.annotate(
+                kernels=[sl.kernel.name for sl in self.launches],
+                streams=len(stream_ids),
+                policy=policy,
+                paging=paging,
+                local_handling=local_handling,
+                block_switching=block_switching,
+                num_sms=cfg.num_sms,
+                **self.scheme.telemetry_tags(),
+            )
+
+    # ------------------------------------------------------------------
+
+    def _refill_all(self, time: float) -> None:
+        """Offer freed/unblocked work to every SM in sm-id order.  Needed
+        when a kernel completes: its stream's successor just became
+        eligible, and SMs other than the one that retired the final block
+        may be sitting idle with free slots."""
+        for sm in self.sms:
+            if sm.free_slots > 0:
+                if sm.local_scheduler is not None:
+                    sm.local_scheduler.on_slot_free(time)
+                else:
+                    sm.refill_slot(time)
+
+    def _on_block_done(self, sm: SmPipeline, block, time: float) -> None:
+        self.blocks_remaining -= 1
+        self.last_block_done = max(self.last_block_done, time)
+        kid = block.kernel_id
+        self.kernel_remaining[kid] -= 1
+        self.kernel_last_done[kid] = max(self.kernel_last_done[kid], time)
+        if self.kernel_remaining[kid] == 0:
+            self.tb_scheduler.on_kernel_complete(kid)
+            self._refill_all(time)
+        elif sm.local_scheduler is not None:
+            sm.local_scheduler.on_slot_free(time)
+        else:
+            sm.refill_slot(time)
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: float = 2e9) -> MultiKernelResult:
+        """Run every launch to completion; returns the merged results."""
+        # Initial batch: breadth-first fill of every SM to occupancy —
+        # identical in shape to GpuSimulator.run so a single-kernel run
+        # through this path launches blocks in the same order.
+        for _ in range(self.sms[0].occupancy):
+            for sm in self.sms:
+                if sm.free_slots > 0:
+                    btrace = self.tb_scheduler.next_block(sm.sm_id)
+                    if btrace is None:
+                        break
+                    sm.launch_block(btrace, 0.0)
+
+        self._drive(max_cycles)
+        tel = self.telemetry
+
+        if self.sanitizer is not None:
+            self.sanitizer.check_frames(self.address_space.page_state)
+        if tel is not None:
+            tel.sample(self.last_block_done)
+            for kid, sl in enumerate(self.launches):
+                tel.tracer.emit_span(
+                    _ev.EV_KERNEL, 0.0, self.kernel_last_done[kid], "gpu",
+                    {"kernel": sl.kernel.name, "kernel_id": kid,
+                     "stream": sl.stream, "scheme": self.scheme.name},
+                )
+        kernels = [
+            StreamKernelResult(
+                kernel_name=sl.kernel.name,
+                kernel_id=kid,
+                stream=sl.stream,
+                cycles=self.kernel_last_done[kid],
+                blocks=len(sl.trace.blocks),
+                dynamic_instructions=sl.trace.dynamic_instructions(),
+                faults_raised=self.fault_ctl.kernel_faults.get(kid, 0),
+                fault_groups=self.fault_ctl.kernel_groups.get(kid, 0),
+            )
+            for kid, sl in enumerate(self.launches)
+        ]
+        return MultiKernelResult(
+            scheme=self.scheme.name,
+            cycles=self.last_block_done,
+            kernels=kernels,
+            fault_stats=self.fault_ctl.stats,
+            sm_stats=[sm.stats for sm in self.sms],
+            stolen_blocks=self.tb_scheduler.stolen,
             telemetry=tel,
         )

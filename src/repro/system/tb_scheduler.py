@@ -10,7 +10,7 @@ observed for *mri-gridding*.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Dict, List, Optional, Sequence
 
 from repro.functional.trace import BlockTrace, KernelTrace
 
@@ -33,3 +33,116 @@ class ThreadBlockScheduler:
             return None
         self.dispatched += 1
         return self._pending.popleft()
+
+
+class MultiKernelScheduler:
+    """Thread-block dispatcher for several concurrently resident kernels.
+
+    Kernels arrive grouped by *stream* (``stream_kernels[s]`` is stream
+    ``s``'s ordered list of kernel ids); within a stream kernels execute in
+    enqueue order (a kernel only becomes dispatchable when its predecessor
+    on the same stream has retired every block), across streams they run
+    concurrently.  SMs are assigned a *home stream*:
+
+    ``partition``
+        contiguous slices — SM ``j`` of ``N`` belongs to stream
+        ``j * S // N`` (the CUDA-MPS-like spatial split);
+    ``interleave``
+        round-robin — SM ``j`` belongs to stream ``j % S``.
+
+    ``next_block`` prefers the home stream's current kernel and falls back
+    to *stealing* from other streams' eligible kernels in stream order, so
+    no SM idles while any stream still has work — the work-conserving
+    policy docs/CONCURRENCY.md documents.  The interface matches
+    :class:`ThreadBlockScheduler` (``next_block`` / ``pending`` /
+    ``dispatched``), so :class:`repro.timing.sm.SmPipeline` and the
+    use-case-1 local scheduler consume either transparently.
+    """
+
+    def __init__(
+        self,
+        stream_kernels: Sequence[Sequence[int]],
+        kernel_blocks: Dict[int, List[BlockTrace]],
+        num_sms: int,
+        policy: str = "partition",
+    ) -> None:
+        """``stream_kernels[s]`` lists stream ``s``'s kernel ids in enqueue
+        order; ``kernel_blocks`` maps each kernel id to its (kernel-tagged)
+        block traces."""
+        if policy not in ("partition", "interleave"):
+            raise ValueError(f"unknown SM assignment policy {policy!r}")
+        self.policy = policy
+        self.num_sms = num_sms
+        self._streams: List[List[int]] = [list(ks) for ks in stream_kernels]
+        self._cursor: List[int] = [0] * len(self._streams)
+        self._pending: Dict[int, Deque[BlockTrace]] = {
+            kid: deque(blocks) for kid, blocks in kernel_blocks.items()
+        }
+        self.total_blocks = sum(len(b) for b in kernel_blocks.values())
+        self.dispatched = 0
+        #: blocks dispatched to an SM outside their stream's home slice
+        self.stolen = 0
+
+    # ------------------------------------------------------------------
+
+    def home_stream(self, sm_id: int) -> int:
+        """The stream whose kernels SM ``sm_id`` prefers to run."""
+        nstreams = len(self._streams)
+        if self.policy == "interleave":
+            return sm_id % nstreams
+        return sm_id * nstreams // self.num_sms
+
+    def eligible_kernel(self, stream: int) -> Optional[int]:
+        """The stream's currently dispatchable kernel id (its oldest
+        not-yet-completed enqueued kernel), or None when drained."""
+        cursor = self._cursor[stream]
+        kernels = self._streams[stream]
+        return kernels[cursor] if cursor < len(kernels) else None
+
+    def on_kernel_complete(self, kernel_id: int) -> None:
+        """Advance the owning stream's cursor: its next enqueued kernel
+        (if any) becomes dispatchable."""
+        for stream, kernels in enumerate(self._streams):
+            cursor = self._cursor[stream]
+            if cursor < len(kernels) and kernels[cursor] == kernel_id:
+                self._cursor[stream] = cursor + 1
+                return
+
+    # ------------------------------------------------------------------
+    # ThreadBlockScheduler-compatible surface
+    # ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Pending blocks across every currently dispatchable kernel
+        (blocks of not-yet-eligible successors are invisible, so the local
+        scheduler never switches a block out for work it cannot fetch)."""
+        total = 0
+        for stream in range(len(self._streams)):
+            kid = self.eligible_kernel(stream)
+            if kid is not None:
+                total += len(self._pending[kid])
+        return total
+
+    def next_block(self, sm_id: int) -> Optional[BlockTrace]:
+        """Hand ``sm_id`` the next block: home stream first, then steal
+        from the other streams in stream order (None when all drained)."""
+        home = self.home_stream(sm_id)
+        order = [home] + [
+            s for s in range(len(self._streams)) if s != home
+        ]
+        for stream in order:
+            kid = self.eligible_kernel(stream)
+            if kid is None:
+                continue
+            queue = self._pending[kid]
+            if queue:
+                self.dispatched += 1
+                if stream != home:
+                    self.stolen += 1
+                return queue.popleft()
+        return None
+
+    def pending_for(self, kernel_id: int) -> int:
+        """Blocks of ``kernel_id`` not yet dispatched (observability)."""
+        return len(self._pending[kernel_id])

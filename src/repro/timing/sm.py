@@ -165,10 +165,12 @@ class BlockRT:
         "log_capacity",
         "log_used",
         "context_bytes",
+        "kernel_id",
     )
 
     def __init__(self, btrace: BlockTrace, context_bytes: int, log_capacity: int) -> None:
         self.btrace = btrace
+        self.kernel_id = btrace.kernel_id
         self.warps: List[WarpRT] = []
         self.state = self.ACTIVE
         self.barrier_arrived = 0
@@ -220,6 +222,10 @@ class SmPipeline:
         self.block_source = block_source  # ThreadBlockScheduler-like object
         self.occupancy = occupancy
         self.context_bytes_per_block = context_bytes_per_block
+        # Multi-kernel runs (docs/CONCURRENCY.md) install a kernel-id ->
+        # context-bytes map so a stolen block's switch cost reflects *its*
+        # kernel's register/smem footprint; None on single-kernel runs.
+        self.kernel_context_bytes: Optional[Dict[int, int]] = None
         self.free_slots = occupancy
         self.blocks: List[BlockRT] = []  # resident blocks
         self.offchip: List[BlockRT] = []  # switched-out blocks (use case 1)
@@ -341,9 +347,12 @@ class SmPipeline:
         if self.free_slots <= 0:
             raise RuntimeError(f"SM{self.sm_id}: no free block slot")
         self.free_slots -= 1
+        ctx_bytes = self.context_bytes_per_block
+        if self.kernel_context_bytes is not None:
+            ctx_bytes = self.kernel_context_bytes[btrace.kernel_id]
         block = BlockRT(
             btrace,
-            context_bytes=self.context_bytes_per_block,
+            context_bytes=ctx_bytes,
             log_capacity=self._log_partition,
         )
         for wtrace in btrace.warps:
@@ -356,7 +365,8 @@ class SmPipeline:
         if self.tel is not None:
             self.tel.tracer.emit(
                 _ev.EV_BLOCK_LAUNCH, time, self._tid,
-                {"block": block.block_id, "warps": len(block.warps)},
+                {"block": block.block_id, "warps": len(block.warps),
+                 "kernel": block.kernel_id},
             )
         self.wake()
         return block
@@ -383,7 +393,8 @@ class SmPipeline:
         self.stats.blocks_completed += 1
         if self.tel is not None:
             self.tel.tracer.emit(
-                _ev.EV_BLOCK_DONE, time, self._tid, {"block": block.block_id}
+                _ev.EV_BLOCK_DONE, time, self._tid,
+                {"block": block.block_id, "kernel": block.kernel_id},
             )
         self._rebuild_warp_list()
         if self.on_block_done is not None:
@@ -993,7 +1004,9 @@ class SmPipeline:
         position = 0
         first_detect = min(f.detect_time for f in outcome.faults)
         for fault in outcome.faults:
-            fo = self.fault_ctl.on_fault(fault.vpn, fault.detect_time, self.sm_id)
+            fo = self.fault_ctl.on_fault(
+                fault.vpn, fault.detect_time, self.sm_id, block.kernel_id
+            )
             resolved = max(resolved, fo.resolved_time)
             position = max(position, fo.position)
             handled_locally |= fo.handled_locally

@@ -3,6 +3,13 @@
 from .base import Workload, WorkloadRegistry
 from .halloc import HALLOC, HALLOC_NAMES
 from .micro import MICRO, MICRO_NAMES
+from .multi import (
+    STREAM_SCENARIO_NAMES,
+    STREAM_SCENARIOS,
+    StreamKernelSpec,
+    StreamScenario,
+    get_stream_scenario,
+)
 from .parboil import PARBOIL, PARBOIL_NAMES
 
 
@@ -24,5 +31,10 @@ __all__ = [
     "HALLOC_NAMES",
     "MICRO",
     "MICRO_NAMES",
+    "STREAM_SCENARIOS",
+    "STREAM_SCENARIO_NAMES",
+    "StreamKernelSpec",
+    "StreamScenario",
+    "get_stream_scenario",
     "get_workload",
 ]

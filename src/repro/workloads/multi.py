@@ -1,0 +1,153 @@
+"""Multi-kernel stream scenarios (docs/CONCURRENCY.md).
+
+Each scenario stages a multi-stream run on a :class:`repro.runtime.GpuDevice`:
+it allocates managed buffers, fills the inputs deterministically (so two runs
+of the same scenario are bit-identical), and returns one
+:class:`StreamKernelSpec` per kernel.  The harness's ``streams`` experiment
+(:mod:`repro.harness.streams`) launches the same specs twice — sequentially
+through the legacy synchronous path, and overlapped on one stream per kernel
+— to measure what concurrent fault-queue contention costs and what SM overlap
+buys back.
+
+The canonical scenario is ``contention``: two page-fault-bound kernels whose
+migrate faults contend on the single global pending-fault queue, the
+interconnect and the serialized CPU handler.  Because a fault-bound kernel
+leaves most SM cycles idle, overlapping the two on a partitioned SM array
+finishes in strictly fewer cycles than running them back to back — the
+multi-tenant effect the paper's motivation (Section 1) appeals to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.isa import Kernel
+
+from .micro import MICRO
+
+
+@dataclass(frozen=True)
+class StreamKernelSpec:
+    """One kernel of a stream scenario: the kernel, launch geometry, and
+    already-resolved argument list (device pointers / scalars)."""
+
+    kernel: Kernel
+    grid: int
+    block: int
+    args: tuple
+
+
+class StreamScenario:
+    """A deterministic multi-kernel workload staged on a GpuDevice.
+
+    Subclasses set ``name``/``description`` and implement :meth:`build`,
+    which allocates and fills managed memory on the device and returns the
+    per-kernel launch specs (one spec per stream in the overlapped run).
+    """
+
+    name: str = "scenario"
+    description: str = ""
+
+    def build(self, device) -> List[StreamKernelSpec]:
+        """Allocate buffers on ``device`` and return one spec per kernel."""
+        raise NotImplementedError
+
+
+class _ThrashPair(StreamScenario):
+    """Two page-fault-bound kernels with disjoint CPU-dirty inputs.
+
+    Each kernel is the ``tlb-thrash`` micro (every warp access touches a
+    distinct page), so both streams raise long migrate-fault trains that
+    contend on the shared pending-fault queue and interconnect."""
+
+    name = "contention"
+    description = (
+        "two fault-bound tlb-thrash kernels, disjoint inputs: "
+        "migrate faults from both streams contend on the global "
+        "pending-fault queue"
+    )
+
+    def build(self, device) -> List[StreamKernelSpec]:
+        specs = []
+        for tag in ("a", "b"):
+            wl = MICRO.fresh("tlb-thrash")
+            span = (wl.iters + 1) * wl.num_warps * wl.PAGE_STRIDE
+            src = device.malloc_managed(span, name=f"thrash-in-{tag}")
+            out = device.malloc_managed(
+                wl.num_threads * 4, name=f"thrash-out-{tag}"
+            )
+            # Host writes make the inputs CPU-dirty: every first GPU touch
+            # becomes a MIGRATE fault.  Deterministic contents.
+            device.fill(src, [float(i % 97) for i in range(span // 4)])
+            specs.append(
+                StreamKernelSpec(
+                    kernel=wl.kernel,
+                    grid=wl.grid_dim,
+                    block=wl.block_dim,
+                    args=(src, out),
+                )
+            )
+        return specs
+
+
+class _MixedPair(StreamScenario):
+    """A fault-bound kernel co-resident with a compute-bound one.
+
+    Stream 0 runs ``tlb-thrash`` (migrate-fault train); stream 1 runs
+    ``stream-sum`` over an input that is *also* CPU-dirty but far denser
+    per page, so its few faults queue up behind stream 0's — the
+    cross-kernel queue-position effect docs/CONCURRENCY.md walks through."""
+
+    name = "mixed"
+    description = (
+        "fault-bound tlb-thrash vs denser stream-sum: the victim's few "
+        "faults land deep in the aggressor's queue"
+    )
+
+    def build(self, device) -> List[StreamKernelSpec]:
+        thrash = MICRO.fresh("tlb-thrash")
+        span = (thrash.iters + 1) * thrash.num_warps * thrash.PAGE_STRIDE
+        t_in = device.malloc_managed(span, name="mixed-thrash-in")
+        t_out = device.malloc_managed(
+            thrash.num_threads * 4, name="mixed-thrash-out"
+        )
+        device.fill(t_in, [float(i % 97) for i in range(span // 4)])
+
+        dense = MICRO.fresh("stream-sum")
+        d_bytes = dense.num_threads * dense.iters * 4
+        d_in = device.malloc_managed(d_bytes, name="mixed-sum-in")
+        d_out = device.malloc_managed(
+            dense.num_threads * 4, name="mixed-sum-out"
+        )
+        device.fill(d_in, [float((i * 7) % 13) for i in range(d_bytes // 4)])
+
+        return [
+            StreamKernelSpec(
+                kernel=thrash.kernel, grid=thrash.grid_dim,
+                block=thrash.block_dim, args=(t_in, t_out),
+            ),
+            StreamKernelSpec(
+                kernel=dense.kernel, grid=dense.grid_dim,
+                block=dense.block_dim, args=(d_in, d_out),
+            ),
+        ]
+
+
+#: name -> scenario instance (the ``streams`` experiment's registry)
+STREAM_SCENARIOS: Dict[str, StreamScenario] = {
+    s.name: s for s in (_ThrashPair(), _MixedPair())
+}
+
+STREAM_SCENARIO_NAMES: Sequence[str] = sorted(STREAM_SCENARIOS)
+
+
+def get_stream_scenario(name: str) -> StreamScenario:
+    """Look up a stream scenario by name."""
+    try:
+        return STREAM_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stream scenario {name!r}; "
+            f"known: {list(STREAM_SCENARIO_NAMES)}"
+        ) from None

@@ -1,10 +1,15 @@
 """Public-API hygiene: every public package exports what it claims, every
-public item has a docstring, and the examples' imports resolve."""
+public item has a docstring, the examples' imports resolve, and the
+documentation's relative links point at real files and headings."""
 
 import importlib
 import inspect
+import sys
+from pathlib import Path
 
 import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 PACKAGES = [
     "repro",
@@ -36,6 +41,10 @@ TELEMETRY_MODULES = [
     "repro.chaos.engine",
     "repro.chaos.sanitizer",
     "repro.chaos.watchdog",
+    # The CUDA-like runtime (streams included) is a documented public API:
+    # docs/CONCURRENCY.md leans on these docstrings.
+    "repro.runtime",
+    "repro.runtime.device",
 ]
 
 #: instrumentation hook points: the methods that emit telemetry or host a
@@ -116,6 +125,7 @@ class TestExampleImports:
             "examples/local_fault_handling.py",
             "examples/pipeline_diagrams.py",
             "examples/preemption_latency.py",
+            "examples/multi_stream.py",
             "examples/run_all_experiments.py",
             "examples/telemetry_tour.py",
         ],
@@ -124,6 +134,17 @@ class TestExampleImports:
         import py_compile
 
         py_compile.compile(path, doraise=True)
+
+
+class TestDocLinks:
+    def test_all_relative_doc_links_resolve(self, capsys):
+        sys.path.insert(0, str(REPO_ROOT / "tools"))
+        try:
+            check_doc_links = importlib.import_module("check_doc_links")
+        finally:
+            sys.path.pop(0)
+        broken = check_doc_links.main([str(REPO_ROOT)])
+        assert broken == 0, capsys.readouterr().out
 
 
 class TestVersion:

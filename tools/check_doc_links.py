@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Check relative markdown links (and their #anchors) in the repo docs.
+
+Scans README.md, EXPERIMENTS.md, DESIGN.md, CHANGES.md, ROADMAP.md and
+docs/*.md for inline links ``[text](target)``; external links
+(http/https/mailto) are ignored.  For each relative link it verifies the
+target exists on disk, and when the link carries a fragment
+(``file.md#section`` or the in-file ``#section``) that the target file
+has a heading whose GitHub slug matches.
+
+Run:  python tools/check_doc_links.py [repo-root]
+Exits nonzero listing every broken link.  CI runs this on each push
+(`docs-link-check`), and tests/test_docs_and_api.py runs it in tier-1.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+DOC_GLOBS = [
+    "README.md",
+    "EXPERIMENTS.md",
+    "DESIGN.md",
+    "CHANGES.md",
+    "ROADMAP.md",
+    "docs/*.md",
+]
+
+#: inline links, excluding images; [text](target "title") tolerated
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def strip_code_blocks(text):
+    """Remove fenced code blocks so literal ``[x](y)`` snippets and
+    rendered tables inside ``` fences don't count as links."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        out.append("" if fenced else line)
+    return "\n".join(out)
+
+
+def github_slug(heading):
+    """GitHub's anchor slug: lowercase, strip punctuation (a dash and
+    alphanumerics survive), spaces become dashes."""
+    # drop inline code/emphasis markers and links' brackets first
+    heading = re.sub(r"[`*_]", "", heading)
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    slug = []
+    for ch in heading.strip().lower():
+        if ch.isalnum():
+            slug.append(ch)
+        elif ch in (" ", "-"):
+            slug.append("-")
+        # other punctuation: dropped
+    return "".join(slug)
+
+
+def heading_slugs(path):
+    """All heading anchors a markdown file exposes (with GitHub's ``-N``
+    suffixing for duplicates)."""
+    seen, slugs = {}, set()
+    text = strip_code_blocks(path.read_text(encoding="utf-8"))
+    for line in text.splitlines():
+        m = HEADING_RE.match(line)
+        if not m:
+            continue
+        slug = github_slug(m.group(2))
+        n = seen.get(slug, 0)
+        seen[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(md, root):
+    """Yield ``(link, reason)`` for every broken link in ``md``."""
+    text = strip_code_blocks(md.read_text(encoding="utf-8"))
+    for target in LINK_RE.findall(text):
+        if target.startswith(EXTERNAL):
+            continue
+        path_part, _, fragment = target.partition("#")
+        if path_part:
+            dest = (md.parent / path_part).resolve()
+            if not dest.exists():
+                yield target, f"missing file {path_part}"
+                continue
+        else:
+            dest = md
+        if fragment:
+            if dest.suffix.lower() not in (".md", ".markdown"):
+                continue  # anchor into non-markdown: not checkable
+            if fragment.lower() not in heading_slugs(dest):
+                yield target, (
+                    f"no heading for anchor #{fragment} in "
+                    f"{dest.relative_to(root)}"
+                )
+
+
+def main(argv=None):
+    """CLI entry point: print broken links, return the count."""
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]).resolve() if argv else Path(__file__).parent.parent
+    files = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(root.glob(pattern)))
+    broken = 0
+    for md in files:
+        for target, reason in check_file(md, root):
+            print(f"{md.relative_to(root)}: [{target}] -> {reason}")
+            broken += 1
+    print(f"checked {len(files)} files: "
+          + ("all links ok" if not broken else f"{broken} broken link(s)"))
+    return broken
+
+
+if __name__ == "__main__":
+    sys.exit(1 if main() else 0)
