@@ -1,0 +1,67 @@
+"""Vectorized campaign backend: batch N configurations of one workload.
+
+A sweep over schemes, seeds and fault-latency scales of the *same*
+workload shares almost all of its work — the dynamic trace, the
+instruction-class profile, the first-touch fault sites.  This package
+exploits that: a config-independent :class:`TraceProfile` is built once
+per (workload, paging) pair, per-scheme cost kernels are derived
+symbolically and compiled once (``kernels``), and the whole
+configuration axis is then evaluated either one config at a time through
+the readable scalar reference (``reference`` — the executable spec) or
+as one int64 numpy program (``engine`` — the fast path, validated
+against the reference on a sampled subset of every batch).
+
+The campaign runner dispatches eligible cells here under
+``--backend vectorized`` and falls back to the scalar engine with a
+logged reason otherwise.  docs/VECTORIZATION.md documents the batching
+model, the eligibility rules, the equivalence-validation contract and
+how to add a scheme kernel; docs/PERFORMANCE.md records the measured
+campaign throughput (BENCH_campaign.json).
+"""
+
+from .engine import (
+    SWEEP_COLUMNS,
+    BatchEligibilityError,
+    BatchValidationError,
+    build_sweep_cells,
+    run_sweep,
+    run_sweep_cell,
+    sample_indices,
+)
+from .kernels import cost_vector, fault_jitter, fault_latency, warp_cost_fn
+from .profile import CLASS_NAMES, TraceProfile, build_profile
+from .reference import run_config_reference
+from .spec import (
+    PAGING_MODES,
+    VECTORIZABLE_SCHEMES,
+    SweepConfig,
+    SweepSpec,
+    classify,
+    classify_cell,
+    rows_digest,
+)
+
+__all__ = [
+    "BatchEligibilityError",
+    "BatchValidationError",
+    "CLASS_NAMES",
+    "PAGING_MODES",
+    "SWEEP_COLUMNS",
+    "SweepConfig",
+    "SweepSpec",
+    "TraceProfile",
+    "VECTORIZABLE_SCHEMES",
+    "build_profile",
+    "build_sweep_cells",
+    "classify",
+    "classify_cell",
+    "cost_vector",
+    "fault_jitter",
+    "fault_latency",
+    "rows_digest",
+    "run_config_reference",
+    "run_sweep",
+    "run_sweep_cell",
+    "sample_indices",
+    "warp_cost_fn",
+]

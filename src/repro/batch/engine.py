@@ -1,0 +1,315 @@
+"""Vectorized batch engine: N configurations as one numpy program.
+
+The sweep's whole configuration axis is evaluated at once: per-warp base
+cycles come from each scheme's compiled cost kernel applied to the
+shared counts matrix, fault costs are a ``(configs, sites)`` tensor
+(scaled latency + seeded jitter + scheme overhead) scatter-added onto
+the owning warps, and the warp→block→slot→makespan fold runs as
+``maximum.reduceat`` / ``add.at`` / ``max`` reductions along the batch
+dimension.  All arithmetic is int64, so the result is bit-identical to
+the scalar reference (:mod:`repro.batch.reference`) — and every
+vectorized batch proves it on a deterministically sampled subset before
+returning (docs/VECTORIZATION.md).
+
+:func:`run_sweep` is the backend dispatcher both the campaign runner and
+the CLI use; :func:`run_sweep_cell` is its campaign-cell form (an
+importable module-level callable, as the runner's process isolation
+requires); :func:`build_sweep_cells` shapes a multi-workload sweep into
+campaign cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.harness.results import ExperimentTable
+
+from .kernels import (
+    LAUNCH_OVERHEAD,
+    fault_jitter_array,
+    fault_latency,
+    scheme_params,
+    warp_cost_fn,
+)
+from .profile import NUM_CLASSES, TraceProfile, build_profile
+from .reference import run_config_reference
+from .spec import (
+    SweepConfig,
+    SweepSpec,
+    classify,
+    rows_digest,
+)
+
+#: columns of every sweep table (both backends, identical)
+SWEEP_COLUMNS = ["cycles", "fault-stall", "faults"]
+
+
+class BatchEligibilityError(ValueError):
+    """Raised when the vectorized backend is asked to run an ineligible
+    spec directly (the campaign runner instead falls back to scalar with
+    a logged reason — see docs/VECTORIZATION.md)."""
+
+
+class BatchValidationError(RuntimeError):
+    """Raised when a vectorized batch disagrees with the scalar
+    reference on a sampled configuration — the equivalence contract is
+    broken and the batch result must not be trusted."""
+
+
+def sample_indices(spec: SweepSpec, n_configs: int) -> List[int]:
+    """The deterministically sampled config indices a batch validates.
+
+    Drawn from the sha256 stream of the spec's canonical key — stable
+    across runs and machines, independent of the backend, and covering
+    ``max(2, N // 16)`` distinct configurations (all of them for tiny
+    batches).
+    """
+    if n_configs <= 0:
+        return []
+    want = min(n_configs, max(2, n_configs // 16))
+    picked: List[int] = []
+    seen = set()
+    material = spec.key().encode()
+    digest = hashlib.sha256(material).digest()
+    while len(picked) < want:
+        for i in range(0, len(digest) - 1, 2):
+            idx = int.from_bytes(digest[i:i + 2], "big") % n_configs
+            if idx not in seen:
+                seen.add(idx)
+                picked.append(idx)
+                if len(picked) == want:
+                    break
+        digest = hashlib.sha256(digest).digest()
+    return sorted(picked)
+
+
+def _vectorized_rows(
+    profile: TraceProfile, configs: Sequence[SweepConfig]
+) -> List[List[int]]:
+    """Evaluate every configuration of the batch in one numpy program."""
+    n = len(configs)
+    counts_cols = [profile.counts[:, k] for k in range(NUM_CLASSES)]
+
+    # one compiled kernel evaluation per *distinct* scheme, reused by
+    # every configuration that sweeps it
+    warp_base: Dict[str, np.ndarray] = {}
+    for config in configs:
+        if config.scheme not in warp_base:
+            fn = warp_cost_fn(config.scheme)
+            warp_base[config.scheme] = np.asarray(
+                fn(*counts_cols), dtype=np.int64
+            )
+
+    # (configs, sites) fault-cost tensor; jitter rows are shared between
+    # configurations with the same seed
+    sites = profile.num_fault_sites
+    jitter: Dict[int, np.ndarray] = {}
+    for config in configs:
+        if config.seed not in jitter:
+            jitter[config.seed] = fault_jitter_array(config.seed, sites)
+    flat = np.array(
+        [
+            fault_latency(c.latency_scale)
+            + scheme_params(c.scheme)[1]["fault_overhead"]
+            for c in configs
+        ],
+        dtype=np.int64,
+    )
+    site_cost = (
+        np.stack([jitter[c.seed] for c in configs])
+        if sites
+        else np.zeros((n, 0), dtype=np.int64)
+    ) + flat[:, None]
+    fault_stall = site_cost.sum(axis=1, dtype=np.int64)
+
+    warp_fault = np.zeros((n, profile.num_warps), dtype=np.int64)
+    if sites:
+        np.add.at(
+            warp_fault,
+            (np.arange(n)[:, None], profile.site_warp[None, :]),
+            site_cost,
+        )
+    warp_total = (
+        np.stack([warp_base[c.scheme] for c in configs]) + warp_fault
+    )
+
+    block_cycles = np.maximum.reduceat(
+        warp_total, profile.block_ptr[:-1], axis=1
+    )
+    slot_time = np.zeros((n, profile.slots), dtype=np.int64)
+    np.add.at(
+        slot_time,
+        (np.arange(n)[:, None], profile.slot_of_block[None, :]),
+        block_cycles,
+    )
+    cycles = slot_time.max(axis=1) + LAUNCH_OVERHEAD
+    return [
+        [int(cycles[i]), int(fault_stall[i]), sites] for i in range(n)
+    ]
+
+
+def _validate_sampled(
+    spec: SweepSpec,
+    profile: TraceProfile,
+    configs: Sequence[SweepConfig],
+    rows: Sequence[List[int]],
+    echo: Optional[Callable[[str], None]],
+) -> int:
+    """Prove the batch against the scalar reference on the sampled
+    subset; raises :class:`BatchValidationError` on any mismatch."""
+    indices = sample_indices(spec, len(configs))
+    for i in indices:
+        expected = run_config_reference(profile, configs[i])
+        if list(rows[i]) != expected:
+            raise BatchValidationError(
+                f"vectorized batch diverged from the scalar reference on "
+                f"{configs[i].label}: {list(rows[i])} != {expected} "
+                f"(spec {spec.digest()})"
+            )
+    if echo is not None:
+        echo(
+            f"[batch] {spec.workload}: validated {len(indices)}/"
+            f"{len(configs)} sampled configs against the scalar reference"
+        )
+    return len(indices)
+
+
+def run_sweep(
+    workload: str,
+    schemes: Sequence[str] = ("baseline", "wd-commit", "wd-lastcheck",
+                              "replay-queue"),
+    seeds: Sequence[int] = (0,),
+    latency_scales: Sequence[int] = (100,),
+    paging: str = "demand",
+    chaos: bool = False,
+    backend: str = "scalar",
+    validate: bool = True,
+    echo: Optional[Callable[[str], None]] = None,
+) -> ExperimentTable:
+    """Run one batch sweep and return its table.
+
+    ``backend="scalar"`` evaluates every configuration through the
+    reference implementation; ``backend="vectorized"`` evaluates the
+    whole batch as one numpy program and (unless ``validate=False``)
+    proves a sampled subset against the reference.  The returned table —
+    rows, columns, notes, digest — is bit-identical across backends; an
+    ineligible spec under the vectorized backend raises
+    :class:`BatchEligibilityError` (the campaign runner catches
+    eligibility *before* dispatch and falls back instead).
+    """
+    if backend not in ("scalar", "vectorized"):
+        raise ValueError(f"unknown backend {backend!r}")
+    spec = SweepSpec(
+        workload=workload,
+        schemes=tuple(schemes),
+        seeds=tuple(int(s) for s in seeds),
+        latency_scales=tuple(int(s) for s in latency_scales),
+        paging=paging,
+        chaos=bool(chaos),
+    )
+    if backend == "vectorized":
+        ok, reason = classify(spec)
+        if not ok:
+            raise BatchEligibilityError(reason)
+    profile = build_profile(spec.workload, spec.paging)
+    configs = spec.configs()
+    if backend == "vectorized":
+        rows = _vectorized_rows(profile, configs)
+        if validate:
+            _validate_sampled(spec, profile, configs, rows, echo)
+    else:
+        rows = [
+            run_config_reference(profile, c, chaos=spec.chaos)
+            for c in configs
+        ]
+    labels = [c.label for c in configs]
+    table = ExperimentTable(
+        name=f"sweep-{spec.workload}",
+        description=(
+            f"batch model sweep of {spec.workload} ({spec.paging}): "
+            f"{len(spec.schemes)} schemes x {len(spec.seeds)} seeds x "
+            f"{len(spec.latency_scales)} latency scales"
+        ),
+        columns=list(SWEEP_COLUMNS),
+        show_geomean=False,
+    )
+    for label, row in zip(labels, rows):
+        table.add_row(label, row)
+    table.notes.append(
+        f"rows digest {rows_digest(labels, rows)}; "
+        f"{len(configs)} configs, {profile.num_fault_sites} first-touch "
+        f"fault sites"
+    )
+    return table
+
+
+def run_sweep_cell(
+    workload: str,
+    schemes=None,
+    seeds=None,
+    latency_scales=None,
+    paging: str = "demand",
+    chaos: bool = False,
+    backend: str = "scalar",
+    validate: bool = True,
+) -> ExperimentTable:
+    """Campaign-cell form of :func:`run_sweep`.
+
+    Module-level and JSON-kwargs only, as the campaign runner's process
+    isolation requires.  The ``_batch_sweep`` marker below is what
+    :func:`repro.batch.spec.classify_cell` keys on when the runner
+    decides whether a cell may take the vectorized fast path.
+    """
+    return run_sweep(
+        workload=workload,
+        schemes=tuple(schemes) if schemes else
+        ("baseline", "wd-commit", "wd-lastcheck", "replay-queue"),
+        seeds=tuple(seeds) if seeds else (0,),
+        latency_scales=tuple(latency_scales) if latency_scales else (100,),
+        paging=paging,
+        chaos=chaos,
+        backend=backend,
+        validate=validate,
+    )
+
+
+run_sweep_cell._batch_sweep = True
+
+
+def build_sweep_cells(
+    workloads: Sequence[str],
+    schemes: Sequence[str],
+    seeds: Sequence[int],
+    latency_scales: Sequence[int],
+    paging: str = "demand",
+    chaos: bool = False,
+):
+    """One campaign cell per workload over the shared sweep axes.
+
+    Each workload gets its own group (``sweep-<workload>``) so tables
+    never merge across workloads; row labels inside a group are the
+    config labels, which the spec's canonical axis order keeps unique.
+    """
+    from repro.harness.runner import CampaignCell
+
+    cells = []
+    for wl in workloads:
+        cells.append(
+            CampaignCell(
+                key=f"sweep/{wl}",
+                fn=run_sweep_cell,
+                kwargs={
+                    "workload": wl,
+                    "schemes": list(schemes),
+                    "seeds": [int(s) for s in seeds],
+                    "latency_scales": [int(s) for s in latency_scales],
+                    "paging": paging,
+                    "chaos": bool(chaos),
+                },
+                group=f"sweep-{wl}",
+            )
+        )
+    return cells

@@ -1,0 +1,172 @@
+"""Config-independent trace profiles for the batch timing model.
+
+Everything the batch backend needs from a workload that does *not*
+depend on the swept axes (scheme, seed, latency scale) is extracted once
+per (workload, paging) pair and cached: per-warp instruction-class
+counts, the per-warp dynamic class sequences (the scalar reference's
+per-record input), the global first-touch fault sites, and the
+block/slot structure the makespan fold runs over.
+
+The profile is the expensive part of a sweep — one walk over the full
+dynamic trace — which is why it is shared: the scalar backend then pays
+one per-record Python loop *per configuration* while the vectorized
+backend evaluates all configurations from the counts matrix in a single
+numpy program (docs/VECTORIZATION.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List
+
+import numpy as np
+
+from repro.timing.decode import decode
+from repro.workloads import get_workload
+
+#: instruction classes of the batch model (decode-tuple derived)
+CLS_ALU, CLS_SFU, CLS_LOAD, CLS_STORE, CLS_CTRL, CLS_BAR = range(6)
+NUM_CLASSES = 6
+CLASS_NAMES = ("alu", "sfu", "load", "store", "ctrl", "bar")
+
+#: first-touch faults are tracked at the fault-handling granularity
+#: (64KB groups, mirroring repro.vm.pages.FAULT_GRANULARITY_BYTES)
+FAULT_GROUP_SHIFT = 16
+
+#: segment kinds that demand-fault under each paging mode — the
+#: complement of what repro.system.gpu premaps before launch
+FAULTABLE_KINDS = {
+    "premapped": frozenset(),
+    "demand": frozenset({"input", "output", "inout", "heap", "scratch"}),
+    "demand-output": frozenset({"output", "heap"}),
+    "demand-heap": frozenset({"heap"}),
+}
+
+#: the model's fixed GPU geometry: concurrently resident block slots
+#: (SMs x occupancy); blocks are assigned round-robin in launch order
+MODEL_SLOTS = 32
+
+
+@dataclass
+class TraceProfile:
+    """The config-independent inputs of one (workload, paging) batch.
+
+    ``record_classes`` is the per-warp dynamic class sequence (plain
+    Python ints — the scalar reference walks it record by record);
+    ``counts`` is the same information folded to a ``(num_warps,
+    NUM_CLASSES)`` matrix for the vectorized kernels.  ``site_warp``
+    maps each global first-touch fault site to the warp that takes it,
+    in trace scan order; ``block_ptr``/``slot_of_block`` describe the
+    block structure the makespan fold reduces over.
+    """
+
+    workload: str
+    paging: str
+    num_warps: int
+    num_blocks: int
+    warps_per_block: int
+    slots: int
+    record_classes: List[List[int]]
+    counts: np.ndarray
+    site_warp: np.ndarray
+    block_ptr: np.ndarray
+    slot_of_block: np.ndarray
+    n_records: int
+
+    @property
+    def num_fault_sites(self) -> int:
+        """Number of first-touch fault sites (identical for every config
+        of the batch — the swept axes change fault *cost*, not count)."""
+        return int(self.site_warp.shape[0])
+
+
+def classify_record(dec) -> int:
+    """Map one decode tuple to its batch-model instruction class.
+
+    BAR wins over the control class (it has its own sync cost); LD/ST
+    unit records split into load (atomics included — they complete like
+    loads) and store; remaining control-unit records are ``ctrl``; the
+    SFU unit is ``sfu``; everything else is ``alu``.
+    """
+    if dec[5]:
+        return CLS_BAR
+    if dec[0] == 2:
+        return CLS_STORE if dec[3] else CLS_LOAD
+    if dec[4]:
+        return CLS_CTRL
+    if dec[0] == 1:
+        return CLS_SFU
+    return CLS_ALU
+
+
+@lru_cache(maxsize=32)
+def build_profile(workload: str, paging: str) -> TraceProfile:
+    """Build (and cache) the profile of one (workload, paging) pair.
+
+    One walk over the cached dynamic trace in canonical scan order —
+    block-major, then warp, then record, then address — which fixes the
+    model's first-touch order: the first faultable access to each 64KB
+    fault group (under ``paging``'s premapping rules) charges its warp
+    one fault site.
+    """
+    if paging not in FAULTABLE_KINDS:
+        raise ValueError(
+            f"unknown paging mode {paging!r}; "
+            f"known: {sorted(FAULTABLE_KINDS)}"
+        )
+    wl = get_workload(workload)
+    trace = wl.trace()
+    aspace = wl.make_address_space()
+    faultable = FAULTABLE_KINDS[paging]
+
+    record_classes: List[List[int]] = []
+    count_rows: List[List[int]] = []
+    site_warp: List[int] = []
+    block_ptr: List[int] = [0]
+    seen_groups = set()
+    n_records = 0
+
+    for block in trace.blocks:
+        for warp in block.warps:
+            w = len(record_classes)
+            classes: List[int] = []
+            counts = [0] * NUM_CLASSES
+            for rec in warp.instructions:
+                dec = decode(rec.inst)
+                cls = classify_record(dec)
+                classes.append(cls)
+                counts[cls] += 1
+                n_records += 1
+                if dec[2] and rec.addresses:
+                    for addr in rec.addresses:
+                        group = addr >> FAULT_GROUP_SHIFT
+                        if group in seen_groups:
+                            continue
+                        seen_groups.add(group)
+                        seg = aspace.segment_of(addr)
+                        if seg is not None and seg.kind in faultable:
+                            site_warp.append(w)
+            record_classes.append(classes)
+            count_rows.append(counts)
+        block_ptr.append(len(record_classes))
+
+    num_warps = len(record_classes)
+    num_blocks = len(trace.blocks)
+    slots = min(num_blocks, MODEL_SLOTS) or 1
+    return TraceProfile(
+        workload=workload,
+        paging=paging,
+        num_warps=num_warps,
+        num_blocks=num_blocks,
+        warps_per_block=max(1, num_warps // max(1, num_blocks)),
+        slots=slots,
+        record_classes=record_classes,
+        counts=np.asarray(count_rows, dtype=np.int64).reshape(
+            num_warps, NUM_CLASSES
+        ),
+        site_warp=np.asarray(site_warp, dtype=np.int64),
+        block_ptr=np.asarray(block_ptr, dtype=np.int64),
+        slot_of_block=np.arange(num_blocks, dtype=np.int64) % slots,
+        n_records=n_records,
+    )

@@ -1,0 +1,83 @@
+"""Scalar reference backend: the executable spec of the batch model.
+
+One configuration at a time, record by record, in plain Python integers
+— deliberately the *readable* implementation.  The vectorized engine
+(:mod:`repro.batch.engine`) must reproduce these integers bit for bit;
+every vectorized batch re-runs a sampled subset of its configurations
+through this module and compares exactly (the same fast-path-vs-
+executable-spec pattern the issue stage uses for its reference scan,
+docs/PERFORMANCE.md).
+
+This backend also carries the model features that are *inherently*
+sequential and therefore scalar-only: operand-log occupancy walks and
+chaos latency chains (docs/VECTORIZATION.md, "Eligibility").
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .kernels import (
+    LAUNCH_OVERHEAD,
+    chaos_factors,
+    cost_vector,
+    fault_jitter,
+    fault_latency,
+    operand_log_stalls,
+    scheme_params,
+)
+from .profile import TraceProfile
+from .spec import SweepConfig
+
+
+def run_config_reference(
+    profile: TraceProfile, config: SweepConfig, chaos: bool = False
+) -> List[int]:
+    """Evaluate one configuration of the batch model, scalar form.
+
+    Per warp: walk the dynamic class sequence accumulating the scheme's
+    per-record issue costs (plus, for operand-log schemes, the log
+    occupancy stall walk).  Per fault site: charge the owning warp the
+    scaled resolution latency, the seeded jitter, and the scheme's
+    squash/replay overhead (chaos multiplies in its sequential latency
+    factor).  Fold warps to blocks (max), blocks to resident slots
+    (round-robin sum), slots to the makespan (max + launch overhead).
+
+    Returns the row ``[cycles, fault_stall, faults]`` as exact ints.
+    """
+    family, params, log_kb = scheme_params(config.scheme)
+    costs = cost_vector(config.scheme)
+
+    warp_total: List[int] = []
+    for classes in profile.record_classes:
+        total = 0
+        for cls in classes:
+            total += costs[cls]
+        if family == "operand-log":
+            total += operand_log_stalls(
+                classes, log_kb, profile.warps_per_block
+            )
+        warp_total.append(total)
+
+    latency = fault_latency(config.latency_scale)
+    overhead = params["fault_overhead"]
+    factors = (
+        chaos_factors(config.seed, profile.num_fault_sites)
+        if chaos
+        else None
+    )
+    fault_stall = 0
+    for site, warp in enumerate(profile.site_warp.tolist()):
+        cost = latency + fault_jitter(config.seed, site) + overhead
+        if factors is not None:
+            cost *= factors[site]
+        warp_total[warp] += cost
+        fault_stall += cost
+
+    ptr = profile.block_ptr.tolist()
+    slot_time = [0] * profile.slots
+    for block, slot in enumerate(profile.slot_of_block.tolist()):
+        block_cycles = max(warp_total[ptr[block]:ptr[block + 1]])
+        slot_time[slot] += block_cycles
+    cycles = max(slot_time) + LAUNCH_OVERHEAD
+    return [cycles, fault_stall, profile.num_fault_sites]

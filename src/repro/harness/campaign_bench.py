@@ -1,0 +1,231 @@
+"""Campaign-throughput benchmark with machine-speed calibration.
+
+The vectorized campaign backend (docs/VECTORIZATION.md) is perf-gated
+the same way the hot-loop overhaul is: its headline claim — a 64-config
+scheme x seed x latency sweep of lbm at least 3x faster on
+``--backend vectorized`` than on ``--backend scalar`` — is recorded in
+the committed ``BENCH_campaign.json`` and re-checked by
+``benchmarks/test_bench_campaign.py`` in CI.
+
+The methodology mirrors :mod:`repro.harness.hotloop_bench` exactly:
+every measurement is normalized against a fixed pure-Python calibration
+spin timed on the same interpreter immediately before the run
+(``raw_seconds / spin_seconds``), CPU time is used for both halves of
+the ratio, and best-of-N removes warmup outliers.  What differs is the
+timed region: the dynamic trace and the config-independent
+:class:`repro.batch.TraceProfile` are warmed *before* timing and shared
+by both backends — they are common infrastructure a sweep pays once —
+so the ratio isolates exactly what the backend changes: N scalar
+per-record walks versus one numpy program plus the sampled-subset
+validation walks the equivalence contract requires.
+
+Regenerate the committed record (from the repo root)::
+
+    PYTHONPATH=src python -m repro.harness campaign --update
+
+Both backends' rows must carry the same digest (the benchmark asserts
+it); a digest mismatch means the equivalence contract is broken and no
+throughput number is worth recording.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Optional
+
+from .hotloop_bench import calibration_spin
+
+#: relative tolerance of the CI gate on the normalized scores
+GATE_TOLERANCE = 0.25
+
+#: the documented minimum vectorized-over-scalar speedup (the gate floor)
+MIN_SPEEDUP = 3.0
+
+#: the benchmark sweep: 4 schemes x 8 seeds x 2 latency scales = 64
+#: configurations of one workload — the >=16-config shape the
+#: acceptance contract names, on the same workload the hotloop bench
+#: uses
+CASE = {
+    "workload": "lbm",
+    "paging": "demand",
+    "schemes": ["baseline", "wd-commit", "wd-lastcheck", "replay-queue"],
+    "seeds": [0, 1, 2, 3, 4, 5, 6, 7],
+    "latency_scales": [100, 300],
+}
+
+
+def _sweep(backend: str, case: Optional[Dict] = None):
+    """One sweep of the benchmark case on ``backend`` (validation on,
+    as shipped: the vectorized number must include its contract cost)."""
+    from repro.batch import run_sweep
+
+    case = case or CASE
+    return run_sweep(
+        case["workload"],
+        schemes=tuple(case["schemes"]),
+        seeds=tuple(case["seeds"]),
+        latency_scales=tuple(case["latency_scales"]),
+        paging=case["paging"],
+        backend=backend,
+    )
+
+
+def warm_case(case: Optional[Dict] = None) -> None:
+    """Build the shared infrastructure both backends reuse: the cached
+    dynamic trace, the config-independent profile, and the compiled
+    per-scheme cost kernels (sympy lambdify is a one-off compile cost,
+    cached process-wide — not a per-sweep cost either backend pays)."""
+    from repro.batch import build_profile, cost_vector, warp_cost_fn
+
+    case = case or CASE
+    build_profile(case["workload"], case["paging"])
+    for scheme in case["schemes"]:
+        cost_vector(scheme)
+        warp_cost_fn(scheme)
+
+
+def measure_backend(
+    backend: str, repeats: int = 3, case: Optional[Dict] = None
+) -> Dict:
+    """Best-of-``repeats`` normalized measurement of one backend.
+
+    Spins and sweeps alternate (spin, sweep, spin, sweep, ...) so a load
+    shift mid-measurement biases both halves of the ratio the same way;
+    the profile is warmed before the first spin (see module docstring).
+    """
+    case = case or CASE
+    warm_case(case)
+    runs = []
+    spins = []
+    digest = None
+    for _ in range(max(1, repeats)):
+        spins.append(calibration_spin())
+        t0 = time.process_time()
+        table = _sweep(backend, case)
+        runs.append(time.process_time() - t0)
+        digest = table.notes[0]
+    best_run = min(runs)
+    best_spin = min(spins)
+    configs = (
+        len(case["schemes"]) * len(case["seeds"])
+        * len(case["latency_scales"])
+    )
+    return {
+        "backend": backend,
+        "raw_seconds": round(best_run, 4),
+        "spin_seconds": round(best_spin, 4),
+        "normalized": round(best_run / best_spin, 4),
+        "configs_per_spin": round(configs / (best_run / best_spin), 1),
+        "repeats": max(1, repeats),
+        "digest": digest,
+    }
+
+
+def measure(repeats: int = 3, case: Optional[Dict] = None) -> Dict:
+    """Measure both backends on the benchmark case and fold the record.
+
+    Asserts digest equality between the backends (the equivalence
+    contract) before reporting the speedup.
+    """
+    case = case or CASE
+    scalar = measure_backend("scalar", repeats, case)
+    vectorized = measure_backend("vectorized", repeats, case)
+    if scalar["digest"] != vectorized["digest"]:
+        raise RuntimeError(
+            "backend digests diverged: "
+            f"{scalar['digest']!r} != {vectorized['digest']!r}"
+        )
+    configs = (
+        len(case["schemes"]) * len(case["seeds"])
+        * len(case["latency_scales"])
+    )
+    return {
+        "case": {**{k: v for k, v in case.items()}, "configs": configs},
+        "scalar": scalar,
+        "vectorized": vectorized,
+        "speedup": round(
+            scalar["normalized"] / vectorized["normalized"], 2
+        ),
+    }
+
+
+def bench_path() -> str:
+    """Committed location of the benchmark record (repo root)."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return os.path.join(root, "BENCH_campaign.json")
+
+
+def load_record(path: Optional[str] = None) -> Dict:
+    """Read the committed benchmark record."""
+    with open(path or bench_path()) as fh:
+        return json.load(fh)
+
+
+def save_record(record: Dict, path: Optional[str] = None) -> str:
+    """Write the benchmark record (sorted keys, trailing newline)."""
+    path = path or bench_path()
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def main(argv=None) -> int:
+    """The ``campaign`` subcommand: measure, print, optionally update."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness campaign",
+        description=(
+            "Calibration-normalized campaign-throughput benchmark: the "
+            "64-config benchmark sweep on the scalar and the vectorized "
+            "backend (docs/VECTORIZATION.md); gates the committed "
+            "BENCH_campaign.json."
+        ),
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="write the measurement as BENCH_campaign.json",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE",
+        help="also write the measurement (plus the committed record, "
+             "when present) to FILE — used by the nightly CI artifact",
+    )
+    args = parser.parse_args(argv)
+
+    rec = measure(args.repeats)
+    for backend in ("scalar", "vectorized"):
+        b = rec[backend]
+        print(
+            f"campaign {backend:10s} [{rec['case']['workload']}/"
+            f"{rec['case']['paging']} x{rec['case']['configs']}]: "
+            f"raw={b['raw_seconds']}s spin={b['spin_seconds']}s "
+            f"normalized={b['normalized']} "
+            f"configs/spin={b['configs_per_spin']}"
+        )
+    print(f"speedup vectorized vs scalar: {rec['speedup']:.2f}x "
+          f"(gate floor {MIN_SPEEDUP}x)")
+    if args.update:
+        record = {"schema": 1, **rec}
+        path = save_record(record)
+        print(f"updated {path}")
+    if args.json:
+        try:
+            committed = load_record()
+        except FileNotFoundError:
+            committed = None
+        with open(args.json, "w") as fh:
+            json.dump({"committed": committed, "measured": rec}, fh,
+                      indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,207 @@
+"""Trace-derived figures: counter time series as committed CSV + ASCII.
+
+The telemetry layer already samples every counter and gauge on a fixed
+cycle interval (docs/OBSERVABILITY.md); this module turns three of those
+series into small, diff-able artifacts that live in ``figures/`` next to
+``EXPERIMENTS.md``:
+
+``<workload>-blocks-remaining``
+    the occupancy drain curve (``gpu.blocks.remaining``) — how fast the
+    grid retires under the scheme;
+``<workload>-fault-queue``
+    the shared pending-fault queue depth
+    (``gpu.fault.pending_queue_depth``) — the contention signal the
+    multi-stream experiments reason about;
+``<workload>-commit-rate``
+    committed instructions per cycle, summed over every SM
+    (per-interval delta of ``gpu.sm[*].stats.committed``) — the
+    throughput dip while faults are in flight.
+
+Each figure is written twice: ``.csv`` (``time,value`` rows, the
+machine-readable series) and ``.txt`` (an ASCII bar chart, readable in
+a terminal or a GitHub diff).  The simulator is deterministic, so the
+committed artifacts are reproducible byte-for-byte:
+
+    PYTHONPATH=src python -m repro.harness figures
+
+The Chrome trace / counter-dump files the traced run produces as a side
+effect go to a temporary directory — only the derived figures are kept.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Iterable, List, Sequence, Tuple
+
+Series = List[Tuple[float, float]]
+
+#: (name, description) of every figure the subcommand derives per workload
+FIGURES = (
+    ("blocks-remaining",
+     "occupancy drain: gpu.blocks.remaining over time"),
+    ("fault-queue",
+     "shared pending-fault queue depth: gpu.fault.pending_queue_depth"),
+    ("commit-rate",
+     "committed instructions per cycle, summed over all SMs"),
+)
+
+#: defaults: one fault-light and one fault-bound workload
+DEFAULT_WORKLOADS = ("saxpy", "tlb-thrash")
+DEFAULT_SCHEME = "replay-queue"
+DEFAULT_PAGING = "demand"
+DEFAULT_SAMPLE_INTERVAL = 500.0
+
+#: ASCII chart geometry
+BAR_WIDTH = 40
+MAX_ROWS = 32
+
+
+def _summed_sm_series(counters, leaf: str) -> Series:
+    """Sum one per-SM stat (``gpu.sm[i].<leaf>``) across SMs, per sample."""
+    paths = [
+        p for p in counters.paths()
+        if p.startswith("gpu.sm[") and p.endswith(leaf)
+    ]
+    return [
+        (t, float(sum(snap.get(p, 0.0) for p in paths)))
+        for t, snap in counters.samples
+    ]
+
+
+def _rate(series: Series) -> Series:
+    """Per-interval rate of a cumulative series (delta value / delta t)."""
+    out: Series = []
+    for (t0, v0), (t1, v1) in zip(series, series[1:]):
+        dt = t1 - t0
+        if dt > 0:
+            out.append((t1, (v1 - v0) / dt))
+    return out
+
+
+def _downsample(series: Series, max_rows: int = MAX_ROWS) -> Series:
+    """Thin a series to at most ``max_rows`` points, keeping the last."""
+    if len(series) <= max_rows:
+        return list(series)
+    stride = (len(series) + max_rows - 1) // max_rows
+    thinned = series[::stride]
+    if thinned[-1] != series[-1]:
+        thinned.append(series[-1])
+    return thinned
+
+
+def render_csv(series: Series) -> str:
+    """``time,value`` rows with a header; ``%g`` keeps integers clean."""
+    lines = ["time,value"]
+    lines.extend(f"{t:g},{v:g}" for t, v in series)
+    return "\n".join(lines) + "\n"
+
+
+def render_ascii(title: str, series: Series,
+                 width: int = BAR_WIDTH, max_rows: int = MAX_ROWS) -> str:
+    """A left-axis-time, right-value horizontal bar chart."""
+    rows = _downsample(series, max_rows)
+    peak = max((v for _, v in rows), default=0.0)
+    lines = [title, "=" * len(title)]
+    if not rows:
+        lines.append("(no samples)")
+        return "\n".join(lines) + "\n"
+    t_width = max(len(f"{t:g}") for t, _ in rows)
+    for t, v in rows:
+        bar = "#" * (round(v / peak * width) if peak > 0 else 0)
+        lines.append(f"{t:>{t_width}g} |{bar:<{width}s}| {v:g}")
+    lines.append(f"peak {peak:g} over {len(series)} samples")
+    return "\n".join(lines) + "\n"
+
+
+def derive_series(workload: str, scheme: str = DEFAULT_SCHEME,
+                  paging: str = DEFAULT_PAGING,
+                  sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
+                  ) -> List[Tuple[str, str, Series]]:
+    """Run one traced simulation and derive every figure's series.
+
+    Returns ``[(figure_name, title, series), ...]`` in :data:`FIGURES`
+    order.  The traced run's own disk artifacts go to a temp dir.
+    """
+    from .tracing import run_traced
+
+    with tempfile.TemporaryDirectory(prefix="repro-figures-") as tmp:
+        run = run_traced(
+            workload, scheme=scheme, paging=paging,
+            sample_interval=sample_interval, out_dir=tmp,
+        )
+    counters = run.telemetry.counters
+    tag = f"{workload} ({scheme}/{paging})"
+    return [
+        ("blocks-remaining",
+         f"blocks remaining — {tag}",
+         counters.series("gpu.blocks.remaining")),
+        ("fault-queue",
+         f"pending fault queue depth — {tag}",
+         counters.series("gpu.fault.pending_queue_depth")),
+        ("commit-rate",
+         f"committed insts/cycle (all SMs) — {tag}",
+         _rate(_summed_sm_series(counters, ".stats.committed"))),
+    ]
+
+
+def generate_figures(workloads: Iterable[str] = DEFAULT_WORKLOADS,
+                     scheme: str = DEFAULT_SCHEME,
+                     paging: str = DEFAULT_PAGING,
+                     sample_interval: float = DEFAULT_SAMPLE_INTERVAL,
+                     out_dir: str = "figures") -> List[str]:
+    """Write every figure for every workload; returns the written paths."""
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[str] = []
+    for workload in workloads:
+        for name, title, series in derive_series(
+            workload, scheme=scheme, paging=paging,
+            sample_interval=sample_interval,
+        ):
+            stem = os.path.join(out_dir, f"{workload}-{name}")
+            with open(f"{stem}.csv", "w") as fh:
+                fh.write(render_csv(series))
+            with open(f"{stem}.txt", "w") as fh:
+                fh.write(render_ascii(title, series))
+            written.extend([f"{stem}.csv", f"{stem}.txt"])
+    return written
+
+
+def main(argv: Sequence[str] = None) -> int:
+    """The ``figures`` subcommand."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness figures",
+        description=(
+            "Derive the committed counter-series figures (CSV + ASCII "
+            "chart per figure) from one traced run per workload."
+        ),
+    )
+    parser.add_argument(
+        "workloads", nargs="*", default=list(DEFAULT_WORKLOADS),
+        help=f"workloads to trace (default: {' '.join(DEFAULT_WORKLOADS)})",
+    )
+    parser.add_argument("--scheme", default=DEFAULT_SCHEME)
+    parser.add_argument("--paging", default=DEFAULT_PAGING)
+    parser.add_argument(
+        "--sample-interval", type=float, default=DEFAULT_SAMPLE_INTERVAL,
+        help="cycles between counter samples (default %(default)s)",
+    )
+    parser.add_argument(
+        "--out", default="figures",
+        help="output directory (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    written = generate_figures(
+        args.workloads, scheme=args.scheme, paging=args.paging,
+        sample_interval=args.sample_interval, out_dir=args.out,
+    )
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -45,6 +45,18 @@ the campaign's own ``harness.campaign.*`` counters aggregate through
 method, or a worker-pool setup failure, degrades to the serial
 single-supervisor path with a logged warning — the campaign completes
 either way (``harness.campaign.degraded`` records that it happened).
+
+**Backends.**  ``backend="vectorized"`` routes eligible cells to the
+numpy batch engine (:mod:`repro.batch`): batch-sweep cells whose spec
+passes :func:`repro.batch.spec.classify_cell` get ``backend`` injected
+into their kwargs at dispatch time, everything else — chaos hooks,
+unsupported schemes, cells that are not batch sweeps — falls back to
+the scalar engine with a logged reason.  The injection is *local* to
+the attempt: ``config_hash`` covers the cell's declared kwargs only, so
+checkpoints are shared across backends — justified because the two
+backends are digest-equivalent by contract (docs/VECTORIZATION.md).
+``harness.campaign.vectorized``/``harness.campaign.fallback`` count the
+routing decisions.
 """
 
 from __future__ import annotations
@@ -222,6 +234,7 @@ class CampaignRunner:
         backoff_base: float = 0.5,
         backoff_cap: float = 30.0,
         keep_going: bool = True,
+        backend: str = "scalar",
         sleep: Callable[[float], None] = time.sleep,
         echo: Callable[[str], None] = _default_echo,
     ) -> None:
@@ -235,6 +248,11 @@ class CampaignRunner:
             raise ValueError("max_attempts must be >= 1")
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if backend not in ("scalar", "vectorized"):
+            raise ValueError(
+                f"unknown backend {backend!r} (scalar or vectorized)"
+            )
+        self.backend = backend
         self.cells = list(cells)
         self.workers = workers
         self.out_dir = out_dir
@@ -252,11 +270,13 @@ class CampaignRunner:
         self._degraded = False
         self.counters = CounterRegistry()
         self.counters.metadata.update(
-            campaign="harness", workers=workers, resume=resume
+            campaign="harness", workers=workers, resume=resume,
+            backend=backend,
         )
         for leaf in (
             "cells", "completed", "skipped", "failed", "attempts",
-            "retries", "backoff_seconds", "degraded",
+            "retries", "backoff_seconds", "degraded", "vectorized",
+            "fallback",
         ):
             self.counters.counter(f"harness.campaign.{leaf}")
 
@@ -417,12 +437,37 @@ class CampaignRunner:
         capped)."""
         return min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
 
+    def _dispatch_backend(self, cell: CampaignCell, kwargs: Dict) -> Dict:
+        """Route one cell under ``backend="vectorized"``.
+
+        Eligible batch-sweep cells get ``backend`` injected into their
+        *local* kwargs (``config_hash`` is unchanged, so checkpoints stay
+        shared across backends — the backends are digest-equivalent by
+        contract); ineligible cells keep the scalar engine and the
+        reason is echoed once, per docs/VECTORIZATION.md.
+        """
+        from repro.batch.spec import classify_cell
+
+        ok, reason = classify_cell(cell.fn, kwargs)
+        with self._lock:
+            leaf = "vectorized" if ok else "fallback"
+            self.counters.counter(f"harness.campaign.{leaf}").add(1)
+        if ok:
+            return {**kwargs, "backend": "vectorized"}
+        self._echo(
+            f"[campaign] {cell.key}: vectorized backend ineligible "
+            f"({reason}); using scalar engine"
+        )
+        return kwargs
+
     def _run_cell(self, cell: CampaignCell) -> CellOutcome:
         """Run one cell to completion: crash-isolated attempts, transient
         retries with backoff, hang reseeding.  Returns the outcome with
         its full attempt ledger (never raises)."""
         ledger: List[Dict] = []
         kwargs = dict(cell.kwargs)
+        if self.backend == "vectorized":
+            kwargs = self._dispatch_backend(cell, kwargs)
         started = time.time()
         failure: Optional[ExperimentFailure] = None
         table: Optional[ExperimentTable] = None

@@ -1,0 +1,134 @@
+"""Backend selection in the campaign runner (docs/VECTORIZATION.md).
+
+Pins the dispatch contract: the default stays scalar; under
+``backend="vectorized"`` eligible sweep cells take the fast path and
+everything else degrades to the scalar engine with a logged reason —
+and in every case the merged campaign output is bit-identical to a
+scalar-backend run.
+"""
+
+import argparse
+
+import pytest
+
+from repro.batch import build_sweep_cells
+from repro.harness.results import ExperimentTable
+from repro.harness.runner import CampaignCell, CampaignRunner
+
+
+# ---------------------------------------------------------------------------
+# module-level cell functions (they cross the runner's process boundary)
+# ---------------------------------------------------------------------------
+
+def _plain_cell(tag="row", value=1.0):
+    table = ExperimentTable(name="plain", description="not a sweep",
+                            columns=["v"])
+    table.add_row(tag, [value])
+    return table
+
+
+def _sweep_cells(workloads=("saxpy",), chaos=False,
+                 schemes=("baseline", "replay-queue")):
+    return build_sweep_cells(
+        workloads, schemes=schemes, seeds=[0, 1],
+        latency_scales=[100], chaos=chaos,
+    )
+
+
+def _run(cells, backend, echo=None):
+    runner = CampaignRunner(
+        cells, workers=1, keep_going=True, backend=backend,
+        echo=echo if echo is not None else (lambda msg: None),
+    )
+    return runner
+
+
+class TestDefaults:
+    def test_runner_default_is_scalar(self):
+        runner = _run(_sweep_cells(), backend="scalar")
+        assert runner.backend == "scalar"
+        result = runner.run()
+        assert result.ok
+        snap = runner.counters.snapshot()
+        assert snap["harness.campaign.vectorized"] == 0
+        assert snap["harness.campaign.fallback"] == 0
+
+    def test_cli_default_is_scalar(self):
+        from repro.harness.__main__ import _add_campaign_flags
+
+        parser = argparse.ArgumentParser()
+        _add_campaign_flags(parser)
+        assert parser.parse_args([]).backend == "scalar"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(_sweep_cells(), backend="simd")
+
+    def test_backend_recorded_in_metadata(self):
+        runner = _run(_sweep_cells(), backend="vectorized")
+        assert runner.counters.metadata["backend"] == "vectorized"
+
+
+class TestDispatch:
+    def test_eligible_cells_take_fast_path(self):
+        runner = _run(_sweep_cells(("saxpy", "stream-sum")),
+                      backend="vectorized")
+        result = runner.run()
+        assert result.ok
+        snap = runner.counters.snapshot()
+        assert snap["harness.campaign.vectorized"] == 2
+        assert snap["harness.campaign.fallback"] == 0
+
+    def test_output_bit_identical_across_backends(self):
+        scalar = _run(_sweep_cells(), backend="scalar").run()
+        vector = _run(_sweep_cells(), backend="vectorized").run()
+        assert scalar.ok and vector.ok
+        assert scalar.tables.keys() == vector.tables.keys()
+        for group in scalar.tables:
+            assert (scalar.tables[group].to_dict()
+                    == vector.tables[group].to_dict())
+
+    def test_chaos_cells_degrade_with_logged_reason(self):
+        lines = []
+        runner = _run(_sweep_cells(chaos=True), backend="vectorized",
+                      echo=lines.append)
+        result = runner.run()
+        assert result.ok
+        snap = runner.counters.snapshot()
+        assert snap["harness.campaign.vectorized"] == 0
+        assert snap["harness.campaign.fallback"] == 1
+        logged = [ln for ln in lines if "ineligible" in ln]
+        assert logged and "chaos hooks enabled" in logged[0]
+        assert "sweep/saxpy" in logged[0]
+
+    def test_degraded_chaos_output_matches_scalar(self):
+        scalar = _run(_sweep_cells(chaos=True), backend="scalar").run()
+        vector = _run(_sweep_cells(chaos=True), backend="vectorized").run()
+        for group in scalar.tables:
+            assert (scalar.tables[group].to_dict()
+                    == vector.tables[group].to_dict())
+
+    def test_non_sweep_cells_degrade(self):
+        lines = []
+        cells = [CampaignCell(key="plain/one", fn=_plain_cell,
+                              kwargs={"tag": "row"}, group="plain")]
+        runner = _run(cells, backend="vectorized", echo=lines.append)
+        result = runner.run()
+        assert result.ok
+        snap = runner.counters.snapshot()
+        assert snap["harness.campaign.fallback"] == 1
+        assert any("not a batch sweep cell" in ln for ln in lines)
+
+    def test_mixed_campaign_routes_per_cell(self):
+        """Eligibility is per cell, not per campaign."""
+        cells = _sweep_cells() + [
+            CampaignCell(key="plain/one", fn=_plain_cell,
+                         kwargs={"tag": "row"}, group="plain"),
+        ]
+        runner = _run(cells, backend="vectorized")
+        result = runner.run()
+        assert result.ok
+        snap = runner.counters.snapshot()
+        assert snap["harness.campaign.vectorized"] == 1
+        assert snap["harness.campaign.fallback"] == 1
+        assert set(result.tables) == {"sweep-saxpy", "plain"}

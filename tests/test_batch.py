@@ -1,0 +1,196 @@
+"""Tests for the vectorized batch campaign backend (:mod:`repro.batch`).
+
+The contract under test (docs/VECTORIZATION.md): the vectorized engine
+is a bit-identical fast path over the scalar reference — same rows, same
+notes, same digest — for every eligible spec; ineligible specs are
+refused up front; a diverging batch is caught by the sampled validation
+pass, never silently returned.
+"""
+
+import pytest
+
+from repro.batch import (
+    BatchEligibilityError,
+    BatchValidationError,
+    SweepSpec,
+    VECTORIZABLE_SCHEMES,
+    build_profile,
+    classify,
+    classify_cell,
+    rows_digest,
+    run_sweep,
+    run_sweep_cell,
+    sample_indices,
+)
+from repro.batch import engine as batch_engine
+
+#: a small cross-backend matrix: one fault-free mode, one fault-heavy
+#: workload, plus the partial-fault paging mode
+MATRIX = [
+    ("saxpy", "premapped"),
+    ("saxpy", "demand"),
+    ("stream-sum", "demand"),
+    ("tlb-thrash", "demand"),
+    ("tlb-thrash", "demand-output"),
+]
+
+SWEEP_AXES = dict(seeds=(0, 1), latency_scales=(100, 300))
+
+
+def _not_a_sweep_cell(workload="saxpy"):
+    return None
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workload,paging", MATRIX)
+    def test_backends_bit_identical(self, workload, paging):
+        """Scalar and vectorized sweeps agree byte for byte — rows,
+        labels, notes (digest included)."""
+        scalar = run_sweep(workload, paging=paging, backend="scalar",
+                           **SWEEP_AXES)
+        vector = run_sweep(workload, paging=paging, backend="vectorized",
+                           **SWEEP_AXES)
+        assert scalar.to_dict() == vector.to_dict()
+
+    def test_premapped_takes_no_faults(self):
+        table = run_sweep("saxpy", paging="premapped", backend="vectorized")
+        for row in table.rows.values():
+            assert row[1] == 0  # fault-stall
+            assert row[2] == 0  # faults
+
+    def test_latency_scale_is_monotone(self):
+        """Scaling the fault latency up can only add fault stall."""
+        lo = run_sweep("tlb-thrash", latency_scales=(100,))
+        hi = run_sweep("tlb-thrash", latency_scales=(400,))
+        for label_lo, label_hi in zip(lo.rows, hi.rows):
+            assert hi.rows[label_hi][1] > lo.rows[label_lo][1]
+            assert hi.rows[label_hi][0] >= lo.rows[label_lo][0]
+
+    def test_seed_changes_jitter(self):
+        """Different seeds perturb the fault stall (jitter is seeded)."""
+        table = run_sweep("tlb-thrash", schemes=("replay-queue",),
+                          seeds=(0, 7), backend="vectorized")
+        stalls = [row[1] for row in table.rows.values()]
+        assert stalls[0] != stalls[1]
+
+    def test_validation_catches_corruption(self, monkeypatch):
+        """A diverging vectorized batch must raise, not return."""
+        real = batch_engine._vectorized_rows
+
+        def corrupt(profile, configs):
+            # off-by-one on every row: whichever subset the validator
+            # samples, it must see the divergence
+            return [[row[0] + 1, row[1], row[2]]
+                    for row in real(profile, configs)]
+
+        monkeypatch.setattr(batch_engine, "_vectorized_rows", corrupt)
+        with pytest.raises(BatchValidationError):
+            run_sweep("tlb-thrash", backend="vectorized")
+
+    def test_validation_can_be_bypassed_explicitly(self, monkeypatch):
+        """``validate=False`` exists for the benchmark's cost accounting
+        only — it skips the sampled pass."""
+        calls = []
+        monkeypatch.setattr(
+            batch_engine, "_validate_sampled",
+            lambda *a, **k: calls.append(1),
+        )
+        run_sweep("saxpy", backend="vectorized", validate=False)
+        assert not calls
+
+
+class TestEligibility:
+    def test_chaos_is_scalar_only(self):
+        with pytest.raises(BatchEligibilityError):
+            run_sweep("saxpy", chaos=True, backend="vectorized")
+
+    def test_operand_log_is_scalar_only(self):
+        with pytest.raises(BatchEligibilityError):
+            run_sweep("saxpy", schemes=("operand-log",),
+                      backend="vectorized")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep("saxpy", backend="gpu")
+
+    def test_scalar_runs_the_ineligible_specs(self):
+        """The scalar engine still covers what the fast path refuses."""
+        log = run_sweep("tlb-thrash", schemes=("operand-log",),
+                        backend="scalar")
+        assert len(log.rows) == 1
+        chaos = run_sweep("tlb-thrash", schemes=("replay-queue",),
+                          chaos=True, backend="scalar")
+        plain = run_sweep("tlb-thrash", schemes=("replay-queue",),
+                          chaos=False, backend="scalar")
+        # chaos latency factors only ever inflate fault costs
+        assert (list(chaos.rows.values())[0][1]
+                > list(plain.rows.values())[0][1])
+
+    def test_classify_spec(self):
+        ok, reason = classify(SweepSpec(workload="saxpy"))
+        assert ok and reason == ""
+        ok, reason = classify(SweepSpec(workload="saxpy", chaos=True))
+        assert not ok and "chaos" in reason
+        ok, reason = classify(
+            SweepSpec(workload="saxpy", schemes=("operand-log",))
+        )
+        assert not ok and "operand-log" in reason
+
+    def test_classify_cell(self):
+        ok, _ = classify_cell(
+            run_sweep_cell,
+            {"workload": "saxpy", "schemes": list(VECTORIZABLE_SCHEMES)},
+        )
+        assert ok
+        ok, reason = classify_cell(run_sweep_cell, {"chaos": True})
+        assert not ok and "chaos" in reason
+        ok, reason = classify_cell(
+            run_sweep_cell, {"schemes": ["operand-log"]}
+        )
+        assert not ok and "operand-log" in reason
+        ok, reason = classify_cell(_not_a_sweep_cell, {})
+        assert not ok and "not a batch sweep cell" in reason
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SweepSpec(workload="saxpy", paging="lazy")
+        with pytest.raises(ValueError):
+            SweepSpec(workload="saxpy", schemes=())
+        with pytest.raises(ValueError):
+            SweepSpec(workload="saxpy", latency_scales=(0,))
+
+
+class TestDeterminism:
+    def test_rows_digest_is_stable(self):
+        rows = [[1, 2, 3], [4, 5, 6]]
+        d1 = rows_digest(["a", "b"], rows)
+        d2 = rows_digest(["a", "b"], [list(r) for r in rows])
+        assert d1 == d2
+        assert d1 != rows_digest(["a", "b"], [[1, 2, 3], [4, 5, 7]])
+
+    def test_table_note_carries_digest(self):
+        table = run_sweep("saxpy")
+        assert table.notes and table.notes[0].startswith("rows digest ")
+
+    def test_repeat_runs_identical(self):
+        a = run_sweep("stream-sum", backend="vectorized", **SWEEP_AXES)
+        b = run_sweep("stream-sum", backend="vectorized", **SWEEP_AXES)
+        assert a.to_dict() == b.to_dict()
+
+    def test_sample_indices_properties(self):
+        spec = SweepSpec(workload="saxpy", seeds=(0, 1, 2, 3),
+                         latency_scales=(100, 200))
+        n = len(spec.configs())
+        idx = sample_indices(spec, n)
+        assert idx == sorted(set(idx))
+        assert all(0 <= i < n for i in idx)
+        assert len(idx) == max(2, n // 16)
+        assert idx == sample_indices(spec, n)  # deterministic
+        # tiny batches validate everything they have
+        assert len(sample_indices(spec, 1)) == 1
+        assert sample_indices(spec, 0) == []
+
+    def test_profile_is_cached(self):
+        assert build_profile("saxpy", "demand") is build_profile(
+            "saxpy", "demand"
+        )

@@ -1,0 +1,137 @@
+"""Unit tests for tools/check_doc_links.py's structural checks.
+
+The link/anchor checks are exercised against the real tree by
+tests/test_docs_and_api.py; these tests build tiny synthetic repos under
+``tmp_path`` to pin the two structural checks the vectorization PR
+added: orphaned-docs detection and harness-subcommand validation.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+CHECKER = Path(__file__).resolve().parent.parent / "tools" / "check_doc_links.py"
+
+spec = importlib.util.spec_from_file_location("check_doc_links", CHECKER)
+checker = importlib.util.module_from_spec(spec)
+sys.modules["check_doc_links"] = checker
+spec.loader.exec_module(checker)
+
+
+def make_repo(tmp_path, readme="# Repo\n", docs=None, harness_src=True):
+    """A minimal repo tree: README.md, docs/*.md, and (optionally) the
+    two harness source files the subcommand check parses."""
+    (tmp_path / "README.md").write_text(readme)
+    (tmp_path / "docs").mkdir()
+    for name, text in (docs or {}).items():
+        (tmp_path / "docs" / name).write_text(text)
+    if harness_src:
+        pkg = tmp_path / "src" / "repro" / "harness"
+        pkg.mkdir(parents=True)
+        (pkg / "__main__.py").write_text(
+            'SUBCOMMANDS = (\n    "trace",\n    "sweep",\n)\n'
+        )
+        (pkg / "experiments.py").write_text(
+            'ALL_EXPERIMENTS = {\n    "fig10": run_fig10,\n'
+            '    "table2": run_table2,\n}\n'
+        )
+    return tmp_path
+
+
+class TestOrphanDetection:
+    def test_linked_doc_is_not_orphaned(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme="# Repo\n\nSee [arch](docs/ARCH.md).\n",
+            docs={"ARCH.md": "# Arch\n"},
+        )
+        assert checker.orphaned_docs(root) == []
+
+    def test_unlinked_doc_is_orphaned(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme="# Repo\n\nSee [arch](docs/ARCH.md).\n",
+            docs={"ARCH.md": "# Arch\n", "LOST.md": "# Lost\n"},
+        )
+        orphans = checker.orphaned_docs(root)
+        assert [p.name for p in orphans] == ["LOST.md"]
+        assert checker.main([str(root)]) == 1
+
+    def test_transitive_links_count(self, tmp_path):
+        """Reachability is transitive: README -> A -> B keeps B alive."""
+        root = make_repo(
+            tmp_path,
+            readme="# Repo\n\nSee [a](docs/A.md).\n",
+            docs={
+                "A.md": "# A\n\nAnd [b](B.md).\n",
+                "B.md": "# B\n",
+            },
+        )
+        assert checker.orphaned_docs(root) == []
+
+    def test_link_inside_code_fence_does_not_count(self, tmp_path):
+        """A fenced ``[x](y)`` snippet is not a real link; a doc only
+        'linked' that way is still an orphan."""
+        root = make_repo(
+            tmp_path,
+            readme="# Repo\n\n```\n[a](docs/A.md)\n```\n",
+            docs={"A.md": "# A\n"},
+        )
+        assert [p.name for p in checker.orphaned_docs(root)] == ["A.md"]
+
+
+class TestHarnessCommandValidation:
+    def test_known_set_is_parsed_textually(self, tmp_path):
+        root = make_repo(tmp_path)
+        known = checker.known_subcommands(root)
+        # SUBCOMMANDS + ALL_EXPERIMENTS keys + the extra dispatch targets
+        assert known == {"trace", "sweep", "fig10", "table2",
+                         "all", "table1", "diagrams"}
+
+    def test_valid_commands_pass(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme=(
+                "# Repo\n\n```\npython -m repro.harness sweep lbm\n"
+                "python -m repro.harness fig10 --quick\n"
+                "python -m repro.harness --help\n"
+                "python -m repro.harness <experiment>\n```\n"
+                "Inline `python -m repro.harness trace` too.\n"
+            ),
+        )
+        assert checker.main([str(root)]) == 0
+
+    def test_unknown_subcommand_fails(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme="# Repo\n\n```\npython -m repro.harness frobnicate\n```\n",
+        )
+        assert checker.main([str(root)]) == 1
+
+    def test_code_fences_are_checked(self, tmp_path):
+        """Commands live inside fences — the check must NOT strip them
+        the way the link check does."""
+        root = make_repo(
+            tmp_path,
+            readme="# Repo\n\n```sh\npython -m repro.harness nope\n```\n",
+        )
+        found = list(checker.check_harness_commands(
+            root / "README.md", checker.known_subcommands(root)
+        ))
+        assert len(found) == 1
+        assert "nope" in found[0][1]
+
+    def test_missing_source_tree_skips_check(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme="# Repo\n\n```\npython -m repro.harness frobnicate\n```\n",
+            harness_src=False,
+        )
+        assert checker.known_subcommands(root) is None
+        assert checker.main([str(root)]) == 0
+
+
+class TestRealTree:
+    def test_repo_docs_are_clean(self):
+        """The shipping tree passes the extended checker end to end."""
+        assert checker.main([str(CHECKER.parent.parent)]) == 0

@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.harness",
     "repro.telemetry",
     "repro.chaos",
+    "repro.batch",
 ]
 
 #: telemetry/chaos modules whose *entire* public surface (classes,

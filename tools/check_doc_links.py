@@ -8,6 +8,20 @@ target exists on disk, and when the link carries a fragment
 (``file.md#section`` or the in-file ``#section``) that the target file
 has a heading whose GitHub slug matches.
 
+Two structural checks ride along:
+
+- **orphan detection** — every ``docs/*.md`` page must be reachable from
+  ``README.md`` by following relative markdown links (a page nothing
+  links to is dead documentation);
+- **harness-command validation** — every ``python -m repro.harness
+  <sub>`` invocation in the docs (code fences included — that's where
+  commands live) must name a real subcommand.  The known set is parsed
+  *textually* from ``src/repro/harness/__main__.py`` (the
+  ``SUBCOMMANDS`` tuple) and ``src/repro/harness/experiments.py`` (the
+  ``ALL_EXPERIMENTS`` keys) — no import, because the CI docs-link-check
+  job installs no numpy.  When the source tree is absent the check is
+  skipped.
+
 Run:  python tools/check_doc_links.py [repo-root]
 Exits nonzero listing every broken link.  CI runs this on each push
 (`docs-link-check`), and tests/test_docs_and_api.py runs it in tier-1.
@@ -30,6 +44,13 @@ DOC_GLOBS = [
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 HEADING_RE = re.compile(r"^(#{1,6})\s+(.*)$")
 EXTERNAL = ("http://", "https://", "mailto:")
+
+#: a documented harness invocation and its first argument (if any)
+HARNESS_RE = re.compile(r"python -m repro\.harness(?:\s+(\S+))?")
+
+#: dispatch targets of ``python -m repro.harness`` that are neither in
+#: the SUBCOMMANDS tuple nor ALL_EXPERIMENTS keys
+EXTRA_SUBCOMMANDS = {"all", "table1", "diagrams"}
 
 
 def strip_code_blocks(text):
@@ -100,6 +121,72 @@ def check_file(md, root):
                 )
 
 
+def known_subcommands(root):
+    """The set of valid ``python -m repro.harness`` first arguments,
+    parsed textually (no import — the CI docs-link-check job installs no
+    numpy, so the harness package cannot be imported there).  Returns
+    ``None`` when the source tree is absent, meaning "skip the check"."""
+    main_py = root / "src" / "repro" / "harness" / "__main__.py"
+    exp_py = root / "src" / "repro" / "harness" / "experiments.py"
+    if not main_py.exists() or not exp_py.exists():
+        return None
+    names = set(EXTRA_SUBCOMMANDS)
+    m = re.search(r"SUBCOMMANDS\s*=\s*\(([^)]*)\)",
+                  main_py.read_text(encoding="utf-8"))
+    if m:
+        names.update(re.findall(r"\"([^\"]+)\"", m.group(1)))
+    m = re.search(r"ALL_EXPERIMENTS\s*=\s*\{([^}]*)\}",
+                  exp_py.read_text(encoding="utf-8"))
+    if m:
+        names.update(re.findall(r"\"([^\"]+)\"\s*:", m.group(1)))
+    return names
+
+
+def check_harness_commands(md, known):
+    """Yield ``(snippet, reason)`` for every documented harness
+    invocation whose first argument names no real subcommand.  Runs on
+    the *raw* text — commands live inside code fences."""
+    text = md.read_text(encoding="utf-8")
+    for m in HARNESS_RE.finditer(text):
+        token = (m.group(1) or "").strip("`'\"),.:;")
+        if not token or token.startswith(("-", "<")):
+            continue  # bare/--flag/placeholder invocation: nothing to name
+        if token not in known:
+            yield m.group(0), f"unknown harness subcommand {token!r}"
+
+
+def reachable_from_readme(root):
+    """Every markdown file reachable from README.md by following
+    relative links (resolved paths), code fences excluded."""
+    seen = set()
+    queue = [(root / "README.md").resolve()]
+    while queue:
+        md = queue.pop()
+        if md in seen or not md.exists():
+            continue
+        seen.add(md)
+        text = strip_code_blocks(md.read_text(encoding="utf-8"))
+        for target in LINK_RE.findall(text):
+            if target.startswith(EXTERNAL):
+                continue
+            path_part = target.partition("#")[0]
+            if not path_part:
+                continue
+            dest = (md.parent / path_part).resolve()
+            if dest.suffix.lower() in (".md", ".markdown"):
+                queue.append(dest)
+    return seen
+
+
+def orphaned_docs(root):
+    """``docs/*.md`` pages no link chain from README.md reaches."""
+    reached = reachable_from_readme(root)
+    return [
+        md for md in sorted((root / "docs").glob("*.md"))
+        if md.resolve() not in reached
+    ]
+
+
 def main(argv=None):
     """CLI entry point: print broken links, return the count."""
     argv = sys.argv[1:] if argv is None else argv
@@ -108,12 +195,21 @@ def main(argv=None):
     for pattern in DOC_GLOBS:
         files.extend(sorted(root.glob(pattern)))
     broken = 0
+    known = known_subcommands(root)
     for md in files:
         for target, reason in check_file(md, root):
             print(f"{md.relative_to(root)}: [{target}] -> {reason}")
             broken += 1
+        if known is not None:
+            for snippet, reason in check_harness_commands(md, known):
+                print(f"{md.relative_to(root)}: [{snippet}] -> {reason}")
+                broken += 1
+    for md in orphaned_docs(root):
+        print(f"{md.relative_to(root)}: orphaned — no link chain from "
+              "README.md reaches it")
+        broken += 1
     print(f"checked {len(files)} files: "
-          + ("all links ok" if not broken else f"{broken} broken link(s)"))
+          + ("all links ok" if not broken else f"{broken} problem(s)"))
     return broken
 
 
