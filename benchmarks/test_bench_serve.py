@@ -1,0 +1,119 @@
+"""Serving-layer perf guard: BENCH_serve.json vs. this tree.
+
+Mirrors ``benchmarks/test_bench_campaign.py`` (docs/PERFORMANCE.md),
+with one twist: the containment section of the committed record is
+*deterministic*, so it is re-verified everywhere by exact digest —
+same seed, bit-identical virtual-time run — while only the wall-clock
+throughput section hides behind the ``REPRO_PERF_GATE=1``
+±`GATE_TOLERANCE` calibration-normalized gate.
+
+- record sanity runs everywhere: the committed record must be complete,
+  containment must hold (storm tenant quarantined with structured
+  rejections, every steady tenant's p99 within the bound), and the
+  normalized throughput arithmetic must be self-consistent;
+- the containment-reproduction test re-runs the committed seed through
+  the virtual-time driver and requires digest equality with the record;
+- the perf gate re-measures normalized throughput on this machine and
+  compares against the committed record.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.harness import serve_bench as sb
+
+GATE = os.environ.get("REPRO_PERF_GATE", "") == "1"
+
+
+@pytest.fixture(scope="module")
+def record():
+    return sb.load_record()
+
+
+class TestCommittedRecord:
+    def test_entries_present_and_complete(self, record):
+        assert record.get("schema") == 1
+        t = record.get("throughput")
+        assert t, "BENCH_serve.json is missing the throughput section"
+        for field in ("raw_seconds", "spin_seconds", "normalized",
+                      "kernels_per_spin", "kernels_per_sec_wall",
+                      "executed_kernels", "repeats"):
+            assert field in t, f"throughput.{field} missing"
+        c = record.get("containment")
+        assert c, "BENCH_serve.json is missing the containment section"
+        for field in ("seed", "p99_bound", "contained", "steady",
+                      "storm_quarantines", "storm_rejections",
+                      "cache_hit_rate", "baseline_digest",
+                      "chaotic_digest"):
+            assert field in c, f"containment.{field} missing"
+
+    def test_containment_holds_in_committed_record(self, record):
+        """The committed record must document successful containment: a
+        quarantined storm tenant shedding structured rejections while
+        every steady tenant's p99 stays within the bound."""
+        c = record["containment"]
+        assert c["contained"] is True
+        assert c["storm_quarantines"] >= 1
+        assert c["storm_breaker"] == "open"
+        assert c["storm_rejections"].get("quarantined", 0) > 0
+        assert c["steady"], "no steady tenants recorded"
+        for name, s in c["steady"].items():
+            assert s["within_bound"], f"{name} outside the p99 bound"
+            assert s["ratio"] <= c["p99_bound"]
+
+    def test_cache_hit_rate_recorded(self, record):
+        rate = record["containment"]["cache_hit_rate"]
+        assert 0.0 < rate < 1.0
+
+    def test_normalized_is_consistent(self, record):
+        t = record["throughput"]
+        assert t["normalized"] == pytest.approx(
+            t["raw_seconds"] / t["spin_seconds"], rel=0.01
+        )
+        assert t["kernels_per_spin"] == pytest.approx(
+            t["executed_kernels"] / t["normalized"], rel=0.01
+        )
+
+
+class TestContainmentReproduction:
+    def test_committed_seed_reproduces_bit_identically(self, record):
+        """Re-run the committed containment experiment: same seed must
+        give byte-identical virtual-time reports (digests included)."""
+        c = record["containment"]
+        measured = sb.measure_containment({"seed": c["seed"]})
+        assert measured["baseline_digest"] == c["baseline_digest"]
+        assert measured["chaotic_digest"] == c["chaotic_digest"]
+        assert measured["steady"] == c["steady"]
+        assert measured["storm_rejections"] == c["storm_rejections"]
+        assert measured["cache_hit_rate"] == c["cache_hit_rate"]
+
+
+@pytest.mark.skipif(not GATE, reason="set REPRO_PERF_GATE=1 (CI perf-guard)")
+class TestPerfGate:
+    def test_throughput_within_gate(self, record):
+        """Re-measure this machine; the calibration-normalized
+        throughput must be within the gate band of the committed
+        record."""
+        measured = sb.measure_throughput(repeats=3)
+        out = os.environ.get("REPRO_PERF_GATE_OUT")
+        if out:
+            with open(out, "w") as fh:
+                json.dump({"committed": record, "measured": measured},
+                          fh, indent=1, sort_keys=True)
+                fh.write("\n")
+        committed = record["throughput"]["normalized"]
+        band = committed * sb.GATE_TOLERANCE
+        lo, hi = committed - band, committed + band
+        got = measured["normalized"]
+        assert lo <= got <= hi, (
+            f"serve normalized throughput {got:.3f} outside "
+            f"[{lo:.3f}, {hi:.3f}] (committed {committed:.3f} "
+            f"±{sb.GATE_TOLERANCE:.0%}); a real regression must be "
+            f"fixed, a real improvement re-recorded with "
+            f"`python -m repro.harness serve-bench --update`"
+        )
+        assert measured["executed_kernels"] == (
+            record["throughput"]["executed_kernels"]
+        )

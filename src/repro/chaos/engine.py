@@ -36,6 +36,17 @@ Hook taxonomy (``ALL_HOOKS``):
 ``dram.refresh_storm``
     block the shared DRAM bandwidth pipe for a burst of cycles — a
     refresh storm stealing the pipe from demand traffic.
+``runtime.alloc_fail``
+    fail one managed allocation at the runtime facade — a transiently
+    exhausted driver heap (:class:`repro.runtime.AllocationFailure`).
+``runtime.stream_teardown``
+    tear a stream down mid-kernel at device-synchronize time: queued
+    launches stay queued and the synchronize raises a structured,
+    retryable :class:`repro.runtime.StreamTeardownError`.
+
+The two ``runtime.*`` hooks fire at the host-side facade, not inside the
+simulator, so a device-level engine never perturbs a simulation's own
+injection stream — give :class:`repro.runtime.GpuDevice` its own engine.
 
 Every injection increments a ``chaos.<hook>`` counter and emits one
 ``chaos.inject`` telemetry event (rare-ring, so campaigns are traceable
@@ -61,6 +72,8 @@ ALL_HOOKS = (
     "sm.squash_replay",
     "cache.mshr_exhaustion",
     "dram.refresh_storm",
+    "runtime.alloc_fail",
+    "runtime.stream_teardown",
 )
 
 
@@ -92,6 +105,8 @@ class ChaosConfig:
     mshr_stall_max_cycles: float = 400.0
     refresh_storm_rate: float = 0.001
     refresh_storm_max_cycles: float = 600.0
+    alloc_fail_rate: float = 0.02
+    stream_teardown_rate: float = 0.01
 
     def scaled(self, intensity: float) -> "ChaosConfig":
         """Scale every *rate* by ``intensity`` (clamped to probability 1);
@@ -264,6 +279,22 @@ class ChaosEngine:
         block = self._rng.random() * cfg.refresh_storm_max_cycles
         self._fire("dram.refresh_storm", time, block=round(block, 1))
         return block
+
+    def alloc_failure(self, time: float, nbytes: int) -> bool:
+        """Fail this managed allocation at the runtime facade (the caller
+        raises a structured, retryable error)."""
+        if self._rng.random() >= self.config.alloc_fail_rate:
+            return False
+        self._fire("runtime.alloc_fail", time, nbytes=nbytes)
+        return True
+
+    def stream_teardown(self, time: float, stream: int) -> bool:
+        """Tear ``stream`` down mid-kernel at device-synchronize time
+        (the caller re-queues the work and raises a retryable error)."""
+        if self._rng.random() >= self.config.stream_teardown_rate:
+            return False
+        self._fire("runtime.stream_teardown", time, stream=stream)
+        return True
 
     def __repr__(self) -> str:
         return (

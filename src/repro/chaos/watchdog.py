@@ -44,6 +44,18 @@ class HangDiagnostic:
     warp_states: Dict[str, List[Dict]] = field(default_factory=dict)
     telemetry_summary: Optional[Dict] = None
 
+    def stuck_kernels(self) -> List[int]:
+        """Kernel ids with at least one live (not-done) warp at hang
+        time, sorted — in a multi-kernel run this names the offending
+        launch(es) instead of just the SM."""
+        kernels = {
+            w["kernel"]
+            for warps in self.warp_states.values()
+            for w in warps
+            if "kernel" in w and not w.get("done")
+        }
+        return sorted(kernels)
+
     def render(self) -> str:
         """Human-readable dump (the exception message)."""
         out = [
@@ -59,8 +71,12 @@ class HangDiagnostic:
             stuck = [w for w in warps if not w.get("done")]
             out.append(f"  {tid}: {len(stuck)} live warps")
             for w in stuck[:8]:
+                kernel = (
+                    f" kernel={w['kernel']}" if "kernel" in w else ""
+                )
                 out.append(
-                    f"    warp {w['warp']}: idx {w['idx']}/{w['trace_len']}"
+                    f"    warp {w['warp']}:{kernel}"
+                    f" idx {w['idx']}/{w['trace_len']}"
                     f" inflight={w['inflight']} holds={w['fetch_holds']}"
                     f" barrier={w['at_barrier']} replays={w['replays']}"
                 )

@@ -57,6 +57,7 @@ SUBCOMMANDS = (
     "sweep",
     "figures",
     "campaign",
+    "serve-bench",
 )
 
 
@@ -124,12 +125,27 @@ def _trace_main(argv) -> int:
     return 0
 
 
+def _workers_spec(value: str):
+    """``--workers`` values: a positive int or the literal ``auto``
+    (resolved from ``os.cpu_count()`` by the runner, logged)."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        )
+
+
 def _add_campaign_flags(parser) -> None:
     """The campaign-runner knobs shared by the experiment and chaos-soak
     paths: parallelism, checkpoint directory, resume, retry policy."""
     parser.add_argument(
-        "--workers", type=int, default=1,
-        help="parallel shards (output is bit-identical for any N)",
+        "--workers", type=_workers_spec, default="auto", metavar="N|auto",
+        help="parallel shards (output is bit-identical for any N); "
+             "'auto' derives the count from os.cpu_count(), clamped "
+             "(default: auto)",
     )
     parser.add_argument(
         "--out", default=None, metavar="DIR",
@@ -549,6 +565,10 @@ def main(argv=None) -> int:
         from .campaign_bench import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        from .serve_bench import main as serve_main
+
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",

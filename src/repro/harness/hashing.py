@@ -1,0 +1,41 @@
+"""Canonical content hashing shared by checkpoints and the serve cache.
+
+One hashing convention, used everywhere a result must be addressed by
+the inputs that produced it:
+
+- the campaign runner's checkpoint identity
+  (:meth:`repro.harness.runner.CampaignCell.config_hash`), where a
+  checkpoint is valid for ``--resume`` only while the cell's hash still
+  matches;
+- the serving layer's content-addressed result cache
+  (:class:`repro.serve.cache.ResultCache`), where two identical
+  submissions must map to the same entry.
+
+The hash is SHA-256 over the canonical JSON encoding of the payload
+(sorted keys, ``repr`` fallback for non-JSON values), truncated to 16
+hex characters — collision-safe at campaign/cache scale while keeping
+filenames and log lines readable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+#: hex digits kept from the SHA-256 digest (64 bits)
+HASH_WIDTH = 16
+
+
+def canonical_blob(payload) -> str:
+    """The canonical JSON encoding hashed by :func:`content_hash`."""
+    return json.dumps(payload, sort_keys=True, default=repr)
+
+
+def content_hash(payload) -> str:
+    """Deterministic 16-hex-char content address of ``payload``.
+
+    Equal payloads (up to JSON canonicalization) hash equal; any change
+    to a value that survives the encoding changes the hash.
+    """
+    blob = canonical_blob(payload)
+    return hashlib.sha256(blob.encode()).hexdigest()[:HASH_WIDTH]

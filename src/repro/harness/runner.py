@@ -61,13 +61,12 @@ routing decisions.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.telemetry.counters import CounterRegistry, merge_dumps
 
@@ -76,6 +75,7 @@ from .experiments import (
     UNSHARDED_EXPERIMENTS,
     experiment_workloads,
 )
+from .hashing import content_hash
 from .isolation import (
     ExperimentFailure,
     process_isolation_available,
@@ -90,6 +90,43 @@ TRANSIENT_KINDS = frozenset({"Timeout", "SimulationHang", "ChildCrash"})
 
 #: checkpoint/manifest schema version (bump on incompatible change)
 CHECKPOINT_VERSION = 1
+
+#: upper clamp of ``workers="auto"`` — each worker thread babysits one
+#: crash-isolated child process, and the bundled campaigns stop scaling
+#: well before the core counts of large CI machines
+AUTO_WORKERS_CAP = 8
+
+
+def _default_echo(message: str) -> None:
+    """Default progress/warning sink: one line to stderr."""
+    import sys
+
+    print(message, file=sys.stderr)
+
+
+def resolve_workers(
+    workers: Union[int, str],
+    echo: Callable[[str], None] = _default_echo,
+) -> int:
+    """Resolve a worker-count spec to a concrete count.
+
+    An int passes through untouched; ``"auto"`` derives the count from
+    ``os.cpu_count()`` clamped to ``[1, AUTO_WORKERS_CAP]`` and logs the
+    decision (output is bit-identical for any worker count, so the
+    resolution never affects results — only wall-clock)."""
+    if isinstance(workers, str):
+        if workers != "auto":
+            raise ValueError(
+                f"workers must be an int or 'auto', not {workers!r}"
+            )
+        cpus = os.cpu_count() or 1
+        resolved = max(1, min(AUTO_WORKERS_CAP, cpus))
+        echo(
+            f"[campaign] workers=auto -> {resolved} "
+            f"(cpu_count={cpus}, cap={AUTO_WORKERS_CAP})"
+        )
+        return resolved
+    return workers
 
 
 @dataclass(frozen=True)
@@ -123,8 +160,7 @@ class CampaignCell:
             "group": self.group,
             "row_prefix": self.row_prefix,
         }
-        blob = json.dumps(payload, sort_keys=True, default=repr)
-        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+        return content_hash(payload)
 
 
 @dataclass
@@ -205,13 +241,6 @@ def build_all_cells(
     return cells
 
 
-def _default_echo(message: str) -> None:
-    """Default progress/warning sink: one line to stderr."""
-    import sys
-
-    print(message, file=sys.stderr)
-
-
 class CampaignRunner:
     """Executes a list of :class:`CampaignCell`\\ s with sharding,
     checkpoints, retry/backoff and graceful degradation (module
@@ -226,7 +255,7 @@ class CampaignRunner:
         self,
         cells: Sequence[CampaignCell],
         *,
-        workers: int = 1,
+        workers: Union[int, str] = 1,
         out_dir: Optional[str] = None,
         resume: bool = False,
         timeout: Optional[float] = None,
@@ -246,6 +275,7 @@ class CampaignRunner:
             raise ValueError("resume requires an out_dir to resume from")
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        workers = resolve_workers(workers, echo)
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if backend not in ("scalar", "vectorized"):
@@ -276,7 +306,7 @@ class CampaignRunner:
         for leaf in (
             "cells", "completed", "skipped", "failed", "attempts",
             "retries", "backoff_seconds", "degraded", "vectorized",
-            "fallback",
+            "fallback", "torn",
         ):
             self.counters.counter(f"harness.campaign.{leaf}")
 
@@ -293,10 +323,33 @@ class CampaignRunner:
             self._cells_dir(), f"{safe}.{cell.config_hash()}.json"
         )
 
-    def _load_checkpoint(self, cell: CampaignCell) -> Optional[CellOutcome]:
+    def _manifest_entries(self) -> Dict[str, Dict]:
+        """The previous run's ``manifest.json`` cells keyed by cell key
+        (empty when no readable manifest exists).  Used on resume to
+        corroborate checkpoints: a checkpoint the manifest never
+        acknowledged is a *torn* write — the driver died between the
+        checkpoint write and the manifest rewrite."""
+        path = os.path.join(self.out_dir, "manifest.json")
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return {}
+        return {
+            entry["key"]: entry
+            for entry in data.get("cells", [])
+            if isinstance(entry, dict) and "key" in entry
+        }
+
+    def _load_checkpoint(
+        self, cell: CampaignCell, manifest: Dict[str, Dict]
+    ) -> Optional[CellOutcome]:
         """Restore a cell from its checkpoint, or ``None`` when it must
         (re)run: no checkpoint, truncated/corrupt JSON, config-hash
-        mismatch, or a recorded failure (failures always re-execute)."""
+        mismatch, a recorded failure (failures always re-execute), or a
+        torn write — a valid checkpoint the manifest never corroborated
+        (the driver died between the two writes), which is surfaced as
+        stale-and-rerun instead of silently trusted."""
         path = self._checkpoint_path(cell)
         try:
             with open(path) as fh:
@@ -313,6 +366,19 @@ class CampaignRunner:
         try:
             table = ExperimentTable.from_dict(data["table"])
         except (KeyError, TypeError, ValueError):
+            return None
+        entry = manifest.get(cell.key)
+        if (
+            entry is None
+            or entry.get("status") not in ("ok", "restored")
+            or entry.get("config_hash") != cell.config_hash()
+        ):
+            self.counters.counter("harness.campaign.torn").add(1)
+            self._echo(
+                f"[campaign] {cell.key}: checkpoint not corroborated by "
+                "the manifest (torn write: driver died between checkpoint "
+                "and manifest rewrite); treating as stale and re-running"
+            )
             return None
         return CellOutcome(
             cell=cell,
@@ -576,9 +642,13 @@ class CampaignRunner:
         :class:`CampaignResult` (never raises for cell failures — they
         are data, reported in ``failures``)."""
         self.counters.counter("harness.campaign.cells").add(len(self.cells))
+        manifest = self._manifest_entries() if self.resume else {}
         pending: List[CampaignCell] = []
         for cell in self.cells:
-            restored = self._load_checkpoint(cell) if self.resume else None
+            restored = (
+                self._load_checkpoint(cell, manifest) if self.resume
+                else None
+            )
             if restored is not None:
                 self._record(restored)
             else:

@@ -2,19 +2,23 @@
 CUDA-stream-like concurrent kernel launches (docs/CONCURRENCY.md)."""
 
 from .device import (
+    AllocationFailure,
     DevicePointer,
     GpuDevice,
     LaunchResult,
     RuntimeError_,
     Stream,
     StreamLaunchHandle,
+    StreamTeardownError,
 )
 
 __all__ = [
+    "AllocationFailure",
     "DevicePointer",
     "GpuDevice",
     "LaunchResult",
     "RuntimeError_",
     "Stream",
     "StreamLaunchHandle",
+    "StreamTeardownError",
 ]

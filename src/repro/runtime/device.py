@@ -60,6 +60,34 @@ class RuntimeError_(Exception):
     """Raised on misuse of the device API."""
 
 
+class AllocationFailure(RuntimeError_):
+    """A managed allocation failed transiently (chaos-injected driver
+    heap exhaustion).  Structured and retryable: the device stays fully
+    usable and a repeated ``malloc_managed`` may succeed."""
+
+    def __init__(self, nbytes: int) -> None:
+        self.nbytes = nbytes
+        super().__init__(
+            f"managed allocation of {nbytes}B failed transiently "
+            "(chaos: runtime.alloc_fail)"
+        )
+
+
+class StreamTeardownError(RuntimeError_):
+    """A stream was torn down mid-kernel at synchronize time
+    (chaos-injected).  Structured and retryable: the queued launches
+    remain queued, so a repeated ``synchronize`` resumes them."""
+
+    def __init__(self, stream: int, pending: int) -> None:
+        self.stream = stream
+        self.pending = pending
+        super().__init__(
+            f"stream {stream} torn down mid-kernel with {pending} "
+            "launch(es) queued (chaos: runtime.stream_teardown); "
+            "re-synchronize to resume"
+        )
+
+
 @dataclass(frozen=True)
 class DevicePointer:
     """An opaque handle to a managed allocation."""
@@ -164,7 +192,16 @@ class GpuDevice:
         heap_bytes: int = 0,
         heap_arenas: int = 256,
         time_scale: float = 1.0,
+        chaos=None,
     ) -> None:
+        # A device-level engine drives the runtime.* hooks (allocation
+        # failures, stream teardown).  Keep it separate from any engine
+        # handed to a simulation: the facade draws from this RNG stream
+        # at API-call order, so sharing one engine would perturb the
+        # simulator's seeded injection sequence.
+        from repro.chaos import chaos_active
+
+        self.chaos = chaos_active(chaos)
         self.config = (config or GPUConfig()).time_scaled(time_scale)
         self.scheme = (
             make_scheme(scheme) if isinstance(scheme, str) else scheme
@@ -212,6 +249,10 @@ class GpuDevice:
         as FIRST_TOUCH unless the host writes it first)."""
         if nbytes <= 0:
             raise RuntimeError_("allocation size must be positive")
+        if self.chaos is not None and self.chaos.alloc_failure(
+            self.total_cycles, nbytes
+        ):
+            raise AllocationFailure(nbytes)
         if name is None:
             name = f"managed{self._alloc_counter}"
             self._alloc_counter += 1
@@ -364,6 +405,10 @@ class GpuDevice:
         ``sync_results``), or None when nothing was queued."""
         if not self._queued:
             return None
+        if self.chaos is not None:
+            for sid in sorted({sl.stream for sl in self._queued}):
+                if self.chaos.stream_teardown(self.total_cycles, sid):
+                    raise StreamTeardownError(sid, len(self._queued))
         queued, handles = self._queued, self._queued_handles
         self._queued, self._queued_handles = [], []
         sim = MultiKernelSimulator(

@@ -1,0 +1,65 @@
+"""Multi-tenant fault-resilient serving layer over the simulator.
+
+The paper's exception-handling schemes make GPU kernels safely
+preemptible and restartable; ``repro.serve`` builds the system-level
+consequence on top of the simulator: a long-lived service where many
+tenants share simulated GPUs and one tenant's fault storm, hang or
+crash is *contained* — shed with structured errors and quarantined by
+a per-tenant circuit breaker — instead of taking the box down.
+
+Layers (each documented in its module):
+
+- :mod:`~repro.serve.core` — synchronous control plane: admission
+  control (stream quotas + bounded queues), per-tenant fault/hang
+  budgets, circuit breakers, ``serve.*`` telemetry;
+- :mod:`~repro.serve.cache` — content-addressed result cache (same
+  hashing as the campaign checkpoints);
+- :mod:`~repro.serve.executor` — picklable pure data plane, one spec
+  dict -> one simulated kernel;
+- :mod:`~repro.serve.service` — the asyncio shell with crash-isolated
+  execution and retry-with-backoff;
+- :mod:`~repro.serve.loadgen` — seeded open-loop load and the
+  bit-reproducible virtual-time driver behind ``BENCH_serve.json``
+  (CLI: ``python -m repro.harness serve-bench``).
+"""
+
+from .cache import ResultCache
+from .core import (
+    CircuitBreaker,
+    QueueFull,
+    ServeRejection,
+    ServiceCore,
+    TenantPolicy,
+    TenantQuarantined,
+    TenantState,
+    UnknownTenant,
+)
+from .executor import execute_request
+from .loadgen import (
+    Arrival,
+    VirtualTimeDriver,
+    containment_experiment,
+    merge_arrivals,
+    open_loop_arrivals,
+)
+from .service import GpuService, ServeResult
+
+__all__ = [
+    "Arrival",
+    "CircuitBreaker",
+    "GpuService",
+    "QueueFull",
+    "ResultCache",
+    "ServeRejection",
+    "ServeResult",
+    "ServiceCore",
+    "TenantPolicy",
+    "TenantQuarantined",
+    "TenantState",
+    "UnknownTenant",
+    "VirtualTimeDriver",
+    "containment_experiment",
+    "execute_request",
+    "merge_arrivals",
+    "open_loop_arrivals",
+]

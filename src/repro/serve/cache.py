@@ -1,0 +1,86 @@
+"""Content-addressed result cache for the serving layer.
+
+Every submission is a plain JSON-able *spec* dict and every simulation
+is a pure function of its spec (the whole repo is built on that
+determinism), so results are cacheable by content address: the key is
+:func:`repro.harness.hashing.content_hash` over the spec — the same
+canonical-JSON sha256 scheme the campaign checkpoints use
+(``cells/<key>.<hash>.json``), so a spec tweak *anywhere* changes the
+key and can never serve a stale result.
+
+The cache is a bounded LRU.  A hit returns the exact dict a cold run
+produced (bit-identical tables — the acceptance criterion in
+BENCH_serve.json), costs the tenant no stream slot, and counts into
+``serve.tenant[<t>].cache_hits``.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.harness.hashing import content_hash
+
+#: default retained entries; micro-workload results are ~200B dicts
+DEFAULT_CAPACITY = 1024
+
+
+class ResultCache:
+    """Bounded LRU of ``spec-hash -> result dict``; thread-safe."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._store: "OrderedDict[str, Dict]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def key(spec: Dict) -> str:
+        """The content address of one submission spec."""
+        return content_hash(spec)
+
+    def get(self, key: str) -> Optional[Dict]:
+        """The cached result, or ``None``; a hit refreshes recency."""
+        with self._lock:
+            value = self._store.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._store.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: str, value: Dict) -> None:
+        """Insert (or refresh) one result, evicting the LRU entry past
+        capacity."""
+        with self._lock:
+            self._store[key] = value
+            self._store.move_to_end(key)
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict:
+        """JSON-able counters for reports."""
+        return {
+            "entries": len(self._store),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }

@@ -1,0 +1,127 @@
+"""The serving data plane: one submission spec -> one simulated kernel.
+
+:func:`execute_request` is a *module-level, picklable* pure function so
+the asyncio service can run it through
+:func:`repro.harness.isolation.run_experiment_isolated` (forked child,
+wall-clock timeout, structured failure capture) exactly like any other
+harness experiment — a tenant's wedged or crashing kernel can never
+take the service process down.
+
+A spec is a plain JSON-able dict (that is what makes it content-
+addressable for the :class:`repro.serve.cache.ResultCache`):
+
+``workload``        required; any registered workload name
+``scheme``          exception-handling scheme (default ``replay-queue``)
+``paging``          ``demand`` | ``prefetch-neighborhood`` (default demand)
+``interconnect``    default ``nvlink``
+``time_scale``      default :data:`DEFAULT_TIME_SCALE`
+``seed``            chaos seed (default 0); bumped by reseed-retries
+``chaos_intensity`` > 0 enables a seeded :class:`ChaosEngine` at that
+                    intensity (``fault.storm`` et al.), plus sanitizer
+``cycle_budget``    watchdog no-progress window override
+``hang``            truthy => raise a deterministic
+                    :class:`SimulationHang` *instead of simulating* —
+                    the containment experiment's synthetic wedged
+                    tenant, indistinguishable to the service from a
+                    real watchdog trip
+
+The result dict carries timing, the per-kernel fault tally that feeds
+the tenant's fault budget, and a state digest
+(:func:`repro.harness.chaos_campaign.architectural_digest` content-
+hashed) so cache hits are checkable against cold runs bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.chaos import (
+    ChaosConfig, ChaosEngine, HangDiagnostic, SimulationHang, Watchdog,
+)
+from repro.core import make_scheme
+from repro.harness.experiments import DEFAULT_TIME_SCALE
+from repro.harness.hashing import content_hash
+from repro.system import GPUConfig, GpuSimulator, INTERCONNECTS
+from repro.workloads import get_workload
+
+#: spec keys the executor understands (anything else is rejected so a
+#: typo'd knob cannot silently produce — and cache — the wrong run)
+SPEC_KEYS = frozenset((
+    "workload", "scheme", "paging", "interconnect", "time_scale",
+    "seed", "chaos_intensity", "cycle_budget", "hang",
+))
+
+
+def _synthetic_hang(spec: Dict) -> SimulationHang:
+    budget = float(spec.get("cycle_budget") or 0.0)
+    return SimulationHang(
+        HangDiagnostic(
+            cycle=budget,
+            cycle_budget=budget,
+            blocks_remaining=1,
+            committed=0,
+            warp_states={"injected": []},
+        )
+    )
+
+
+def execute_request(spec: Dict) -> Dict:
+    """Run one submission; pure function of ``spec`` (module docstring).
+
+    Raises ``SimulationHang`` on a watchdog trip (real or injected via
+    ``hang``), ``KeyError``/``ValueError`` on malformed specs; any
+    exception crosses the isolation boundary as a structured
+    :class:`~repro.harness.isolation.ExperimentFailure`.
+    """
+    unknown = set(spec) - SPEC_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown spec key(s) {sorted(unknown)}; "
+            f"accepted: {sorted(SPEC_KEYS)}"
+        )
+    if spec.get("hang"):
+        raise _synthetic_hang(spec)
+
+    time_scale = float(spec.get("time_scale", DEFAULT_TIME_SCALE))
+    seed = int(spec.get("seed", 0))
+    intensity = float(spec.get("chaos_intensity", 0.0))
+    wl = get_workload(spec["workload"])
+    cfg = GPUConfig().time_scaled(time_scale)
+    ic = INTERCONNECTS[spec.get("interconnect", "nvlink")].scaled(time_scale)
+    chaos = (
+        ChaosEngine(ChaosConfig(seed=seed).scaled(intensity))
+        if intensity > 0
+        else None
+    )
+    budget = spec.get("cycle_budget")
+    sim = GpuSimulator(
+        kernel=wl.kernel,
+        trace=wl.trace(),
+        address_space=wl.make_address_space(),
+        config=cfg,
+        scheme=make_scheme(spec.get("scheme", "replay-queue")),
+        interconnect=ic,
+        paging=spec.get("paging", "demand"),
+        chaos=chaos,
+        watchdog=Watchdog(budget) if budget is not None else Watchdog(),
+        sanitize=chaos is not None,
+    )
+    result = sim.run()
+
+    from repro.harness.chaos_campaign import architectural_digest
+
+    digest = architectural_digest(sim)
+    return {
+        "workload": spec["workload"],
+        "scheme": spec.get("scheme", "replay-queue"),
+        "seed": seed,
+        "cycles": result.cycles,
+        "instructions": result.dynamic_instructions,
+        "faults_raised": (
+            result.fault_stats.faults_raised if result.fault_stats else 0
+        ),
+        "injections": chaos.total_injections if chaos is not None else 0,
+        "state_digest": content_hash(
+            [sorted(digest[0]), digest[1], digest[2]]
+        ),
+    }

@@ -1,0 +1,518 @@
+"""Synthetic open-loop load + the bit-reproducible virtual-time driver.
+
+The asyncio shell measures real wall-clock throughput, but wall clock
+is exactly what a committed benchmark must *not* depend on.  So the
+containment experiment in ``BENCH_serve.json`` runs on
+:class:`VirtualTimeDriver`: a discrete-event executor that drives the
+very same :class:`~repro.serve.core.ServiceCore` /
+:class:`~repro.serve.cache.ResultCache` against an arrival schedule
+whose times are *simulated cycles* drawn from a seeded RNG.  Service
+time for a request is the simulated cycle count its kernel takes
+(memoized — the executor is a pure function of its spec); latency is
+completion time minus arrival time, so queueing delay is included.
+Same seed => identical schedule, identical decisions, identical report
+digest.
+
+The driver models the shared-GPU contention that makes containment a
+real property: ``num_gpus`` execution slots are shared by *all*
+tenants, so one tenant's watchdog-budget-burning hang storm inflates
+everyone's queueing delay — until its circuit breaker quarantines it.
+:func:`containment_experiment` runs the same schedule twice (storm
+tenant clean vs. under ``fault.storm`` chaos + injected hangs) and
+reports whether the steady tenants' p99 stayed within bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.chaos import SimulationHang
+from repro.chaos.watchdog import DEFAULT_CYCLE_BUDGET
+from repro.harness.hashing import content_hash
+
+from .cache import ResultCache
+from .core import ServeRejection, ServiceCore, TenantPolicy
+from .executor import execute_request
+from .service import reseeded
+
+#: time scale the serving benchmarks run the micro workloads at
+SERVE_TIME_SCALE = 8.0
+
+#: watchdog budget on the storm tenant's chaos specs — sized so a hung
+#: attempt burns about as many GPU-cycles as a clean thrash kernel at
+#: SERVE_TIME_SCALE; a misbehaving tenant is then contained by its
+#: breaker, not by accidentally costing less than honest work
+DEFAULT_STORM_CYCLE_BUDGET = 12_000.0
+
+
+# ---------------------------------------------------------------------------
+# open-loop arrivals
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled submission (time in simulated cycles)."""
+
+    time: float
+    tenant: str
+    seq: int  #: per-tenant sequence number (tie-breaker)
+    spec: Dict
+
+
+def open_loop_arrivals(
+    seed: int,
+    tenant: str,
+    menu: Sequence[Dict],
+    count: int,
+    mean_gap_cycles: float,
+    repeat_rate: float = 0.35,
+) -> List[Arrival]:
+    """Seeded Poisson arrivals for one tenant.
+
+    Gaps are exponential with the given mean; each submission either
+    repeats an earlier spec (probability ``repeat_rate`` — this is what
+    exercises the result cache) or takes the next menu item round-robin.
+    Seeding mixes the tenant name in, so tenants' streams are
+    independent yet jointly reproducible.
+    """
+    rng = random.Random(f"{seed}/{tenant}")
+    arrivals: List[Arrival] = []
+    history: List[Dict] = []
+    t = 0.0
+    for i in range(count):
+        t += rng.expovariate(1.0 / mean_gap_cycles)
+        if history and rng.random() < repeat_rate:
+            spec = rng.choice(history)
+        else:
+            spec = dict(menu[i % len(menu)])
+        history.append(spec)
+        arrivals.append(Arrival(time=t, tenant=tenant, seq=i, spec=spec))
+    return arrivals
+
+
+def merge_arrivals(*streams: List[Arrival]) -> List[Arrival]:
+    """Interleave per-tenant streams into one deterministic schedule."""
+    merged = [a for stream in streams for a in stream]
+    merged.sort(key=lambda a: (a.time, a.tenant, a.seq))
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# the virtual-time driver
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Job:
+    """In-flight bookkeeping for one admitted request."""
+
+    tenant: str
+    seq: int
+    spec: Dict
+    key: str
+    t_arrive: float
+    t_start: float = 0.0
+    cycles: float = 0.0
+    attempts: int = 0
+    value: Optional[Dict] = None
+    hang: bool = False
+
+
+class VirtualTimeDriver:
+    """Discrete-event executor of an arrival schedule (module docstring).
+
+    Admission, quotas, budgets and breakers are the ``ServiceCore``'s;
+    the driver adds the physics: per-tenant stream slots feed a shared
+    pool of ``num_gpus`` execution slots, service time is simulated
+    cycles, hung attempts burn the spec's watchdog ``cycle_budget``
+    before the (reseeded, cycle-costed) retry — mirroring the asyncio
+    shell's retry-with-backoff, with backoff measured in cycles.
+    """
+
+    def __init__(
+        self,
+        core: ServiceCore,
+        cache: Optional[ResultCache] = None,
+        *,
+        num_gpus: int = 2,
+        max_attempts: int = 2,
+        backoff_cycles: float = 2_000.0,
+        executor: Callable[[Dict], Dict] = execute_request,
+    ) -> None:
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be positive")
+        self.core = core
+        self.cache = cache or ResultCache()
+        self.num_gpus = num_gpus
+        self.max_attempts = max_attempts
+        self.backoff_cycles = backoff_cycles
+        self.executor = executor
+        #: spec-hash -> ("ok", result) | ("hang", cost_cycles); the
+        #: executor is pure, so each unique spec is simulated once
+        self._memo: Dict[str, tuple] = {}
+
+    # -- pure-function execution (memoized) -----------------------------
+
+    def _execute(self, spec: Dict) -> tuple:
+        key = content_hash(spec)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        try:
+            value = self.executor(spec)
+        except SimulationHang:
+            out = (
+                "hang",
+                float(spec.get("cycle_budget") or DEFAULT_CYCLE_BUDGET),
+            )
+        else:
+            out = ("ok", value)
+        self._memo[key] = out
+        return out
+
+    def _service(self, job: _Job) -> None:
+        """Fill in the job's total service cycles across retry attempts
+        (hung attempts cost the watchdog budget, retries are reseeded
+        and pay exponential backoff in cycles)."""
+        spec = dict(job.spec)
+        total = 0.0
+        attempts = 0
+        while True:
+            attempts += 1
+            outcome = self._execute(spec)
+            if outcome[0] == "ok":
+                value = outcome[1]
+                job.cycles = total + float(value["cycles"])
+                job.attempts = attempts
+                job.value = value
+                return
+            total += outcome[1]
+            if attempts >= self.max_attempts:
+                job.cycles = total
+                job.attempts = attempts
+                job.hang = True
+                return
+            total += self.backoff_cycles * 2 ** (attempts - 1)
+            spec = reseeded(spec, attempts)
+
+    # -- event loop -----------------------------------------------------
+
+    def run(self, arrivals: Sequence[Arrival], label: str = "virtual") -> Dict:
+        """Execute the schedule to completion; returns the JSON-able
+        report (with a ``digest`` over its deterministic content)."""
+        events: List[tuple] = []  # (time, order, kind, payload)
+        order = 0
+        for a in sorted(arrivals, key=lambda a: (a.time, a.tenant, a.seq)):
+            heapq.heappush(events, (a.time, order, "arrive", a))
+            order += 1
+        gpu_free = self.num_gpus
+        gpu_queue: deque = deque()  # holds a stream slot, waits for a GPU
+        stream_wait: Dict[str, deque] = {}  # admitted, waits for a slot
+        rejections: Dict[str, Dict[str, int]] = {}
+        cached_served = 0
+        makespan = 0.0
+
+        def start_on_gpu(now: float, job: _Job) -> None:
+            nonlocal gpu_free, order
+            if gpu_free <= 0:
+                gpu_queue.append(job)
+                return
+            gpu_free -= 1
+            job.t_start = now
+            self._service(job)
+            heapq.heappush(
+                events, (now + job.cycles, order, "complete", job)
+            )
+            order += 1
+
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            makespan = max(makespan, now)
+            if kind == "arrive":
+                cached_served += self._arrive(
+                    now, payload, stream_wait, rejections, start_on_gpu
+                )
+                continue
+            # completion: settle the job, then hand its GPU + stream
+            # slot to the next waiters (deterministic FIFO order)
+            job = payload
+            gpu_free += 1
+            if job.hang:
+                self.core.fail(
+                    job.tenant, now, hang=True, retries=job.attempts - 1
+                )
+            else:
+                self.cache.put(job.key, job.value)
+                self.core.complete(
+                    job.tenant,
+                    now,
+                    latency_cycles=now - job.t_arrive,
+                    faults=int(job.value.get("faults_raised", 0)),
+                    retries=job.attempts - 1,
+                )
+            waiters = stream_wait.get(job.tenant)
+            if waiters and self.core.quarantined(job.tenant, now):
+                # quarantine sheds the tenant's admitted backlog too —
+                # already-running kernels finish, queued ones do not
+                while waiters:
+                    waiters.popleft()
+                    self.core.shed_queued(job.tenant)
+                    counts = rejections.setdefault(job.tenant, {})
+                    counts["quarantined"] = counts.get("quarantined", 0) + 1
+            if waiters:
+                self.core.promote(job.tenant)
+                start_on_gpu(now, waiters.popleft())
+            while gpu_free > 0 and gpu_queue:
+                start_on_gpu(now, gpu_queue.popleft())
+
+        summary = self.core.summary()
+        report = {
+            "label": label,
+            "num_gpus": self.num_gpus,
+            "max_attempts": self.max_attempts,
+            "backoff_cycles": self.backoff_cycles,
+            "makespan_cycles": makespan,
+            "unique_specs_simulated": len(self._memo),
+            "cache": self.cache.stats(),
+            "cached_served": cached_served,
+            "rejections": {
+                t: dict(sorted(codes.items()))
+                for t, codes in sorted(rejections.items())
+            },
+            "tenants": summary["tenants"],
+            "slo": summary["slo"],
+        }
+        report["digest"] = content_hash(report)
+        return report
+
+    def _arrive(
+        self,
+        now: float,
+        arrival: Arrival,
+        stream_wait: Dict[str, deque],
+        rejections: Dict[str, Dict[str, int]],
+        start_on_gpu,
+    ) -> int:
+        """Admission for one arrival; returns 1 when served from cache."""
+        tenant = arrival.tenant
+        try:
+            self.core.check_admission(tenant, now)
+        except ServeRejection as rej:
+            counts = rejections.setdefault(tenant, {})
+            counts[rej.code] = counts.get(rej.code, 0) + 1
+            return 0
+        key = self.cache.key(arrival.spec)
+        if self.cache.get(key) is not None:
+            self.core.record_cache_hit(tenant)
+            return 1
+        self.core.record_cache_miss()
+        job = _Job(
+            tenant=tenant,
+            seq=arrival.seq,
+            spec=arrival.spec,
+            key=key,
+            t_arrive=now,
+        )
+        try:
+            disposition = self.core.acquire_slot(tenant, now)
+        except ServeRejection as rej:
+            counts = rejections.setdefault(tenant, {})
+            counts[rej.code] = counts.get(rej.code, 0) + 1
+            return 0
+        if disposition == "queued":
+            stream_wait.setdefault(tenant, deque()).append(job)
+        else:
+            start_on_gpu(now, job)
+        return 0
+
+
+# ---------------------------------------------------------------------------
+# the containment experiment
+# ---------------------------------------------------------------------------
+
+def steady_menu(
+    time_scale: float = SERVE_TIME_SCALE,
+    seed_pool: int = 16,
+    base_seed: int = 0,
+) -> List[Dict]:
+    """Clean interactive specs for a well-behaved tenant.
+
+    Each (workload, scheme) pair appears with ``seed_pool`` distinct
+    seeds so the spec space is wide enough that the result cache sees a
+    realistic hit rate instead of memoizing the whole menu after one
+    pass; ``base_seed`` keeps different tenants' spec spaces disjoint.
+    The seed does not change a clean run's result — it only changes the
+    content address.
+    """
+    menu: List[Dict] = []
+    for s in range(seed_pool):
+        for workload, scheme in (
+            ("saxpy", "replay-queue"),
+            ("stream-sum", "replay-queue"),
+            ("saxpy", "wd-commit"),
+        ):
+            menu.append({
+                "workload": workload,
+                "scheme": scheme,
+                "time_scale": time_scale,
+                "seed": base_seed + s,
+            })
+    return menu
+
+
+def storm_menu(
+    chaotic: bool,
+    time_scale: float = SERVE_TIME_SCALE,
+    cycle_budget: float = DEFAULT_STORM_CYCLE_BUDGET,
+    slots: int = 18,
+    hang_every: int = 3,
+) -> List[Dict]:
+    """Specs for the misbehaving tenant.
+
+    ``slots`` distinct seeds keep the baseline storm tenant actually
+    *executing* (not cache-resident), so both runs carry comparable
+    storm load and the p99 comparison isolates the chaos, not the
+    cache.
+
+    ``chaotic=False`` is the baseline: the same workloads, clean.
+    ``chaotic=True`` turns on a heavy ``fault.storm``-scaled chaos
+    engine and makes every ``hang_every``-th menu slot a deterministic
+    injected hang (watchdog semantics), so the tenant blows its hang
+    budget and must be quarantined.
+    """
+    menu: List[Dict] = []
+    for i in range(slots):
+        spec = {
+            "workload": "tlb-thrash",
+            "scheme": "replay-queue",
+            "time_scale": time_scale,
+            "seed": i,
+        }
+        if chaotic:
+            spec["chaos_intensity"] = 3.0
+            spec["cycle_budget"] = cycle_budget
+            if i % hang_every == hang_every - 1:
+                spec["hang"] = True
+        menu.append(spec)
+    return menu
+
+
+def steady_policy() -> TenantPolicy:
+    """Generous budgets: demand paging makes faults normal traffic, so
+    a clean tenant must never graze its breaker."""
+    return TenantPolicy(
+        max_streams=2,
+        max_queue_depth=12,
+        fault_budget=200_000,
+        hang_budget=2,
+        breaker_window=3_000_000.0,
+        cooldown=5_000_000.0,
+    )
+
+
+def storm_policy() -> TenantPolicy:
+    """Tight budgets for the chaos tenant: zero tolerated hangs (the
+    first watchdog-confirmed hang quarantines) and a cooldown longer
+    than the experiment horizon, so containment kicks in before the
+    storm can inflate anyone else's tail."""
+    return TenantPolicy(
+        max_streams=2,
+        max_queue_depth=12,
+        fault_budget=20_000,
+        hang_budget=0,
+        breaker_window=3_000_000.0,
+        cooldown=50_000_000.0,
+    )
+
+
+def containment_run(
+    seed: int,
+    chaotic: bool,
+    *,
+    steady_tenants: int = 2,
+    requests_per_tenant: int = 120,
+    storm_requests: int = 60,
+    mean_gap_cycles: float = 30_000.0,
+    num_gpus: int = 2,
+    storm_cycle_budget: float = DEFAULT_STORM_CYCLE_BUDGET,
+    executor: Callable[[Dict], Dict] = execute_request,
+) -> Dict:
+    """One virtual-time service run: ``steady_tenants`` clean tenants
+    plus one storm tenant (clean when ``chaotic`` is False)."""
+    core = ServiceCore()
+    names = [f"steady-{i}" for i in range(steady_tenants)]
+    for name in names:
+        core.register_tenant(name, steady_policy())
+    core.register_tenant("storm", storm_policy())
+    streams = [
+        open_loop_arrivals(
+            seed, name, steady_menu(base_seed=100 * (i + 1)),
+            requests_per_tenant, mean_gap_cycles,
+        )
+        for i, name in enumerate(names)
+    ]
+    streams.append(
+        open_loop_arrivals(
+            seed, "storm",
+            storm_menu(chaotic, cycle_budget=storm_cycle_budget),
+            storm_requests, mean_gap_cycles, repeat_rate=0.2,
+        )
+    )
+    driver = VirtualTimeDriver(
+        core, num_gpus=num_gpus, executor=executor
+    )
+    label = "chaotic" if chaotic else "baseline"
+    return driver.run(merge_arrivals(*streams), label=label)
+
+
+def containment_experiment(
+    seed: int = 0,
+    *,
+    p99_bound: float = 1.5,
+    executor: Callable[[Dict], Dict] = execute_request,
+    **kwargs,
+) -> Dict:
+    """The BENCH_serve.json containment experiment.
+
+    Runs the identical seeded arrival schedule twice — storm tenant
+    clean, then storm tenant under ``fault.storm`` chaos + injected
+    hangs — and checks the acceptance criteria: the storm tenant ends
+    quarantined with structured rejections, and every steady tenant's
+    p99 latency stays within ``p99_bound`` x its no-chaos baseline.
+    """
+    baseline = containment_run(seed, False, executor=executor, **kwargs)
+    chaotic = containment_run(seed, True, executor=executor, **kwargs)
+    steady = [t for t in sorted(baseline["tenants"]) if t != "storm"]
+    per_tenant = {}
+    contained = True
+    for name in steady:
+        base_p99 = baseline["tenants"][name]["p99_cycles"]
+        chaos_p99 = chaotic["tenants"][name]["p99_cycles"]
+        ratio = chaos_p99 / base_p99 if base_p99 else 0.0
+        ok = ratio <= p99_bound
+        contained = contained and ok
+        per_tenant[name] = {
+            "baseline_p99_cycles": base_p99,
+            "chaotic_p99_cycles": chaos_p99,
+            "ratio": ratio,
+            "within_bound": ok,
+        }
+    storm = chaotic["tenants"]["storm"]
+    quarantined = (
+        storm["quarantines"] >= 1
+        and chaotic["rejections"].get("storm", {}).get("quarantined", 0) > 0
+    )
+    return {
+        "seed": seed,
+        "p99_bound": p99_bound,
+        "contained": contained and quarantined,
+        "steady": per_tenant,
+        "storm_quarantines": storm["quarantines"],
+        "storm_breaker": storm["breaker"],
+        "storm_rejections": chaotic["rejections"].get("storm", {}),
+        "baseline": baseline,
+        "chaotic": chaotic,
+    }

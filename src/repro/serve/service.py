@@ -1,0 +1,246 @@
+"""The asyncio serving shell: many tenants, shared simulated GPUs.
+
+:class:`GpuService` is the long-lived front end over the synchronous
+:class:`~repro.serve.core.ServiceCore` control plane.  One ``submit``
+call per kernel request:
+
+1. **admission** — quarantine gate, then cache lookup, then stream
+   quota / queue depth (structured ``ServeRejection`` on shed, never an
+   unbounded wait);
+2. **execution** — the picklable :func:`repro.serve.executor
+   .execute_request` runs via :func:`repro.harness.isolation
+   .run_experiment_isolated` on a worker thread (forked child +
+   wall-clock timeout), so a tenant's wedged kernel burns its own
+   budget, not the service process;
+3. **retry with backoff** — transient failures (the campaign runner's
+   ``TRANSIENT_KINDS``: ``SimulationHang``, ``Timeout``,
+   ``ChildCrash``) are retried up to ``max_attempts`` with exponential
+   backoff and the runner's ``seed + 1000*attempt`` reseed rule;
+   deterministic failures are returned immediately;
+4. **accounting** — completions feed the tenant's latency reservoir and
+   fault budget, failures its hang budget; either may trip the breaker
+   and quarantine the tenant without touching anyone else's in-flight
+   work.
+
+The service clock (``now`` fed to breakers) is *virtual*: it advances
+by each completed request's simulated cycles (or the hang budget on a
+trip), which keeps breaker windows in the same unit — cycles — under
+both this shell and the bit-reproducible
+:class:`~repro.serve.loadgen.VirtualTimeDriver`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.chaos.watchdog import DEFAULT_CYCLE_BUDGET
+from repro.harness.isolation import ExperimentFailure, run_experiment_isolated
+
+from .cache import ResultCache
+from .core import (
+    ServeRejection, ServiceCore, TenantPolicy, TenantQuarantined,
+)
+from .executor import execute_request
+
+#: failure kinds worth a reseeded retry (mirrors the campaign runner)
+TRANSIENT_KINDS = frozenset({"Timeout", "SimulationHang", "ChildCrash"})
+
+#: hangs/timeouts count against the tenant's hang budget
+HANG_KINDS = frozenset({"SimulationHang", "Timeout"})
+
+
+@dataclass
+class ServeResult:
+    """Outcome of one ``submit`` that was admitted (rejections raise)."""
+
+    tenant: str
+    key: str  #: content address of the spec (the cache key)
+    cached: bool
+    attempts: int  #: executions performed (0 for a cache hit)
+    value: Optional[Dict] = None
+    failure: Optional[ExperimentFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def reseeded(spec: Dict, attempt: int) -> Dict:
+    """The campaign runner's reseed rule applied to a submission spec."""
+    fresh = dict(spec)
+    fresh["seed"] = int(spec.get("seed", 0)) + 1000 * attempt
+    return fresh
+
+
+class GpuService:
+    """Asyncio multi-tenant front end (module docstring).
+
+    ``isolated=False`` executes requests in-process on the worker
+    thread instead of a forked child — no timeout enforcement, but much
+    faster; the unit tests use it, the benchmark uses the real path.
+    """
+
+    def __init__(
+        self,
+        core: Optional[ServiceCore] = None,
+        cache: Optional[ResultCache] = None,
+        *,
+        timeout: Optional[float] = 60.0,
+        max_attempts: int = 3,
+        backoff_base: float = 0.02,
+        backoff_cap: float = 1.0,
+        isolated: bool = True,
+        executor: Callable[[Dict], Dict] = execute_request,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.core = core or ServiceCore()
+        self.cache = cache or ResultCache()
+        self.timeout = timeout
+        self.max_attempts = max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.isolated = isolated
+        self.executor = executor
+        self._now = 0.0
+        self._sems: Dict[str, asyncio.Semaphore] = {}
+
+    # -- tenants --------------------------------------------------------
+
+    def register_tenant(
+        self, tenant: str, policy: Optional[TenantPolicy] = None
+    ):
+        """Register a tenant with the core and size its stream-quota
+        semaphore."""
+        state = self.core.register_tenant(tenant, policy)
+        self._sems.setdefault(
+            tenant, asyncio.Semaphore(state.policy.max_streams)
+        )
+        return state
+
+    @property
+    def now(self) -> float:
+        """The service's virtual clock, in simulated cycles."""
+        return self._now
+
+    # -- execution ------------------------------------------------------
+
+    def _run_once(self, name: str, spec: Dict):
+        """One synchronous attempt (runs on a worker thread)."""
+        if self.isolated:
+            return run_experiment_isolated(
+                name, self.executor, kwargs={"spec": spec},
+                timeout=self.timeout,
+            )
+        try:
+            return self.executor(spec)
+        except BaseException as exc:  # noqa: BLE001 - isolation boundary
+            return ExperimentFailure(
+                name=name,
+                kind=type(exc).__name__,
+                message=str(exc),
+                traceback_text=traceback.format_exc(),
+                kwargs={"spec": spec},
+            )
+
+    def _backoff(self, attempt: int) -> float:
+        return min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+
+    async def submit(self, tenant: str, spec: Dict) -> ServeResult:
+        """Serve one kernel request; raises a structured
+        :class:`~repro.serve.core.ServeRejection` when shed."""
+        self.core.check_admission(tenant, self._now)
+        key = self.cache.key(spec)
+        hit = self.cache.get(key)
+        if hit is not None:
+            self.core.record_cache_hit(tenant)
+            return ServeResult(
+                tenant=tenant, key=key, cached=True, attempts=0, value=hit
+            )
+        self.core.record_cache_miss()
+        disposition = self.core.acquire_slot(tenant, self._now)
+        sem = self._sems[tenant]
+        # acquire_slot already accounted a "run" slot, so the semaphore
+        # has a free permit in that case; "queued" waits here (bounded
+        # by max_queue_depth — excess was shed above with QueueFull).
+        await sem.acquire()
+        if disposition == "queued":
+            # the tenant may have been quarantined while this request
+            # waited; quarantine sheds the admitted backlog too
+            if self.core.quarantined(tenant, self._now):
+                self.core.shed_queued(tenant)
+                sem.release()
+                raise TenantQuarantined(
+                    tenant, "quarantined while queued for a stream slot"
+                )
+            self.core.promote(tenant)
+        try:
+            return await self._execute(tenant, key, spec)
+        finally:
+            sem.release()
+
+    async def _execute(
+        self, tenant: str, key: str, spec: Dict
+    ) -> ServeResult:
+        name = f"serve/{tenant}/{key}"
+        attempt_spec = dict(spec)
+        attempts = 0
+        while True:
+            attempts += 1
+            outcome = await asyncio.to_thread(
+                self._run_once, name, attempt_spec
+            )
+            if not isinstance(outcome, ExperimentFailure):
+                value = outcome
+                self.cache.put(key, value)
+                self._now += float(value.get("cycles", 0.0))
+                self.core.complete(
+                    tenant,
+                    self._now,
+                    latency_cycles=float(value.get("cycles", 0.0)),
+                    faults=int(value.get("faults_raised", 0)),
+                    retries=attempts - 1,
+                )
+                return ServeResult(
+                    tenant=tenant, key=key, cached=False,
+                    attempts=attempts, value=value,
+                )
+            transient = outcome.kind in TRANSIENT_KINDS
+            if not transient or attempts >= self.max_attempts:
+                hang = outcome.kind in HANG_KINDS
+                self._now += float(
+                    attempt_spec.get("cycle_budget") or DEFAULT_CYCLE_BUDGET
+                )
+                self.core.fail(
+                    tenant, self._now, hang=hang, retries=attempts - 1
+                )
+                outcome.attempts = attempts
+                return ServeResult(
+                    tenant=tenant, key=key, cached=False,
+                    attempts=attempts, failure=outcome,
+                )
+            await asyncio.sleep(self._backoff(attempts))
+            attempt_spec = reseeded(attempt_spec, attempts)
+
+    # -- batch helper ---------------------------------------------------
+
+    async def drain(
+        self, submissions: Iterable[Tuple[str, Dict]]
+    ) -> List[Union[ServeResult, ServeRejection]]:
+        """Submit everything concurrently; rejections come back as
+        values (order matches the input), other exceptions propagate."""
+
+        async def one(tenant: str, spec: Dict):
+            try:
+                return await self.submit(tenant, spec)
+            except ServeRejection as rej:
+                return rej
+
+        return list(
+            await asyncio.gather(
+                *(one(tenant, spec) for tenant, spec in submissions)
+            )
+        )

@@ -88,6 +88,10 @@ class _RunLoopMixin:
             warp_states[f"sm{sm.sm_id}"] = [
                 {
                     "warp": w.slot,
+                    # which launch the stuck warp belongs to: in a
+                    # multi-kernel run the diagnostic must name the
+                    # offender, not just the SM (docs/CONCURRENCY.md)
+                    "kernel": w.block.kernel_id,
                     "idx": w.idx,
                     "trace_len": len(w.trace),
                     "inflight": w.inflight,

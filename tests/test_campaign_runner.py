@@ -315,6 +315,45 @@ class TestCheckpointResume:
         assert counters["counters"]["harness.cell.attempts"] == 2
         assert counters["metadata"]["merged_dumps"] == 3  # campaign + 2
 
+    def test_torn_manifest_reruns_uncorroborated_checkpoint(self, tmp_path):
+        """A driver killed between the checkpoint write and the manifest
+        rewrite leaves a valid checkpoint the manifest never
+        acknowledged.  Resume must surface it as stale-and-rerun, not
+        silently restore it."""
+        out = str(tmp_path / "camp")
+        cells = self._cells(2)
+        runner = CampaignRunner(cells, out_dir=out, echo=lambda _: None)
+        runner.run()
+        # Simulate the torn write: roll the manifest back to a state that
+        # predates the second cell's checkpoint.
+        manifest_path = os.path.join(out, "manifest.json")
+        manifest = json.load(open(manifest_path))
+        for entry in manifest["cells"]:
+            if entry["key"] == cells[1].key:
+                entry["status"] = "not-run"
+        with open(manifest_path, "w") as fh:
+            json.dump(manifest, fh)
+        lines = []
+        second = CampaignRunner(cells, out_dir=out, resume=True,
+                                echo=lines.append).run()
+        assert second.skipped == [cells[0].key]
+        assert second.completed == [cells[1].key]
+        assert second.counters["counters"]["harness.campaign.torn"] == 1
+        assert any("torn" in line for line in lines)
+
+    def test_missing_manifest_reruns_all_checkpoints(self, tmp_path):
+        """No manifest at all (killed before the first rewrite, or a
+        deleted file) corroborates nothing: every checkpoint is torn."""
+        out = str(tmp_path / "camp")
+        cells = self._cells(2)
+        CampaignRunner(cells, out_dir=out, echo=lambda _: None).run()
+        os.remove(os.path.join(out, "manifest.json"))
+        second = CampaignRunner(cells, out_dir=out, resume=True,
+                                echo=lambda _: None).run()
+        assert second.skipped == []
+        assert second.completed == [c.key for c in cells]
+        assert second.counters["counters"]["harness.campaign.torn"] == 2
+
     def test_sigkilled_campaign_resumes(self, tmp_path):
         """SIGKILL the campaign process mid-run; --resume must skip the
         checkpointed cell and finish only the interrupted one."""
@@ -505,6 +544,59 @@ class TestDegradation:
         assert result.degraded
         assert result.completed == ["c0", "c1"]
         assert any("worker pool setup failed" in w for w in warnings)
+
+
+# ---------------------------------------------------------------------------
+# workers=auto
+# ---------------------------------------------------------------------------
+
+class TestWorkersAuto:
+    def _one_cell(self):
+        return [CampaignCell(key="c0", fn=_ok_cell, group="g")]
+
+    def test_auto_resolves_from_cpu_count_and_logs(self, monkeypatch):
+        from repro.harness import runner as runner_mod
+
+        monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 3)
+        lines = []
+        runner = CampaignRunner(self._one_cell(), workers="auto",
+                                echo=lines.append)
+        assert runner.workers == 3
+        assert any("workers=auto -> 3" in line for line in lines)
+
+    def test_auto_clamps_to_cap(self, monkeypatch):
+        from repro.harness import runner as runner_mod
+
+        monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: 128)
+        runner = CampaignRunner(self._one_cell(), workers="auto",
+                                echo=lambda _: None)
+        assert runner.workers == runner_mod.AUTO_WORKERS_CAP
+
+    def test_auto_survives_unknown_cpu_count(self, monkeypatch):
+        from repro.harness import runner as runner_mod
+
+        monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: None)
+        runner = CampaignRunner(self._one_cell(), workers="auto",
+                                echo=lambda _: None)
+        assert runner.workers == 1
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ValueError, match="auto"):
+            CampaignRunner(self._one_cell(), workers="turbo",
+                           echo=lambda _: None)
+
+    def test_cli_accepts_auto(self, monkeypatch, capsys):
+        import repro.harness.__main__ as cli
+
+        monkeypatch.setattr(cli, "ALL_EXPERIMENTS", {"ok": _ok_cell})
+        assert cli.main(["ok", "--workers", "auto"]) == 0
+
+    def test_cli_rejects_garbage(self, capsys):
+        from repro.harness.__main__ import main
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["fig10", "--workers", "fast"])
+        assert exc_info.value.code == 2
 
 
 # ---------------------------------------------------------------------------

@@ -79,6 +79,8 @@ class TestChaosEngine:
             out.append(engine.squash_replay(t, sm_id=i % 4))
             out.append(engine.mshr_exhaustion(t, cache="l1[0]"))
             out.append(engine.refresh_storm(t))
+            out.append(engine.alloc_failure(t, nbytes=4096))
+            out.append(engine.stream_teardown(t, stream=i % 2))
         return out
 
     def test_same_seed_same_injections(self):

@@ -146,3 +146,91 @@ class TestDeviceHeap:
         dev.fill(x, [1.0] * N)
         res = dev.launch(saxpy_kernel(), N_BLOCKS, BLOCK, args=[x, y, 1.0])
         assert res.cycles > 0  # completes with the local scheduler active
+
+
+class TestRuntimeChaos:
+    """The runtime-facade injection hooks (docs/ROBUSTNESS.md): seeded
+    allocation failures and stream teardown mid-kernel, both structured
+    and retryable — the serving layer's retry paths depend on it."""
+
+    def _engine(self, seed, **rates):
+        from dataclasses import replace
+
+        from repro.chaos import ChaosConfig, ChaosEngine
+
+        zero = ChaosConfig(seed=seed).scaled(0.0)
+        return ChaosEngine(replace(zero, **rates))
+
+    def test_alloc_failure_is_structured_and_transient(self):
+        from repro.runtime import AllocationFailure
+
+        dev = GpuDevice(
+            time_scale=8.0,
+            chaos=self._engine(7, alloc_fail_rate=0.5),
+        )
+        failures = 0
+        ptr = None
+        for _ in range(64):  # deterministic per seed; bound is a backstop
+            try:
+                ptr = dev.malloc_managed(N * 4)
+                break
+            except AllocationFailure as exc:
+                failures += 1
+                assert exc.nbytes == N * 4
+        assert ptr is not None
+        assert failures == dev.chaos.injections["runtime.alloc_fail"]
+        # the device stayed fully usable
+        dev.fill(ptr, [1.0] * N)
+        assert dev.read(ptr, 2) == [1.0, 1.0]
+
+    def test_stream_teardown_requeues_and_resumes(self):
+        from repro.runtime import StreamTeardownError
+
+        dev = GpuDevice(
+            time_scale=8.0,
+            chaos=self._engine(3, stream_teardown_rate=0.5),
+        )
+        x = dev.malloc_managed(N * 4)
+        y = dev.malloc_managed(N * 4)
+        dev.fill(x, [1.0] * N)
+        dev.fill(y, [0.0] * N)
+        s0, s1 = dev.create_stream(), dev.create_stream()
+        kernel = saxpy_kernel()
+        h0 = s0.launch(kernel, N_BLOCKS, BLOCK, args=[x, y, 1.0])
+        h1 = s1.launch(kernel, N_BLOCKS, BLOCK, args=[x, y, 1.0])
+        teardowns = 0
+        result = None
+        for _ in range(64):
+            try:
+                result = dev.synchronize()
+                break
+            except StreamTeardownError as exc:
+                teardowns += 1
+                assert exc.pending == 2  # queued work survives the error
+        assert result is not None and teardowns >= 1
+        assert h0.done and h1.done
+        assert dev.chaos.injections["runtime.stream_teardown"] == teardowns
+        assert dev.synchronize() is None  # queue fully drained
+
+    def test_same_seed_same_runtime_injections(self):
+        from repro.runtime import AllocationFailure
+
+        def outcomes(seed):
+            dev = GpuDevice(chaos=self._engine(seed, alloc_fail_rate=0.5))
+            pattern = []
+            for _ in range(20):
+                try:
+                    dev.malloc_managed(256)
+                    pattern.append("ok")
+                except AllocationFailure:
+                    pattern.append("fail")
+            return pattern
+
+        assert outcomes(11) == outcomes(11)
+        assert "fail" in outcomes(11)
+
+    def test_disabled_engine_is_free(self):
+        from repro.chaos import ChaosConfig, ChaosEngine
+
+        dev = GpuDevice(chaos=ChaosEngine(ChaosConfig().scaled(0.0)))
+        assert dev.chaos is None  # chaos_active normalized it away

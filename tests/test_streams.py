@@ -285,3 +285,89 @@ class TestRuntimeStreamApi:
         # functional results are exactly the synchronous-path values
         a, b = (dev.read(o, 4) for o in outs)
         assert a == b  # identical kernels on identical inputs
+
+
+class TestMultiStreamWatchdog:
+    """Watchdog + invariant sanitizer under multi-stream contention: a
+    hang confined to one stream must surface as a kernel-tagged
+    SimulationHang while the other stream's completed work stays intact
+    (the fault-containment contract docs/ROBUSTNESS.md serves on)."""
+
+    def _wedged_sim(self, budget=50_000.0):
+        """A two-stream contention sim whose stream-1 home SMs are wedged
+        (awake, never issuing) from cycle 0: stream 0 runs to completion,
+        stream 1's resident blocks never retire."""
+        from repro.chaos import Watchdog
+        from repro.system import MultiKernelSimulator
+
+        dev = GpuDevice(scheme="replay-queue", time_scale=TS)
+        for wl, src, out in _thrash_specs(dev):
+            dev.create_stream().launch(
+                wl.kernel, grid=wl.grid_dim, block=wl.block_dim,
+                args=(src, out),
+            )
+        sim = MultiKernelSimulator(
+            dev._queued,
+            address_space=dev.aspace,
+            config=dev.config,
+            scheme=dev.scheme,
+            interconnect=dev.interconnect,
+            paging="demand",
+            frame_allocator=dev.frames,
+            watchdog=Watchdog(budget),
+            sanitize=True,
+        )
+        for sm in sim.sms:
+            if sim.tb_scheduler.home_stream(sm.sm_id) == 1:
+                sm.try_issue = lambda cycle: 0  # awake, never issues
+        return sim
+
+    def test_hang_in_one_stream_tags_the_offending_kernel(self):
+        from repro.chaos import SimulationHang
+
+        sim = self._wedged_sim()
+        with pytest.raises(SimulationHang) as exc_info:
+            sim.run()
+        diag = exc_info.value.diagnostic
+
+        # the diagnostic names the hung launch, not just the SM
+        assert diag.stuck_kernels() == [1]
+        live = [
+            w
+            for warps in diag.warp_states.values()
+            for w in warps if not w["done"]
+        ]
+        assert live and all(w["kernel"] == 1 for w in live)
+        assert "kernel=1" in str(exc_info.value)
+
+        # the other stream's completed blocks are intact
+        assert sim.kernel_remaining[0] == 0
+        assert sim.kernel_remaining[1] > 0
+        assert diag.committed > 0
+        assert sim.kernel_last_done[0] > 0.0
+
+    def test_healthy_contention_run_trips_nothing(self):
+        from repro.chaos import Watchdog
+        from repro.system import MultiKernelSimulator
+
+        dev = GpuDevice(scheme="replay-queue", time_scale=TS)
+        for wl, src, out in _thrash_specs(dev):
+            dev.create_stream().launch(
+                wl.kernel, grid=wl.grid_dim, block=wl.block_dim,
+                args=(src, out),
+            )
+        sim = MultiKernelSimulator(
+            dev._queued,
+            address_space=dev.aspace,
+            config=dev.config,
+            scheme=dev.scheme,
+            interconnect=dev.interconnect,
+            paging="demand",
+            frame_allocator=dev.frames,
+            watchdog=Watchdog(),
+            sanitize=True,
+        )
+        result = sim.run()  # sanitizer invariants checked throughout
+        assert result.cycles > 0
+        assert sim.watchdog.trips == 0
+        assert all(n == 0 for n in sim.kernel_remaining.values())
