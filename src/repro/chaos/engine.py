@@ -36,6 +36,12 @@ Hook taxonomy (``ALL_HOOKS``):
 ``dram.refresh_storm``
     block the shared DRAM bandwidth pipe for a burst of cycles — a
     refresh storm stealing the pipe from demand traffic.
+``icnt.pkt_drop``
+    drop one fault message on the interconnect: every lost copy is
+    retransmitted and re-occupies the link before the message lands.
+``icnt.pkt_reorder``
+    reorder one fault message behind packets that overtook it: the
+    message waits that many link slots before it may start.
 ``runtime.alloc_fail``
     fail one managed allocation at the runtime facade — a transiently
     exhausted driver heap (:class:`repro.runtime.AllocationFailure`).
@@ -72,6 +78,8 @@ ALL_HOOKS = (
     "sm.squash_replay",
     "cache.mshr_exhaustion",
     "dram.refresh_storm",
+    "icnt.pkt_drop",
+    "icnt.pkt_reorder",
     "runtime.alloc_fail",
     "runtime.stream_teardown",
 )
@@ -105,6 +113,10 @@ class ChaosConfig:
     mshr_stall_max_cycles: float = 400.0
     refresh_storm_rate: float = 0.001
     refresh_storm_max_cycles: float = 600.0
+    pkt_drop_rate: float = 0.01
+    pkt_drop_max_retx: int = 2  # lost copies per dropped message
+    pkt_reorder_rate: float = 0.01
+    pkt_reorder_max_slots: int = 3  # packets that overtook the message
     alloc_fail_rate: float = 0.02
     stream_teardown_rate: float = 0.01
 
@@ -154,6 +166,10 @@ class ChaosEngine:
         self._rng = random.Random(base.seed)
         self.injections: Dict[str, int] = {hook: 0 for hook in ALL_HOOKS}
         self.tel = None
+        # Schedule control (repro.mc): when attached, the explorable
+        # hooks consult it instead of the RNG — injection becomes a
+        # decision point the explorer enumerates (docs/MODELCHECK.md).
+        self.schedule = None
         self.attach_telemetry(telemetry)
 
     def attach_telemetry(self, telemetry) -> None:
@@ -172,6 +188,16 @@ class ChaosEngine:
                 (lambda h=hook: self.injections[h]),
             )
         reg.gauge("chaos.total", lambda: self.total_injections)
+
+    def attach_schedule(self, schedule) -> None:
+        """Hand injection-site selection to a :class:`repro.mc.
+        ScheduleControl`: the explorable hooks (``resolve_delay``,
+        ``fault_storm``, ``pkt_reorder``) stop drawing the RNG and ask
+        the control instead — choice 0 is always "no injection" and the
+        magnitude is the config's deterministic maximum, so one choice
+        trace describes the whole injection pattern.  A hook whose rate
+        is 0 stays off (its site never becomes a decision point)."""
+        self.schedule = schedule
 
     # ------------------------------------------------------------------
 
@@ -219,6 +245,17 @@ class ChaosEngine:
         """Extra cycles to add to one fault-group resolution completion
         (0.0 = no injection)."""
         cfg = self.config
+        if self.schedule is not None:
+            if cfg.resolve_delay_rate <= 0:
+                return 0.0
+            pick = self.schedule.choose(
+                "chaos.resolve_delay", ("global",), 2, time
+            )
+            if pick == 0:
+                return 0.0
+            delay = cfg.resolve_delay_max_cycles
+            self._fire("fault.resolve_delay", time, delay=round(delay, 1))
+            return delay
         if self._rng.random() >= cfg.resolve_delay_rate:
             return 0.0
         delay = self._rng.random() * cfg.resolve_delay_max_cycles
@@ -228,6 +265,17 @@ class ChaosEngine:
     def fault_storm(self, time: float) -> int:
         """Phantom faults to enqueue ahead of a real one (0 = no storm)."""
         cfg = self.config
+        if self.schedule is not None:
+            if cfg.storm_rate <= 0:
+                return 0
+            pick = self.schedule.choose(
+                "chaos.fault_storm", ("global",), 2, time
+            )
+            if pick == 0:
+                return 0
+            burst = max(1, cfg.storm_max_faults)
+            self._fire("fault.storm", time, burst=burst)
+            return burst
         if self._rng.random() >= cfg.storm_rate:
             return 0
         burst = self._rng.randint(1, max(1, cfg.storm_max_faults))
@@ -279,6 +327,39 @@ class ChaosEngine:
         block = self._rng.random() * cfg.refresh_storm_max_cycles
         self._fire("dram.refresh_storm", time, block=round(block, 1))
         return block
+
+    def pkt_drop(self, time: float) -> int:
+        """Lost copies of one fault message on the interconnect: each
+        retransmission re-occupies the link (0 = delivered first try)."""
+        cfg = self.config
+        if self._rng.random() >= cfg.pkt_drop_rate:
+            return 0
+        retx = self._rng.randint(1, max(1, cfg.pkt_drop_max_retx))
+        self._fire("icnt.pkt_drop", time, retx=retx)
+        return retx
+
+    def pkt_reorder(self, time: float) -> int:
+        """Link slots one fault message waits behind packets that
+        overtook it (0 = in-order delivery).  Schedule-gated: with a
+        control attached this is the explorer's fourth choice site."""
+        cfg = self.config
+        if self.schedule is not None:
+            if cfg.pkt_reorder_rate <= 0:
+                return 0
+            slots = self.schedule.choose(
+                "chaos.pkt_reorder",
+                ("global",),
+                max(1, cfg.pkt_reorder_max_slots) + 1,
+                time,
+            )
+            if slots:
+                self._fire("icnt.pkt_reorder", time, slots=slots)
+            return slots
+        if self._rng.random() >= cfg.pkt_reorder_rate:
+            return 0
+        slots = self._rng.randint(1, max(1, cfg.pkt_reorder_max_slots))
+        self._fire("icnt.pkt_reorder", time, slots=slots)
+        return slots
 
     def alloc_failure(self, time: float, nbytes: int) -> bool:
         """Fail this managed allocation at the runtime facade (the caller

@@ -8,6 +8,7 @@ from .chaos_campaign import (
     architectural_digest,
     build_chaos_cells,
     run_chaos_campaign,
+    run_stream_chaos_campaign,
 )
 from .experiments import (
     ALL_EXPERIMENTS,
@@ -56,6 +57,7 @@ __all__ = [
     "merge_tables",
     "process_isolation_available",
     "run_chaos_campaign",
+    "run_stream_chaos_campaign",
     "run_experiment_isolated",
     "run_fig10",
     "run_fig11",

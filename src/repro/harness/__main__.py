@@ -58,6 +58,7 @@ SUBCOMMANDS = (
     "figures",
     "campaign",
     "serve-bench",
+    "mc",
 )
 
 
@@ -163,6 +164,14 @@ def _add_campaign_flags(parser) -> None:
              "(timeout, hang, child crash) before recording the failure",
     )
     parser.add_argument(
+        "--adaptive-timeout", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="derive per-shard wall-clock timeouts from the previous "
+             "manifest's durations under --out (4x the known-good "
+             "duration, floor 10s, capped at --timeout; timeout retries "
+             "double the allowance)",
+    )
+    parser.add_argument(
         "--backoff-base", type=float, default=0.5,
         help="base of the exponential retry backoff in seconds",
     )
@@ -250,6 +259,7 @@ def _sweep_main(argv) -> int:
             out_dir=args.out,
             resume=args.resume,
             timeout=args.timeout,
+            adaptive_timeout=args.adaptive_timeout,
             max_attempts=args.max_attempts,
             backoff_base=args.backoff_base,
             backend=args.backend,
@@ -295,6 +305,7 @@ def _chaos_soak(args, parser) -> int:
         time_scale=args.time_scale,
         intensity=args.intensity,
         cycle_budget=args.cycle_budget,
+        stream_policies=tuple(args.stream_policies),
     )
     try:
         runner = CampaignRunner(
@@ -303,6 +314,7 @@ def _chaos_soak(args, parser) -> int:
             out_dir=args.out,
             resume=args.resume,
             timeout=args.timeout,
+            adaptive_timeout=args.adaptive_timeout,
             max_attempts=args.max_attempts,
             backoff_base=args.backoff_base,
             backend=args.backend,
@@ -361,6 +373,13 @@ def _chaos_main(argv) -> int:
     parser.add_argument(
         "--seeds", nargs="+", type=int, default=[0],
         help="soak mode: injection seeds (one shard per workload x seed)",
+    )
+    parser.add_argument(
+        "--stream-policies", nargs="+", default=[], metavar="POLICY",
+        choices=["partition", "interleave"],
+        help="soak mode: also soak each multi-kernel stream scenario "
+             "overlapped under these SM assignment policies (one shard "
+             "per scenario x policy x seed)",
     )
     parser.add_argument(
         "--schemes", nargs="+", default=list(DEFAULT_CAMPAIGN_SCHEMES),
@@ -537,6 +556,151 @@ def _golden_main(argv) -> int:
     return 0
 
 
+def _mc_main(argv) -> int:
+    """The ``mc`` subcommand: bounded model checking of stream/fault
+    schedules (docs/MODELCHECK.md).  Explores each scenario's choice-trace
+    space within budget, verifying every interleaving with the invariant
+    sanitizer and cross-checking the functional/architectural digests."""
+    from repro.mc import (
+        DEFAULT_MC_SCENARIOS,
+        MC_SCENARIOS,
+        get_mc_scenario,
+        replay_trace,
+        run_mc_scenario,
+    )
+    from repro.mc.scenarios import MC_CYCLE_BUDGET, MC_TIME_SCALE
+    from repro.telemetry import CounterRegistry
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness mc",
+        description=(
+            "Bounded model checking of stream/fault schedules: enumerate "
+            "the simulator's schedule decision points (steal order, fault "
+            "service order, chaos injection) DFS-style under budgets, "
+            "verify every interleaving with the invariant sanitizer, and "
+            "cross-check functional/architectural digests "
+            "(docs/MODELCHECK.md).  Exits 0 when every scenario met its "
+            "expectation: all interleavings clean with consistent digests "
+            "— or, for a negative-control scenario, a counterexample "
+            "found."
+        ),
+    )
+    parser.add_argument(
+        "scenarios", nargs="*", metavar="SCENARIO",
+        help=f"mc scenarios (default: {list(DEFAULT_MC_SCENARIOS)}; "
+             f"known: {sorted(MC_SCENARIOS)})",
+    )
+    parser.add_argument("--max-executions", type=int, default=64,
+                        help="executions explored per scenario")
+    parser.add_argument("--max-depth", type=int, default=48,
+                        help="deepest decision point branched from")
+    parser.add_argument("--max-branch", type=int, default=3,
+                        help="alternatives tried per decision point")
+    parser.add_argument("--scheme", default="replay-queue",
+                        help="pipeline scheme the executions run under")
+    parser.add_argument(
+        "--policy", default="partition", choices=["partition", "interleave"],
+        help="SM-to-stream assignment policy",
+    )
+    parser.add_argument("--time-scale", type=float, default=MC_TIME_SCALE)
+    parser.add_argument("--cycle-budget", type=float,
+                        default=MC_CYCLE_BUDGET,
+                        help="watchdog no-progress window per execution")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write the full exploration reports as JSON")
+    parser.add_argument(
+        "--replay", default=None, metavar="TRACE",
+        help="replay one comma-separated choice trace (e.g. '0,0,1') "
+             "instead of exploring; requires exactly one scenario; exits "
+             "0 iff the replayed execution is clean",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(args.scenarios) or list(DEFAULT_MC_SCENARIOS)
+    for name in names:
+        if name not in MC_SCENARIOS:
+            parser.error(f"unknown mc scenario {name!r}; "
+                         f"known: {sorted(MC_SCENARIOS)}")
+
+    if args.replay is not None:
+        if len(names) != 1:
+            parser.error("--replay requires exactly one scenario")
+        try:
+            trace = tuple(
+                int(tok) for tok in args.replay.split(",") if tok.strip()
+            )
+        except ValueError:
+            parser.error(f"--replay expects comma-separated ints, got "
+                         f"{args.replay!r}")
+        execution = replay_trace(
+            names[0], trace, scheme=args.scheme, policy=args.policy,
+            time_scale=args.time_scale, cycle_budget=args.cycle_budget,
+        )
+        print(f"mc:{names[0]} replay of {len(trace)} forced choice(s): "
+              f"verdict={execution.verdict}")
+        if execution.error:
+            print(f"  error: {execution.error}")
+        for point in execution.points:
+            print(f"  {point.describe()}")
+        return 0 if execution.clean else 1
+
+    counters = CounterRegistry()
+    reports = {}
+    ok = True
+    for name in names:
+        report = run_mc_scenario(
+            name,
+            max_executions=args.max_executions,
+            max_depth=args.max_depth,
+            max_branch=args.max_branch,
+            scheme=args.scheme,
+            policy=args.policy,
+            time_scale=args.time_scale,
+            cycle_budget=args.cycle_budget,
+            counters=counters,
+        )
+        reports[name] = report
+        print(report.summary())
+        scenario = get_mc_scenario(name)
+        if scenario.expect_counterexample:
+            passed = bool(report.counterexamples)
+            if not passed:
+                print("  FAIL: negative control found no counterexample",
+                      file=sys.stderr)
+            else:
+                cx = report.counterexamples[0]
+                print(f"  counterexample (minimized, {len(cx.minimized)} "
+                      f"choice(s), {cx.replays} replay(s)): "
+                      f"{','.join(map(str, cx.minimized))}")
+        else:
+            passed = report.all_clean and report.digest_consistent()
+            if not passed:
+                print("  FAIL: non-clean interleaving or digest divergence",
+                      file=sys.stderr)
+        ok = ok and passed
+        print()
+    print("mc counters:")
+    for path, value in sorted(counters.snapshot().items()):
+        print(f"  {path} = {value:.0f}")
+    if args.json:
+        import json
+
+        payload = {
+            "scenarios": {n: r.to_dict() for n, r in reports.items()},
+            "counters": counters.snapshot(),
+            "budgets": {
+                "max_executions": args.max_executions,
+                "max_depth": args.max_depth,
+                "max_branch": args.max_branch,
+            },
+            "ok": ok,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     """Dispatch to an experiment runner or the ``trace`` / ``chaos`` /
     ``golden`` subcommand; returns the process exit code (nonzero when
@@ -569,6 +733,8 @@ def main(argv=None) -> int:
         from .serve_bench import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "mc":
+        return _mc_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -634,6 +800,7 @@ def main(argv=None) -> int:
             out_dir=args.out,
             resume=args.resume,
             timeout=args.timeout,
+            adaptive_timeout=args.adaptive_timeout,
             max_attempts=args.max_attempts,
             backoff_base=args.backoff_base,
             backend=args.backend,

@@ -137,6 +137,101 @@ def run_chaos_campaign(
     return table
 
 
+def _stream_digest(device, result) -> Tuple:
+    """:func:`architectural_digest` for a multi-kernel (stream) run: the
+    device-level GPU page mappings plus the merged per-SM retire/commit
+    totals, frame assignment again excluded."""
+    page_state = device.aspace.page_state
+    return (
+        tuple(page_state.gpu_table.mapped_vpns()),
+        sum(s.blocks_completed for s in result.sm_stats),
+        sum(s.committed for s in result.sm_stats),
+    )
+
+
+def run_stream_chaos_campaign(
+    scenario: str = "contention",
+    seed: int = 0,
+    policy: str = "partition",
+    schemes: Sequence[str] = DEFAULT_CAMPAIGN_SCHEMES,
+    interconnect: str = "nvlink",
+    time_scale: float = DEFAULT_TIME_SCALE,
+    intensity: float = 1.0,
+    cycle_budget: Optional[float] = None,
+) -> ExperimentTable:
+    """The chaos campaign for a *multi-kernel stream* run: each scheme's
+    scenario kernels are launched one per stream and synchronized clean,
+    then again under a seeded engine with the watchdog + sanitizer armed.
+
+    Same table shape and pass criterion as :func:`run_chaos_campaign`:
+    injection must perturb timing only — the chaotic overlapped run must
+    retire every block of every kernel with the identical final GPU page
+    mappings and commit count, under either SM assignment ``policy``
+    (``partition``/``interleave``)."""
+    from repro.runtime import GpuDevice
+    from repro.workloads import get_stream_scenario
+
+    scn = get_stream_scenario(scenario)
+    chaos_cfg = ChaosConfig(seed=seed).scaled(intensity)
+    table = ExperimentTable(
+        name="chaos",
+        description=(
+            f"streams-{scenario} policy={policy} seed={seed} "
+            f"intensity={intensity:g}: fault injection must perturb "
+            "timing only"
+        ),
+        columns=[
+            "base-cycles", "chaos-cycles", "slowdown",
+            "injections", "state-match",
+        ],
+        notes=[
+            "state-match 1.0 = chaotic overlapped run retired every "
+            "block with the identical final GPU page mappings and "
+            "commit count",
+        ],
+        show_geomean=False,
+    )
+
+    def _overlapped(scheme_name: str, chaos, watchdog):
+        device = GpuDevice(
+            scheme=scheme_name, interconnect=interconnect,
+            time_scale=time_scale,
+        )
+        for spec in scn.build(device):
+            stream = device.create_stream()
+            device.launch(
+                spec.kernel, grid=spec.grid, block=spec.block,
+                args=spec.args, stream=stream,
+            )
+        result = device.synchronize(
+            policy=policy, chaos=chaos, watchdog=watchdog,
+            sanitize=chaos is not None,
+        )
+        return device, result
+
+    for scheme_name in schemes:
+        base_dev, base = _overlapped(scheme_name, None, None)
+        chaos = ChaosEngine(chaos_cfg)
+        watchdog = (
+            Watchdog(cycle_budget) if cycle_budget is not None else Watchdog()
+        )
+        chaos_dev, chaotic = _overlapped(scheme_name, chaos, watchdog)
+        match = _stream_digest(base_dev, base) == _stream_digest(
+            chaos_dev, chaotic
+        )
+        table.add_row(
+            scheme_name,
+            [
+                base.cycles,
+                chaotic.cycles,
+                chaotic.cycles / base.cycles if base.cycles else 0.0,
+                float(chaos.total_injections),
+                1.0 if match else 0.0,
+            ],
+        )
+    return table
+
+
 def build_chaos_cells(
     workloads: Sequence[str],
     seeds: Sequence[int] = (0,),
@@ -146,6 +241,7 @@ def build_chaos_cells(
     time_scale: float = DEFAULT_TIME_SCALE,
     intensity: float = 1.0,
     cycle_budget: Optional[float] = None,
+    stream_policies: Sequence[str] = (),
 ) -> List["CampaignCell"]:
     """The chaos-soak campaign spec: one cell per (workload, seed) pair,
     each running :func:`run_chaos_campaign` over every scheme.
@@ -155,6 +251,12 @@ def build_chaos_cells(
     shards stay distinct in the merged table.  Each cell's kwargs carry
     its ``seed``, so the campaign runner's reseed-on-hang retry policy
     applies shard-locally.
+
+    ``stream_policies`` adds a multi-kernel axis: one extra cell per
+    (stream scenario, policy, seed) running
+    :func:`run_stream_chaos_campaign` — the overlapped stream runs soak
+    under the same injection engine as the single-kernel ones
+    (``--stream-policies partition interleave`` on the CLI).
     """
     from .runner import CampaignCell
 
@@ -179,4 +281,29 @@ def build_chaos_cells(
                     row_prefix=f"{workload}/s{seed}/",
                 )
             )
+    if stream_policies:
+        from repro.workloads import STREAM_SCENARIO_NAMES
+
+        for scenario in STREAM_SCENARIO_NAMES:
+            for policy in stream_policies:
+                for seed in seeds:
+                    cells.append(
+                        CampaignCell(
+                            key=f"chaos/streams-{scenario}/{policy}/s{seed}",
+                            fn=run_stream_chaos_campaign,
+                            kwargs=dict(
+                                scenario=scenario,
+                                seed=seed,
+                                policy=policy,
+                                schemes=tuple(schemes),
+                                interconnect=interconnect,
+                                time_scale=time_scale,
+                                intensity=intensity,
+                                cycle_budget=cycle_budget,
+                            ),
+                            group="chaos",
+                            row_prefix=f"streams-{scenario}/{policy}"
+                                       f"/s{seed}/",
+                        )
+                    )
     return cells

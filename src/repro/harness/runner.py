@@ -96,6 +96,14 @@ CHECKPOINT_VERSION = 1
 #: well before the core counts of large CI machines
 AUTO_WORKERS_CAP = 8
 
+#: adaptive per-cell timeouts: a cell whose previous run took ``d``
+#: seconds (same config hash, completed) gets ``max(FLOOR, d * MARGIN)``
+#: this run, so one wedged shard is killed after ~4x its known-good
+#: duration instead of wasting the whole campaign-level timeout; each
+#: timeout retry doubles the allowance, capped at the campaign timeout
+ADAPTIVE_TIMEOUT_FLOOR = 10.0
+ADAPTIVE_TIMEOUT_MARGIN = 4.0
+
 
 def _default_echo(message: str) -> None:
     """Default progress/warning sink: one line to stderr."""
@@ -259,6 +267,7 @@ class CampaignRunner:
         out_dir: Optional[str] = None,
         resume: bool = False,
         timeout: Optional[float] = None,
+        adaptive_timeout: bool = True,
         max_attempts: int = 3,
         backoff_base: float = 0.5,
         backoff_cap: float = 30.0,
@@ -288,6 +297,10 @@ class CampaignRunner:
         self.out_dir = out_dir
         self.resume = resume
         self.timeout = timeout
+        self.adaptive_timeout = adaptive_timeout
+        #: cell key -> history-derived wall-clock timeout (seconds),
+        #: seeded from the previous manifest in :meth:`run`
+        self._cell_timeouts: Dict[str, float] = {}
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -306,7 +319,7 @@ class CampaignRunner:
         for leaf in (
             "cells", "completed", "skipped", "failed", "attempts",
             "retries", "backoff_seconds", "degraded", "vectorized",
-            "fallback", "torn",
+            "fallback", "torn", "adaptive_timeouts",
         ):
             self.counters.counter(f"harness.campaign.{leaf}")
 
@@ -537,10 +550,12 @@ class CampaignRunner:
         started = time.time()
         failure: Optional[ExperimentFailure] = None
         table: Optional[ExperimentTable] = None
+        adaptive = self._cell_timeouts.get(cell.key)
+        timeout = adaptive if adaptive is not None else self.timeout
         for attempt in range(1, self.max_attempts + 1):
             outcome = run_experiment_isolated(
                 name=cell.key, fn=cell.fn, kwargs=kwargs,
-                timeout=self.timeout,
+                timeout=timeout,
             )
             if not isinstance(outcome, ExperimentFailure):
                 ledger.append({"attempt": attempt, "status": "ok"})
@@ -558,6 +573,19 @@ class CampaignRunner:
                 "message": outcome.message,
                 "backoff_s": delay,
             }
+            if adaptive is not None:
+                entry["timeout_s"] = round(timeout, 3)
+            if (
+                not final
+                and outcome.kind == "Timeout"
+                and adaptive is not None
+            ):
+                # An adaptive timeout that fired may simply have been too
+                # tight (machine load, cold caches): double the allowance
+                # for the retry, never past the campaign-level timeout.
+                timeout = timeout * 2.0
+                if self.timeout is not None:
+                    timeout = min(timeout, self.timeout)
             if not final and outcome.kind == "SimulationHang" and isinstance(
                 kwargs.get("seed"), int
             ):
@@ -637,12 +665,52 @@ class CampaignRunner:
             self._echo(f"[campaign] warning: {reason}; "
                        "falling back to serial execution")
 
+    def _seed_adaptive_timeouts(self, manifest: Dict[str, Dict]) -> None:
+        """Derive per-cell wall-clock timeouts from the previous
+        manifest's durations: a cell that completed before (same config
+        hash) gets ``max(ADAPTIVE_TIMEOUT_FLOOR, duration *
+        ADAPTIVE_TIMEOUT_MARGIN)``, never above the campaign-level
+        timeout.  Cells without usable history keep the global timeout."""
+        if not self.adaptive_timeout:
+            return
+        derived = 0
+        for cell in self.cells:
+            entry = manifest.get(cell.key)
+            if (
+                entry is None
+                or entry.get("status") not in ("ok", "restored")
+                or entry.get("config_hash") != cell.config_hash()
+            ):
+                continue
+            duration = entry.get("duration_s")
+            if not isinstance(duration, (int, float)) or duration <= 0:
+                continue
+            timeout = max(
+                ADAPTIVE_TIMEOUT_FLOOR, duration * ADAPTIVE_TIMEOUT_MARGIN
+            )
+            if self.timeout is not None:
+                timeout = min(timeout, self.timeout)
+            self._cell_timeouts[cell.key] = timeout
+            derived += 1
+        if derived:
+            self.counters.counter(
+                "harness.campaign.adaptive_timeouts"
+            ).add(derived)
+            self._echo(
+                f"[campaign] adaptive timeouts derived for {derived} "
+                "cell(s) from the previous manifest"
+            )
+
     def run(self) -> CampaignResult:
         """Execute the campaign; returns the merged
         :class:`CampaignResult` (never raises for cell failures — they
         are data, reported in ``failures``)."""
         self.counters.counter("harness.campaign.cells").add(len(self.cells))
-        manifest = self._manifest_entries() if self.resume else {}
+        history = (
+            self._manifest_entries() if self.out_dir is not None else {}
+        )
+        self._seed_adaptive_timeouts(history)
+        manifest = history if self.resume else {}
         pending: List[CampaignCell] = []
         for cell in self.cells:
             restored = (

@@ -1,0 +1,56 @@
+"""Bounded model checking of stream/fault schedules (docs/MODELCHECK.md).
+
+The simulator is deterministic; all its concurrency nondeterminism is
+funneled through explicit :class:`SchedulePoint` decision sites
+(cross-stream steal order, fault-queue service order, chaos injection,
+interconnect packet reordering).  :class:`ScheduleControl` records and
+replays choice traces; :class:`Explorer` enumerates the trace space
+DFS-style under budgets with independence-based pruning, verifying
+every interleaving with the invariant sanitizer and cross-checking
+functional/architectural digests.  ``python -m repro.harness mc`` is
+the CLI entry point.
+"""
+
+from .explorer import (
+    CLEAN,
+    Counterexample,
+    Execution,
+    ExplorationReport,
+    Explorer,
+    digest_points,
+)
+from .scenarios import (
+    DEFAULT_MC_SCENARIOS,
+    MC_SCENARIOS,
+    McScenario,
+    execute_trace,
+    get_mc_scenario,
+    replay_trace,
+    run_mc_scenario,
+)
+from .schedule import (
+    SchedulePoint,
+    ScheduleControl,
+    TraceDivergence,
+    independent,
+)
+
+__all__ = [
+    "CLEAN",
+    "Counterexample",
+    "DEFAULT_MC_SCENARIOS",
+    "Execution",
+    "ExplorationReport",
+    "Explorer",
+    "MC_SCENARIOS",
+    "McScenario",
+    "SchedulePoint",
+    "ScheduleControl",
+    "TraceDivergence",
+    "digest_points",
+    "execute_trace",
+    "get_mc_scenario",
+    "independent",
+    "replay_trace",
+    "run_mc_scenario",
+]

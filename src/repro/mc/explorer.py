@@ -1,0 +1,406 @@
+"""Bounded DFS over schedule-choice traces (docs/MODELCHECK.md).
+
+The simulator is deterministic once every :class:`~repro.mc.schedule.
+SchedulePoint` decision is fixed, so an execution *is* its choice trace
+and the space of executions is a tree: node = trace prefix, children =
+the alternatives of the first decision point past the prefix.  The
+explorer walks that tree depth-first:
+
+1. run the all-default execution (empty prefix — today's behavior);
+2. for each executed trace, walk its decision log and schedule every
+   unexplored sibling prefix ``trace[:i] + (alt,)`` within budget;
+3. verify every execution (sanitizer verdict + digests) as it runs.
+
+Pruning (persistent-set/sleep-set style):
+
+- **seen-prefix dedup** — a prefix is scheduled at most once, ever
+  (determinism makes two runs of one prefix identical);
+- **independence** — a *scheduling* decision (steal order, fault service
+  order) whose point is independent of every later point in its
+  execution only permutes symmetric work; its alternatives are skipped.
+  Chaos decisions (``chaos.*`` sites) are exempt: their choice injects a
+  perturbation rather than reordering one, so position in the trace
+  never makes them redundant;
+- **budgets** — ``max_branch`` caps the alternatives expanded per point,
+  ``max_depth`` caps the expansion depth, ``max_executions`` caps the
+  total runs.  Everything skipped is counted, never silently dropped.
+
+Counterexamples: a non-clean execution's trace is minimized greedily —
+every nonzero choice is tried at 0 (keeping the reduction when the same
+verdict reproduces), then trailing zeros are dropped — and re-validated
+by replay, so the reported trace is small *and* known-reproducing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .schedule import SchedulePoint, independent
+
+#: verdict of one execution
+CLEAN = "clean"
+
+#: default exploration budgets (CLI/report surface)
+DEFAULT_MAX_EXECUTIONS = 64
+DEFAULT_MAX_DEPTH = 48
+DEFAULT_MAX_BRANCH = 3
+
+
+@dataclass
+class Execution:
+    """One verified run of the scenario under a forced trace prefix."""
+
+    #: the complete choice trace the run actually took (prefix + defaults)
+    trace: Tuple[int, ...]
+    #: the full decision log (one point per trace entry)
+    points: List[SchedulePoint]
+    #: ``clean`` or the failure kind (``violation``/``hang``/``deadlock``)
+    verdict: str
+    #: first line of the failure message (None when clean)
+    error: Optional[str] = None
+    #: sha256 over the data values the kernels produced (None on failure)
+    functional_digest: Optional[str] = None
+    #: sha256 over the architectural end state (None on failure)
+    arch_digest: Optional[str] = None
+    #: scenario-reported observables (makespan, stolen blocks, ...)
+    observables: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return self.verdict == CLEAN
+
+
+@dataclass
+class Counterexample:
+    """A failing execution plus its minimized, replay-validated trace."""
+
+    trace: Tuple[int, ...]
+    minimized: Tuple[int, ...]
+    verdict: str
+    error: Optional[str]
+    #: executions spent minimizing (bounded by the explorer's budget)
+    replays: int
+    #: the decision log of the minimized replay, human-readable
+    decisions: List[str] = field(default_factory=list)
+
+
+@dataclass
+class ExplorationReport:
+    """Everything one bounded exploration produced (JSON-stable)."""
+
+    scenario: str
+    budgets: Dict[str, int]
+    executions: List[Execution]
+    counterexamples: List[Counterexample]
+    pruned: Dict[str, int]
+    #: True when the run stopped on max_executions with work still queued
+    truncated: bool
+
+    @property
+    def explored(self) -> int:
+        return len(self.executions)
+
+    @property
+    def distinct_traces(self) -> int:
+        return len({e.trace for e in self.executions})
+
+    @property
+    def all_clean(self) -> bool:
+        return all(e.clean for e in self.executions)
+
+    def digest_consistent(self) -> bool:
+        """True when every clean execution produced the same functional
+        and architectural digests (the cross-interleaving invariant)."""
+        fds = {e.functional_digest for e in self.executions if e.clean}
+        ads = {e.arch_digest for e in self.executions if e.clean}
+        return len(fds) <= 1 and len(ads) <= 1
+
+    def to_dict(self) -> Dict:
+        """Canonical (deterministic, timestamp-free) report payload —
+        two explorations of the same scenario and budgets serialize
+        byte-identically (tests/test_mc.py pins this)."""
+        return {
+            "scenario": self.scenario,
+            "budgets": dict(self.budgets),
+            "explored": self.explored,
+            "distinct_traces": self.distinct_traces,
+            "truncated": self.truncated,
+            "pruned": dict(self.pruned),
+            "all_clean": self.all_clean,
+            "digest_consistent": self.digest_consistent(),
+            "verdicts": self._verdict_tally(),
+            "functional_digests": sorted(
+                {e.functional_digest for e in self.executions
+                 if e.functional_digest}
+            ),
+            "arch_digests": sorted(
+                {e.arch_digest for e in self.executions if e.arch_digest}
+            ),
+            "executions": [
+                {
+                    "trace": list(e.trace),
+                    "verdict": e.verdict,
+                    "decisions": len(e.points),
+                    "observables": {
+                        k: e.observables[k] for k in sorted(e.observables)
+                    },
+                }
+                for e in self.executions
+            ],
+            "counterexamples": [
+                {
+                    "trace": list(c.trace),
+                    "minimized": list(c.minimized),
+                    "verdict": c.verdict,
+                    "error": c.error,
+                    "replays": c.replays,
+                    "decisions": list(c.decisions),
+                }
+                for c in self.counterexamples
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1, sort_keys=True)
+
+    def _verdict_tally(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for e in self.executions:
+            tally[e.verdict] = tally.get(e.verdict, 0) + 1
+        return dict(sorted(tally.items()))
+
+    def summary(self) -> str:
+        lines = [
+            f"mc:{self.scenario}: explored {self.explored} execution(s) "
+            f"({self.distinct_traces} distinct trace(s))"
+            + (" [budget exhausted]" if self.truncated else ""),
+            f"  pruned: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.pruned.items())),
+            f"  verdicts: "
+            + ", ".join(f"{k}={v}"
+                        for k, v in self._verdict_tally().items()),
+            f"  digests consistent: {self.digest_consistent()}",
+        ]
+        for ce in self.counterexamples:
+            lines.append(
+                f"  counterexample: trace {list(ce.trace)} -> "
+                f"{ce.verdict}; minimized to {list(ce.minimized)} "
+                f"({ce.replays} replay(s))"
+            )
+            for d in ce.decisions:
+                lines.append(f"    {d}")
+        return "\n".join(lines)
+
+
+def digest_points(points: Sequence[SchedulePoint]) -> str:
+    """Stable digest of a decision log (report/debugging aid)."""
+    blob = json.dumps(
+        [[p.site, list(p.key), p.choices, p.chosen, p.time] for p in points],
+        sort_keys=True,
+    ).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+class Explorer:
+    """Bounded DFS with pruning over one scenario's schedule tree.
+
+    ``run`` executes the scenario under a forced trace prefix and returns
+    an :class:`Execution` (see :mod:`repro.mc.scenarios`); the explorer
+    never looks inside the simulator — determinism plus the decision log
+    are its whole interface.  ``counters`` (a
+    :class:`repro.telemetry.counters.CounterRegistry` or None) receives
+    the ``mc.*`` tallies as exploration proceeds.
+    """
+
+    def __init__(
+        self,
+        run: Callable[[Tuple[int, ...]], Execution],
+        max_executions: int = DEFAULT_MAX_EXECUTIONS,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        max_branch: int = DEFAULT_MAX_BRANCH,
+        counters=None,
+    ) -> None:
+        if max_executions < 1:
+            raise ValueError("max_executions must be >= 1")
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if max_branch < 2:
+            raise ValueError("max_branch must be >= 2 (1 never branches)")
+        self.run = run
+        self.max_executions = max_executions
+        self.max_depth = max_depth
+        self.max_branch = max_branch
+        self.counters = counters
+
+    def _count(self, leaf: str, n: int = 1) -> None:
+        if self.counters is not None and n:
+            self.counters.counter(f"mc.{leaf}").add(n)
+
+    # ------------------------------------------------------------------
+
+    def explore(self, scenario_name: str = "scenario") -> ExplorationReport:
+        """Run the bounded DFS; returns the full report."""
+        pruned = {"independence": 0, "branch_budget": 0, "depth_budget": 0,
+                  "seen_prefix": 0, "duplicate_cex": 0}
+        executions: List[Execution] = []
+        counterexamples: List[Counterexample] = []
+        #: minimized (trace, verdict) pairs already reported — distinct
+        #: failing traces often reduce to the same root cause
+        cex_seen: set = set()
+        #: DFS stack of forced prefixes still to execute (LIFO = deeper
+        #: siblings first, so counterexamples near the default surface
+        #: early); seeded with the all-default execution
+        stack: List[Tuple[int, ...]] = [()]
+        seen: set = {()}
+        truncated = False
+
+        while stack:
+            if len(executions) >= self.max_executions:
+                truncated = True
+                break
+            prefix = stack.pop()
+            execution = self.run(prefix)
+            executions.append(execution)
+            self._count("executions")
+            if not execution.clean:
+                self._count("violations")
+                budget = self.max_executions - len(executions)
+                ce, spent = self._minimize(execution, budget)
+                self._count("minimize_replays", spent)
+                key = (ce.minimized, ce.verdict)
+                if key in cex_seen:
+                    pruned["duplicate_cex"] += 1
+                else:
+                    cex_seen.add(key)
+                    counterexamples.append(ce)
+                # A failing subtree is not expanded: the counterexample
+                # is the finding, and its siblings would mostly re-fail.
+                continue
+            self._expand(execution, prefix, stack, seen, pruned)
+
+        for leaf, n in pruned.items():
+            self._count(f"pruned.{leaf}", n)
+        if truncated:
+            self._count("truncated")
+        report = ExplorationReport(
+            scenario=scenario_name,
+            budgets={
+                "max_executions": self.max_executions,
+                "max_depth": self.max_depth,
+                "max_branch": self.max_branch,
+            },
+            executions=executions,
+            counterexamples=counterexamples,
+            pruned=pruned,
+            truncated=truncated,
+        )
+        self._count("distinct_traces", report.distinct_traces)
+        return report
+
+    # ------------------------------------------------------------------
+
+    def _expand(
+        self,
+        execution: Execution,
+        prefix: Tuple[int, ...],
+        stack: List[Tuple[int, ...]],
+        seen: set,
+        pruned: Dict[str, int],
+    ) -> None:
+        """Schedule every in-budget, non-pruned sibling prefix of one
+        clean execution: positions past the forced prefix, alternatives
+        1..min(choices, max_branch)-1."""
+        points = execution.points
+        limit = min(len(points), self.max_depth)
+        if len(points) > self.max_depth:
+            pruned["depth_budget"] += sum(
+                min(p.choices, self.max_branch) - 1
+                for p in points[self.max_depth:]
+            )
+        for i in range(len(prefix), limit):
+            pt = points[i]
+            if pt.choices > self.max_branch:
+                pruned["branch_budget"] += pt.choices - self.max_branch
+            alts = min(pt.choices, self.max_branch)
+            if self._prunable(pt, points[i + 1:]):
+                pruned["independence"] += alts - 1
+                continue
+            base = execution.trace[:i]
+            for alt in range(1, alts):
+                candidate = base + (alt,)
+                if candidate in seen:
+                    pruned["seen_prefix"] += 1
+                    continue
+                seen.add(candidate)
+                stack.append(candidate)
+
+    def _prunable(
+        self, pt: SchedulePoint, later: Sequence[SchedulePoint]
+    ) -> bool:
+        """Independence pruning: a *scheduling* decision independent of
+        every later decision only permutes symmetric work (same verdict,
+        same functional/architectural digests), so its alternatives are
+        redundant for the properties we verify.  Chaos decisions are
+        never prunable — their alternative injects a perturbation rather
+        than reordering one."""
+        if pt.site.startswith("chaos."):
+            return False
+        return all(independent(pt, lp) for lp in later)
+
+    # ------------------------------------------------------------------
+
+    def _minimize(
+        self, execution: Execution, budget: int
+    ) -> Tuple[Counterexample, int]:
+        """Greedy delta-minimization of a failing trace: try zeroing each
+        nonzero choice (keep the zero when the same verdict reproduces),
+        then drop trailing zeros.  Every reduction step is a full replay,
+        bounded by ``budget``; the final minimized trace is validated by
+        one more replay, so the reported trace is known-reproducing."""
+        trace = list(execution.trace)
+        verdict = execution.verdict
+        spent = 0
+        changed = True
+        while changed and spent < budget:
+            changed = False
+            for i, choice in enumerate(trace):
+                if choice == 0:
+                    continue
+                if spent >= budget:
+                    break
+                candidate = list(trace)
+                candidate[i] = 0
+                replay = self.run(tuple(candidate))
+                spent += 1
+                if replay.verdict == verdict:
+                    trace = candidate
+                    changed = True
+        while trace and trace[-1] == 0:
+            trace.pop()
+        minimized = tuple(trace)
+        decisions: List[str] = []
+        final_verdict = verdict
+        error = execution.error
+        if spent < budget or minimized != execution.trace:
+            validate = self.run(minimized)
+            spent += 1
+            final_verdict = validate.verdict
+            error = validate.error or error
+            decisions = [
+                pt.describe()
+                for pt in validate.points[:len(minimized) or 1]
+            ]
+        return (
+            Counterexample(
+                trace=execution.trace,
+                minimized=minimized,
+                verdict=final_verdict,
+                error=error,
+                replays=spent,
+                decisions=decisions,
+            ),
+            spent,
+        )

@@ -1,0 +1,164 @@
+"""Schedule points: the simulator's controlled nondeterminism, reified.
+
+The simulator is deterministic, but several of its policies are *chosen*
+rather than forced — which stream an SM steals from, how deep in the
+pending-fault queue a fault's resolution slots, whether a chaos hook
+fires at a site.  Each such site is a :class:`SchedulePoint`; a
+:class:`ScheduleControl` is the pluggable choice provider the sites
+consult (docs/MODELCHECK.md).
+
+The contract that makes bounded model checking work:
+
+- **Default = today.**  With no control attached (the ``schedule=None``
+  default everywhere) the sites keep their existing fixed/seeded
+  policies, bit-identically — the golden digests and the streams overlap
+  digest pin this.  With a control attached but an empty trace, every
+  ``choose`` returns choice 0, which each site maps to its legacy
+  policy, so the all-zero execution is the canonical one.
+- **Trace replay.**  Decision points occur in a deterministic order
+  given the choices made before them, so an execution is fully described
+  by its choice trace (the tuple of chosen indices in decision order).
+  Re-running with that trace as the forced prefix reproduces the
+  execution exactly; running with a *prefix* of it explores the subtree
+  below that prefix (the explorer's DFS in :mod:`repro.mc.explorer`).
+
+Sites are identified by ``(site, key)``: ``site`` names the kind of
+choice (``sched.steal``, ``fault.service_order``, ``chaos.resolve_delay``,
+``chaos.pkt_reorder``); ``key`` locates it (``("sm", 3)``,
+``("group", 17)``, ``("global",)``) and drives the explorer's
+independence pruning — see :func:`independent`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+class TraceDivergence(Exception):
+    """A forced trace did not match the execution it claimed to describe
+    (a choice index out of range for its point, or more forced choices
+    than decision points).  Always a bug in the caller or a stale trace —
+    replaying a trace recorded from the same scenario cannot diverge."""
+
+
+@dataclass(frozen=True)
+class SchedulePoint:
+    """One decision the simulator asked a :class:`ScheduleControl` about.
+
+    ``site``
+        the kind of choice (``sched.steal``, ``fault.service_order``, ...);
+    ``key``
+        where it arose — ``("sm", i)``, ``("group", g)`` or ``("global",)``
+        — the independence-pruning key (docs/MODELCHECK.md);
+    ``choices``
+        how many alternatives existed (always >= 2: trivial sites are
+        not recorded);
+    ``chosen``
+        the index actually taken (0 = the legacy default policy);
+    ``time``
+        simulated time of the decision (informational; 0.0 where the
+        site has no clock, e.g. block dispatch).
+    """
+
+    site: str
+    key: Tuple
+    choices: int
+    chosen: int
+    time: float = 0.0
+
+    def describe(self) -> str:
+        key = "/".join(str(k) for k in self.key)
+        return (
+            f"{self.site}[{key}]: {self.chosen}/{self.choices - 1} "
+            f"@t={self.time:g}"
+        )
+
+
+class ScheduleControl:
+    """Choice provider threaded through the simulator's decision sites.
+
+    ``trace`` forces the first ``len(trace)`` decision points to the
+    given choice indices; every later point takes choice 0 (the legacy
+    default).  The control records every point it was asked about in
+    ``log``, so after a run ``control.trace()`` is the complete choice
+    tuple describing the execution — the explorer's unit of identity.
+
+    One control instance drives exactly one execution: it is stateful
+    (the decision cursor) and not reusable across runs.
+    """
+
+    def __init__(self, trace: Sequence[int] = ()) -> None:
+        self.forced: Tuple[int, ...] = tuple(trace)
+        self.log: List[SchedulePoint] = []
+
+    def choose(
+        self, site: str, key: Tuple, choices: int, time: float = 0.0
+    ) -> int:
+        """Decide one schedule point; returns the chosen index.
+
+        Sites call this only when a genuine choice exists; a site with
+        one candidate must not consume a decision slot (``choices <= 1``
+        returns 0 without recording), so traces stay dense and prefix
+        indices line up across replays."""
+        if choices <= 1:
+            return 0
+        idx = len(self.log)
+        if idx < len(self.forced):
+            pick = self.forced[idx]
+            if not 0 <= pick < choices:
+                raise TraceDivergence(
+                    f"decision {idx} ({site}{key}): forced choice {pick} "
+                    f"out of range 0..{choices - 1}"
+                )
+        else:
+            pick = 0
+        self.log.append(
+            SchedulePoint(
+                site=site, key=key, choices=choices, chosen=pick, time=time
+            )
+        )
+        return pick
+
+    def trace(self) -> Tuple[int, ...]:
+        """The execution's complete choice trace (decision order)."""
+        return tuple(pt.chosen for pt in self.log)
+
+    def __len__(self) -> int:
+        return len(self.log)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ScheduleControl forced={self.forced} "
+            f"decided={len(self.log)}>"
+        )
+
+
+def independent(a: SchedulePoint, b: SchedulePoint) -> bool:
+    """True when two decision points provably cannot interact.
+
+    The pruning relation of docs/MODELCHECK.md: flipping an alternative
+    at a point that is independent of every *later* point in the
+    execution yields an equivalent-by-symmetry execution, so the
+    explorer skips it (persistent-set/sleep-set style).  Conservative by
+    construction:
+
+    - same ``(site, key)``: dependent (same queue, same SM, same group);
+    - a ``("global",)`` key touches shared state: dependent with
+      everything;
+    - two steal decisions on different SMs (``("sm", i)`` vs
+      ``("sm", j)``, i != j) pull from per-SM dispatch state whose
+      cross-SM coupling the queue-candidate sets already capture:
+      independent;
+    - two service-order decisions for different fault groups
+      (``("group", g)`` vs ``("group", h)``): independent;
+    - everything else (cross-kind pairs, unknown keys): dependent.
+    """
+    ka, kb = a.key, b.key
+    if ("global",) in (ka, kb):
+        return False
+    if ka == kb:
+        return False
+    if ka[0] == kb[0] and ka[0] in ("sm", "group"):
+        return True
+    return False

@@ -390,7 +390,13 @@ class GpuDevice:
         return result
 
     def synchronize(
-        self, telemetry=None, policy: str = "partition"
+        self,
+        telemetry=None,
+        policy: str = "partition",
+        chaos=None,
+        watchdog=None,
+        sanitize: bool = False,
+        schedule=None,
     ) -> Optional[MultiKernelResult]:
         """Simulate every queued stream launch concurrently on the shared
         GPU and block until all complete (CUDA ``cudaDeviceSynchronize``).
@@ -402,7 +408,15 @@ class GpuDevice:
         Fills each queued launch's :class:`StreamLaunchHandle` and advances
         ``total_cycles`` by the overlapped makespan.  Returns the
         :class:`repro.system.MultiKernelResult` (also appended to
-        ``sync_results``), or None when nothing was queued."""
+        ``sync_results``), or None when nothing was queued.
+
+        ``chaos``/``watchdog``/``sanitize`` enable the robustness layer
+        *inside* this synchronize's simulation (docs/ROBUSTNESS.md) —
+        distinct from the device-level engine driving the ``runtime.*``
+        hooks; ``schedule`` (a :class:`repro.mc.ScheduleControl`) makes
+        the run's scheduling/injection choices explorable decision points
+        (docs/MODELCHECK.md).  All default off/None, leaving the
+        simulation bit-identical."""
         if not self._queued:
             return None
         if self.chaos is not None:
@@ -423,7 +437,11 @@ class GpuDevice:
             frame_allocator=self.frames,
             frame_partitions=self._partitions,
             telemetry=telemetry,
+            chaos=chaos,
+            watchdog=watchdog,
+            sanitize=sanitize,
             policy=policy,
+            schedule=schedule,
         )
         result = sim.run()
         for handle, kres in zip(handles, result.kernels):

@@ -73,14 +73,19 @@ class FaultController:
         partitions: Optional[List[FrameAllocator]] = None,
         telemetry=None,
         chaos=None,
+        schedule=None,
     ) -> None:
         """``partitions`` lets a caller that persists physical memory across
         launches (the runtime facade) supply an existing CPU+per-SM split of
-        the frame pool instead of partitioning the (then non-empty) pool."""
+        the frame pool instead of partitioning the (then non-empty) pool.
+        ``schedule`` (a :class:`repro.mc.ScheduleControl`) turns the
+        pending-queue service order into an explorable decision point;
+        ``None`` keeps the FIFO arrival order, bit-identically."""
         self.config = config
         self.interconnect = interconnect
         self.page_state = page_state
         self.local_handling = local_handling
+        self.schedule = schedule
         self.stats = FaultStats()
         # Per-kernel tallies for multi-stream runs (docs/CONCURRENCY.md).
         # Kept out of FaultStats: the golden-digest fixture hashes that
@@ -209,7 +214,21 @@ class FaultController:
             self.stats.handled_locally += 1
             frames = self._sm_frames[sm_id]
         else:
-            resolved = self._resolve_cpu(detect_time, fault_class)
+            enter = detect_time
+            if self.schedule is not None and position > 0:
+                # Explorable service order (docs/MODELCHECK.md): the fill
+                # unit may service this group after 0..min(position, 3)
+                # of the groups already pending, each slot one CPU
+                # service quantum.  Choice 0 is arrival order (FIFO) —
+                # the legacy policy, bit-identical when chosen.
+                slot = self.schedule.choose(
+                    "fault.service_order",
+                    ("group", group),
+                    min(position, 3) + 1,
+                    detect_time,
+                )
+                enter += slot * self.interconnect.cpu_service
+            resolved = self._resolve_cpu(enter, fault_class)
             self.stats.handled_by_cpu += 1
             frames = self._cpu_frames
         if chaos is not None:
@@ -266,11 +285,22 @@ class FaultController:
         msg_occupancy = ic.msg_occupancy
         cpu_service = ic.cpu_service
         transfer_time = ic.transfer_time
+        reorder_slots = 0
         if chaos is not None:
             msg_occupancy = chaos.link_latency(msg_occupancy, detect)
             cpu_service = chaos.cpu_latency(cpu_service, detect)
+            # Interconnect packet chaos (docs/ROBUSTNESS.md): a dropped
+            # fault message is retransmitted, each lost copy re-occupying
+            # the link; a reordered one waits behind packets that
+            # overtook it before it may start.
+            retx = chaos.pkt_drop(detect)
+            if retx:
+                msg_occupancy *= 1 + retx
+            reorder_slots = chaos.pkt_reorder(detect)
         half_signal = ic.signal_latency / 2
         msg_start = max(detect + half_signal, self._link_next_free)
+        if reorder_slots:
+            msg_start += reorder_slots * ic.msg_occupancy
         msg_done = msg_start + msg_occupancy
         self._link_next_free = msg_done
         self.stats.link_busy += msg_occupancy

@@ -198,6 +198,7 @@ class GpuSimulator(_RunLoopMixin):
         watchdog=None,
         sanitize: bool = False,
         reference_issue: bool = False,
+        schedule=None,
     ) -> None:
         """``chaos`` (a :class:`repro.chaos.ChaosEngine`), ``watchdog``
         (a :class:`repro.chaos.Watchdog`) and ``sanitize`` enable the
@@ -206,7 +207,10 @@ class GpuSimulator(_RunLoopMixin):
         single ``is not None`` check.  ``reference_issue`` selects the
         pre-overhaul full round-robin issue scan on every SM (the
         executable spec the fast path is pinned against; also via
-        ``REPRO_REFERENCE_ISSUE=1``)."""
+        ``REPRO_REFERENCE_ISSUE=1``).  ``schedule`` (a
+        :class:`repro.mc.ScheduleControl`) makes the run's controlled
+        nondeterminism points explorable decision sites
+        (docs/MODELCHECK.md); ``None`` keeps every legacy policy."""
         from repro.chaos import InvariantSanitizer, chaos_active
 
         self.config = config if config is not None else GPUConfig()
@@ -218,9 +222,12 @@ class GpuSimulator(_RunLoopMixin):
         self.telemetry = _tel_active(telemetry)
         self.chaos = chaos_active(chaos)
         self.watchdog = watchdog
+        self.schedule = schedule
         self.sanitizer = InvariantSanitizer() if sanitize else None
         if self.chaos is not None:
             self.chaos.attach_telemetry(self.telemetry)
+            if schedule is not None:
+                self.chaos.attach_schedule(schedule)
         cfg = self.config
 
         page_state = address_space.page_state
@@ -238,6 +245,7 @@ class GpuSimulator(_RunLoopMixin):
             partitions=frame_partitions,
             telemetry=self.telemetry,
             chaos=self.chaos,
+            schedule=schedule,
         )
         # Pre-mapping (driver-side) allocates from the CPU driver's slice.
         driver_frames = self.fault_ctl.cpu_frames
@@ -483,11 +491,16 @@ class MultiKernelSimulator(_RunLoopMixin):
         sanitize: bool = False,
         reference_issue: bool = False,
         policy: str = "partition",
+        schedule=None,
     ) -> None:
         """``launches`` is a sequence of :class:`StreamLaunch` (or
         ``(kernel, trace, stream)`` tuples) sharing ``address_space``;
         ``policy`` picks the SM-to-stream assignment (``partition`` |
-        ``interleave``), see :class:`MultiKernelScheduler`."""
+        ``interleave``), see :class:`MultiKernelScheduler`.  ``schedule``
+        (a :class:`repro.mc.ScheduleControl`) makes the steal order,
+        fault service order and chaos injection sites explorable decision
+        points (docs/MODELCHECK.md); ``None`` keeps every legacy policy
+        bit-identically."""
         from repro.chaos import InvariantSanitizer, chaos_active
 
         self.launches: List[StreamLaunch] = [
@@ -503,9 +516,12 @@ class MultiKernelSimulator(_RunLoopMixin):
         self.telemetry = _tel_active(telemetry)
         self.chaos = chaos_active(chaos)
         self.watchdog = watchdog
+        self.schedule = schedule
         self.sanitizer = InvariantSanitizer() if sanitize else None
         if self.chaos is not None:
             self.chaos.attach_telemetry(self.telemetry)
+            if schedule is not None:
+                self.chaos.attach_schedule(schedule)
         cfg = self.config
 
         page_state = address_space.page_state
@@ -523,6 +539,7 @@ class MultiKernelSimulator(_RunLoopMixin):
             partitions=frame_partitions,
             telemetry=self.telemetry,
             chaos=self.chaos,
+            schedule=schedule,
         )
         driver_frames = self.fault_ctl.cpu_frames
         if paging == "premapped":
@@ -578,7 +595,8 @@ class MultiKernelSimulator(_RunLoopMixin):
             occupancy = occ if occupancy is None else min(occupancy, occ)
 
         self.tb_scheduler = MultiKernelScheduler(
-            stream_kernels, kernel_blocks, cfg.num_sms, policy=policy
+            stream_kernels, kernel_blocks, cfg.num_sms, policy=policy,
+            schedule=schedule,
         )
         self.sms = [
             SmPipeline(

@@ -65,13 +65,18 @@ class MultiKernelScheduler:
         kernel_blocks: Dict[int, List[BlockTrace]],
         num_sms: int,
         policy: str = "partition",
+        schedule=None,
     ) -> None:
         """``stream_kernels[s]`` lists stream ``s``'s kernel ids in enqueue
         order; ``kernel_blocks`` maps each kernel id to its (kernel-tagged)
-        block traces."""
+        block traces.  ``schedule`` (a :class:`repro.mc.ScheduleControl`)
+        turns the cross-stream steal order into an explorable decision
+        point; ``None`` keeps the fixed home-then-stream-order policy on
+        its legacy path, bit-identically."""
         if policy not in ("partition", "interleave"):
             raise ValueError(f"unknown SM assignment policy {policy!r}")
         self.policy = policy
+        self.schedule = schedule
         self.num_sms = num_sms
         self._streams: List[List[int]] = [list(ks) for ks in stream_kernels]
         self._cursor: List[int] = [0] * len(self._streams)
@@ -126,11 +131,33 @@ class MultiKernelScheduler:
 
     def next_block(self, sm_id: int) -> Optional[BlockTrace]:
         """Hand ``sm_id`` the next block: home stream first, then steal
-        from the other streams in stream order (None when all drained)."""
+        from the other streams in stream order (None when all drained).
+
+        With a schedule control attached, a dispatch with more than one
+        candidate stream becomes a ``sched.steal`` decision point keyed
+        on the SM (docs/MODELCHECK.md); choice 0 is the legacy
+        home-then-stream-order pick, so the all-default trace is
+        bit-identical to the detached path."""
         home = self.home_stream(sm_id)
         order = [home] + [
             s for s in range(len(self._streams)) if s != home
         ]
+        if self.schedule is not None:
+            candidates = []
+            for stream in order:
+                kid = self.eligible_kernel(stream)
+                if kid is not None and self._pending[kid]:
+                    candidates.append(stream)
+            if not candidates:
+                return None
+            pick = self.schedule.choose(
+                "sched.steal", ("sm", sm_id), len(candidates)
+            )
+            stream = candidates[pick]
+            self.dispatched += 1
+            if stream != home:
+                self.stolen += 1
+            return self._pending[self.eligible_kernel(stream)].popleft()
         for stream in order:
             kid = self.eligible_kernel(stream)
             if kid is None:

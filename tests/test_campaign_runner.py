@@ -670,3 +670,102 @@ class TestCampaignCli:
         for flag in ("--workers", "--out", "--resume", "--max-attempts",
                      "--backoff-base"):
             assert flag in help_text
+
+
+# ---------------------------------------------------------------------------
+# adaptive per-cell timeouts (history-derived from the previous manifest)
+# ---------------------------------------------------------------------------
+
+def _slow_until_marker(marker, tag="slow"):
+    """Sleeps past any reasonable adaptive timeout on the first attempt
+    (creating ``marker``), returns promptly once the marker exists — a
+    cell whose adaptive timeout was simply too tight."""
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        time.sleep(30)
+    return _table(tag)
+
+
+class TestAdaptiveTimeouts:
+    def _cell(self, **kwargs):
+        return CampaignCell(key="g/ok", fn=_ok_cell, kwargs=kwargs,
+                            group="g")
+
+    def test_derived_from_previous_manifest(self, tmp_path):
+        out = str(tmp_path / "camp")
+        cells = [self._cell()]
+        assert CampaignRunner(cells, out_dir=out,
+                              echo=lambda m: None).run().ok
+        runner = CampaignRunner(cells, out_dir=out, echo=lambda m: None)
+        result = runner.run()
+        assert result.ok
+        # a sub-second cell gets the floor, not a sub-second timeout
+        assert runner._cell_timeouts == {"g/ok": 10.0}
+        assert result.counters["counters"][
+            "harness.campaign.adaptive_timeouts"] == 1
+
+    def test_caps_at_campaign_timeout_and_scales_duration(self, tmp_path):
+        cell = self._cell()
+        entry = {"status": "ok", "config_hash": cell.config_hash(),
+                 "duration_s": 100.0}
+        capped = CampaignRunner([cell], out_dir=str(tmp_path), timeout=50.0,
+                                echo=lambda m: None)
+        capped._seed_adaptive_timeouts({"g/ok": entry})
+        assert capped._cell_timeouts == {"g/ok": 50.0}
+        free = CampaignRunner([cell], out_dir=str(tmp_path),
+                              echo=lambda m: None)
+        free._seed_adaptive_timeouts({"g/ok": entry})
+        assert free._cell_timeouts == {"g/ok": 400.0}
+
+    def test_ignores_stale_failed_or_missing_history(self, tmp_path):
+        cell = self._cell()
+        runner = CampaignRunner([cell], out_dir=str(tmp_path),
+                                echo=lambda m: None)
+        runner._seed_adaptive_timeouts({
+            "g/ok": {"status": "ok", "config_hash": "deadbeef",
+                     "duration_s": 5.0},
+        })
+        runner._seed_adaptive_timeouts({
+            "g/ok": {"status": "failed",
+                     "config_hash": cell.config_hash(),
+                     "duration_s": 5.0},
+        })
+        runner._seed_adaptive_timeouts({})
+        assert runner._cell_timeouts == {}
+
+    def test_disabled_derives_nothing(self, tmp_path):
+        out = str(tmp_path / "camp")
+        cells = [self._cell()]
+        assert CampaignRunner(cells, out_dir=out,
+                              echo=lambda m: None).run().ok
+        runner = CampaignRunner(cells, out_dir=out, adaptive_timeout=False,
+                                echo=lambda m: None)
+        assert runner.run().ok
+        assert runner._cell_timeouts == {}
+
+    def test_timeout_retry_escalates_allowance(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        cell = CampaignCell(key="g/slow", fn=_slow_until_marker,
+                            kwargs={"marker": marker}, group="g")
+        runner = CampaignRunner([cell], max_attempts=3,
+                                sleep=lambda s: None, echo=lambda m: None)
+        runner._cell_timeouts["g/slow"] = 2.0
+        outcome = runner._run_cell(cell)
+        assert outcome.ok
+        first, second = outcome.ledger[0], outcome.ledger[1]
+        assert first["status"] == "failed" and first["kind"] == "Timeout"
+        assert first["timeout_s"] == 2.0
+        assert second["status"] == "ok"
+
+    def test_cli_flag_plumbed(self, monkeypatch, tmp_path, capsys):
+        import repro.harness.__main__ as cli
+
+        monkeypatch.setattr(cli, "ALL_EXPERIMENTS", {"ok": _ok_cell})
+        out = str(tmp_path / "camp")
+        assert cli.main(["ok", "--out", out]) == 0
+        capsys.readouterr()
+        assert cli.main(["ok", "--out", out, "--no-adaptive-timeout"]) == 0
+        assert "adaptive timeouts derived" not in capsys.readouterr().err
+        assert cli.main(["ok", "--out", out]) == 0
+        assert "adaptive timeouts derived" in capsys.readouterr().err

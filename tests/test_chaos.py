@@ -79,6 +79,8 @@ class TestChaosEngine:
             out.append(engine.squash_replay(t, sm_id=i % 4))
             out.append(engine.mshr_exhaustion(t, cache="l1[0]"))
             out.append(engine.refresh_storm(t))
+            out.append(engine.pkt_drop(t))
+            out.append(engine.pkt_reorder(t))
             out.append(engine.alloc_failure(t, nbytes=4096))
             out.append(engine.stream_teardown(t, stream=i % 2))
         return out
@@ -456,3 +458,98 @@ class TestSanitizer:
         checked = checked_sim.run()
         assert checked.cycles == plain.cycles
         assert checked_sim.sanitizer.checks_run > 0
+
+
+class TestInterconnectHooks:
+    """The icnt.pkt_drop / icnt.pkt_reorder hooks (docs/ROBUSTNESS.md)."""
+
+    def test_registered_in_all_hooks(self):
+        assert "icnt.pkt_drop" in ALL_HOOKS
+        assert "icnt.pkt_reorder" in ALL_HOOKS
+
+    def test_pkt_drop_fires_and_counts(self):
+        engine = ChaosEngine(ChaosConfig(seed=0, pkt_drop_rate=1.0,
+                                         pkt_drop_max_retx=3))
+        retx = [engine.pkt_drop(float(t)) for t in range(50)]
+        assert all(1 <= r <= 3 for r in retx)
+        assert engine.injections["icnt.pkt_drop"] == 50
+
+    def test_pkt_reorder_fires_and_counts(self):
+        engine = ChaosEngine(ChaosConfig(seed=0, pkt_reorder_rate=1.0,
+                                         pkt_reorder_max_slots=2))
+        slots = [engine.pkt_reorder(float(t)) for t in range(50)]
+        assert all(1 <= s <= 2 for s in slots)
+        assert engine.injections["icnt.pkt_reorder"] == 50
+
+    def test_zero_rate_never_fires(self):
+        engine = ChaosEngine(ChaosConfig(seed=0, pkt_drop_rate=0.0,
+                                         pkt_reorder_rate=0.0))
+        assert all(engine.pkt_drop(float(t)) == 0 for t in range(50))
+        assert all(engine.pkt_reorder(float(t)) == 0 for t in range(50))
+        assert engine.total_injections == 0
+
+    def test_perturb_timing_only_in_campaign(self):
+        # drive a full run with ONLY the interconnect hooks armed:
+        # state-match must hold and the chaotic run must actually differ
+        zeroed = {
+            name: 0.0
+            for name in vars(ChaosConfig())
+            if name.endswith("_rate")
+        }
+        cfg = ChaosConfig(
+            seed=0,
+            **{**zeroed, "pkt_drop_rate": 1.0, "pkt_reorder_rate": 1.0},
+        )
+        wl = MICRO.fresh("tlb-thrash")
+        base_sim = build_sim(wl)
+        base = base_sim.run()
+        chaotic_sim = build_sim(
+            MICRO.fresh("tlb-thrash"), chaos=ChaosEngine(cfg),
+            watchdog=Watchdog(), sanitize=True,
+        )
+        chaotic = chaotic_sim.run()
+        assert chaotic_sim.chaos.total_injections > 0
+        assert chaotic.cycles > base.cycles
+        assert architectural_digest(base_sim) == architectural_digest(
+            chaotic_sim
+        )
+
+
+class TestStreamChaosCampaign:
+    """Multi-kernel stream runs in the chaos soak matrix."""
+
+    def test_state_match_under_both_policies(self):
+        from repro.harness import run_stream_chaos_campaign
+
+        for policy in ("partition", "interleave"):
+            table = run_stream_chaos_campaign(
+                "contention", seed=0, policy=policy,
+                schemes=("replay-queue",),
+            )
+            row = table.rows["replay-queue"]
+            assert row[-1] == 1.0  # state-match
+            assert row[3] > 0  # injections fired
+
+    def test_build_chaos_cells_stream_axis(self):
+        from repro.harness import build_chaos_cells
+        from repro.harness.chaos_campaign import run_stream_chaos_campaign
+
+        cells = build_chaos_cells(
+            ["saxpy"], seeds=[0, 1],
+            stream_policies=("partition", "interleave"),
+        )
+        keys = [c.key for c in cells]
+        assert "chaos/saxpy/s0" in keys
+        assert "chaos/streams-contention/partition/s0" in keys
+        assert "chaos/streams-contention/interleave/s1" in keys
+        assert "chaos/streams-mixed/partition/s1" in keys
+        stream_cells = [c for c in cells if "streams-" in c.key]
+        assert all(c.fn is run_stream_chaos_campaign
+                   for c in stream_cells)
+        assert all(c.group == "chaos" for c in cells)
+
+    def test_no_stream_policies_no_stream_cells(self):
+        from repro.harness import build_chaos_cells
+
+        cells = build_chaos_cells(["saxpy"], seeds=[0])
+        assert [c.key for c in cells] == ["chaos/saxpy/s0"]

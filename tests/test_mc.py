@@ -1,0 +1,348 @@
+"""Model-checking tests (:mod:`repro.mc`, docs/MODELCHECK.md): schedule
+control record/replay, independence rules, explorer behavior on a
+synthetic decision tree, default bit-identity of the threaded choice
+sites, scenario exploration determinism, the negative-control
+counterexample, and the ``mc`` CLI."""
+
+import json
+
+import pytest
+
+from repro.mc import (
+    CLEAN,
+    Execution,
+    Explorer,
+    ScheduleControl,
+    SchedulePoint,
+    TraceDivergence,
+    execute_trace,
+    get_mc_scenario,
+    independent,
+    replay_trace,
+    run_mc_scenario,
+)
+
+# ---------------------------------------------------------------------------
+# schedule control
+# ---------------------------------------------------------------------------
+
+
+class TestScheduleControl:
+    def test_defaults_to_zero_and_logs(self):
+        ctl = ScheduleControl()
+        assert ctl.choose("sched.steal", ("sm", 0), 3) == 0
+        assert ctl.choose("fault.service_order", ("group", 7), 2, 42.0) == 0
+        assert ctl.trace() == (0, 0)
+        assert len(ctl) == 2
+        pt = ctl.log[1]
+        assert pt.site == "fault.service_order"
+        assert pt.key == ("group", 7)
+        assert pt.choices == 2
+        assert pt.time == 42.0
+        assert "fault.service_order" in pt.describe()
+
+    def test_single_choice_not_logged(self):
+        ctl = ScheduleControl()
+        assert ctl.choose("sched.steal", ("sm", 0), 1) == 0
+        assert ctl.trace() == ()
+
+    def test_forced_prefix_then_defaults(self):
+        ctl = ScheduleControl((1, 2))
+        assert ctl.choose("a", ("sm", 0), 2) == 1
+        assert ctl.choose("b", ("sm", 1), 3) == 2
+        assert ctl.choose("c", ("sm", 2), 2) == 0
+        assert ctl.trace() == (1, 2, 0)
+
+    def test_out_of_range_forced_choice_diverges(self):
+        ctl = ScheduleControl((5,))
+        with pytest.raises(TraceDivergence):
+            ctl.choose("a", ("sm", 0), 2)
+
+    def test_replay_is_exact(self):
+        first = ScheduleControl()
+        for i in range(4):
+            first.choose("s", ("sm", i), 3)
+        replay = ScheduleControl(first.trace())
+        for i in range(4):
+            replay.choose("s", ("sm", i), 3)
+        assert replay.trace() == first.trace()
+
+
+class TestIndependence:
+    def _pt(self, site, key, chosen=0):
+        return SchedulePoint(site=site, key=key, choices=2, chosen=chosen)
+
+    def test_global_is_dependent_on_everything(self):
+        g = self._pt("chaos.resolve_delay", ("global",))
+        s = self._pt("sched.steal", ("sm", 0))
+        assert not independent(g, s)
+        assert not independent(s, g)
+        assert not independent(g, g)
+
+    def test_same_key_dependent(self):
+        a = self._pt("sched.steal", ("sm", 3))
+        b = self._pt("sched.steal", ("sm", 3), chosen=1)
+        assert not independent(a, b)
+
+    def test_distinct_sms_and_groups_independent(self):
+        assert independent(
+            self._pt("sched.steal", ("sm", 0)),
+            self._pt("sched.steal", ("sm", 1)),
+        )
+        assert independent(
+            self._pt("fault.service_order", ("group", 1)),
+            self._pt("fault.service_order", ("group", 2)),
+        )
+
+    def test_cross_kind_dependent(self):
+        assert not independent(
+            self._pt("sched.steal", ("sm", 0)),
+            self._pt("fault.service_order", ("group", 0)),
+        )
+
+
+# ---------------------------------------------------------------------------
+# explorer on a synthetic decision tree (no simulator)
+# ---------------------------------------------------------------------------
+
+
+def _tree_run(prefix):
+    """Three decision points (2 x 3 x 2 = 12 traces); the run fails iff
+    the middle choice is 2 AND the chaos choice is 1."""
+    ctl = ScheduleControl(prefix)
+    ctl.choose("sched.steal", ("sm", 0), 2)
+    b = ctl.choose("sched.steal", ("sm", 1), 3)
+    c = ctl.choose("chaos.x", ("global",), 2)
+    bad = b == 2 and c == 1
+    return Execution(
+        trace=ctl.trace(),
+        points=list(ctl.log),
+        verdict="violation" if bad else CLEAN,
+        error="synthetic boom" if bad else None,
+        functional_digest=None if bad else "f",
+        arch_digest=None if bad else "a",
+    )
+
+
+def _symmetric_run(prefix):
+    """Two decision points on distinct SMs and nothing else: both prune
+    by independence, so only the default execution runs."""
+    ctl = ScheduleControl(prefix)
+    ctl.choose("sched.steal", ("sm", 0), 2)
+    ctl.choose("sched.steal", ("sm", 1), 2)
+    return Execution(
+        trace=ctl.trace(), points=list(ctl.log), verdict=CLEAN,
+        functional_digest="f", arch_digest="a",
+    )
+
+
+class TestExplorerSynthetic:
+    def test_full_tree_explored_with_dedup(self):
+        report = Explorer(_tree_run, max_executions=30).explore("tree")
+        assert report.explored == 12
+        assert report.distinct_traces == 12
+        assert not report.truncated
+        assert report.pruned["seen_prefix"] == 0
+        tally = report._verdict_tally()
+        assert tally == {"clean": 10, "violation": 2}
+
+    def test_counterexamples_minimized_and_deduped(self):
+        report = Explorer(_tree_run, max_executions=40).explore("tree")
+        # (0,2,1) and (1,2,1) both fail and both minimize to (0,2,1)
+        assert len(report.counterexamples) == 1
+        cx = report.counterexamples[0]
+        assert cx.minimized == (0, 2, 1)
+        assert cx.verdict == "violation"
+        assert report.pruned["duplicate_cex"] == 1
+        assert _tree_run(cx.minimized).verdict == "violation"
+        assert cx.decisions  # human-readable decision log present
+
+    def test_independence_prunes_symmetric_points(self):
+        report = Explorer(_symmetric_run, max_executions=10).explore("sym")
+        assert report.explored == 1
+        assert report.pruned["independence"] == 2
+
+    def test_chaos_sites_never_pruned(self):
+        # _tree_run's chaos point is last (vacuously independent of the
+        # empty suffix) yet its alternative must still be explored —
+        # that's exactly where the counterexample lives
+        report = Explorer(_tree_run, max_executions=40).explore("tree")
+        assert any(e.trace == (0, 0, 1) for e in report.executions)
+
+    def test_execution_budget_truncates_and_counts(self):
+        report = Explorer(_tree_run, max_executions=5).explore("tree")
+        assert report.explored == 5
+        assert report.truncated
+
+    def test_branch_budget_caps_alternatives(self):
+        report = Explorer(
+            _tree_run, max_executions=30, max_branch=2
+        ).explore("tree")
+        # the 3-way point only ever tries alternative 1 => b==2 unreachable
+        assert report.all_clean
+        assert report.pruned["branch_budget"] > 0
+
+    def test_depth_budget_caps_expansion(self):
+        report = Explorer(
+            _tree_run, max_executions=30, max_depth=2
+        ).explore("tree")
+        assert all(e.trace[2] == 0 for e in report.executions)
+        assert report.pruned["depth_budget"] > 0
+
+    def test_report_byte_identical(self):
+        a = Explorer(_tree_run, max_executions=30).explore("tree")
+        b = Explorer(_tree_run, max_executions=30).explore("tree")
+        assert a.to_json() == b.to_json()
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            Explorer(_tree_run, max_executions=0)
+        with pytest.raises(ValueError):
+            Explorer(_tree_run, max_branch=1)
+        with pytest.raises(ValueError):
+            Explorer(_tree_run, max_depth=0)
+
+    def test_counters_populated(self):
+        from repro.telemetry import CounterRegistry
+
+        reg = CounterRegistry()
+        Explorer(_tree_run, max_executions=30, counters=reg).explore("t")
+        snap = reg.snapshot()
+        assert snap["mc.executions"] == 12
+        assert snap["mc.violations"] == 2
+        assert snap["mc.distinct_traces"] == 12
+        assert snap["mc.minimize_replays"] > 0
+
+
+# ---------------------------------------------------------------------------
+# default bit-identity: attaching a control with an empty trace must not
+# change the simulation (every site's choice 0 is the legacy policy)
+# ---------------------------------------------------------------------------
+
+
+class TestDefaultBitIdentity:
+    def test_contention_overlap_digest_unchanged(self):
+        from repro.harness.streams import overlap_digest
+        from repro.runtime import GpuDevice
+        from repro.workloads import get_stream_scenario
+
+        def run(schedule):
+            dev = GpuDevice(scheme="replay-queue", time_scale=8.0)
+            for spec in get_stream_scenario("contention").build(dev):
+                stream = dev.create_stream()
+                dev.launch(spec.kernel, grid=spec.grid, block=spec.block,
+                           args=spec.args, stream=stream)
+            return overlap_digest(dev.synchronize(policy="partition",
+                                                  schedule=schedule))
+
+        control = ScheduleControl()
+        assert run(None) == run(control)
+        assert len(control.log) > 0  # the sites actually recorded
+
+
+# ---------------------------------------------------------------------------
+# scenarios end to end
+# ---------------------------------------------------------------------------
+
+
+class TestMcScenarios:
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            get_mc_scenario("nope")
+
+    def test_storm_exploration_byte_identical(self):
+        kw = dict(max_executions=6, max_depth=30, max_branch=2)
+        a = run_mc_scenario("fault-storm", **kw)
+        b = run_mc_scenario("fault-storm", **kw)
+        assert a.to_json() == b.to_json()
+        assert a.all_clean
+        assert a.digest_consistent()
+
+    def test_negative_control_counterexample(self):
+        report = run_mc_scenario(
+            "fault-storm-bug", max_executions=12, max_depth=40,
+            max_branch=2,
+        )
+        assert report.counterexamples, "negative control found nothing"
+        cx = report.counterexamples[0]
+        assert cx.verdict == "violation"
+        assert "regression" in cx.error
+        # minimized to a single injected choice
+        assert sum(1 for c in cx.minimized if c) == 1
+        # and the minimized trace replays to the same verdict
+        replay = replay_trace("fault-storm-bug", cx.minimized)
+        assert replay.verdict == cx.verdict
+        assert replay.error == cx.error
+
+    def test_execute_trace_verdict_and_digests(self):
+        ex = execute_trace(get_mc_scenario("fault-storm"))
+        assert ex.clean
+        assert ex.functional_digest and ex.arch_digest
+        assert ex.observables["faults_raised"] > 0
+        sites = {p.site for p in ex.points}
+        assert "chaos.resolve_delay" in sites
+        assert "chaos.fault_storm" in sites
+        assert "chaos.pkt_reorder" in sites
+        assert "fault.service_order" in sites
+
+
+class TestContentionAcceptance:
+    """The headline acceptance criterion: >= 50 distinct interleavings of
+    the two-stream contention scenario, every one sanitizer-clean with
+    identical functional digests."""
+
+    def test_fifty_distinct_interleavings_all_clean(self):
+        report = run_mc_scenario("contention", max_executions=50)
+        assert report.distinct_traces >= 50
+        assert report.all_clean
+        assert report.digest_consistent()
+        assert not report.counterexamples
+        clean_fds = {e.functional_digest for e in report.executions}
+        assert len(clean_fds) == 1
+        sites = {p.site for e in report.executions for p in e.points}
+        assert "sched.steal" in sites
+        assert "fault.service_order" in sites
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestMcCli:
+    def test_explore_and_json_report(self, tmp_path, capsys):
+        from repro.harness.__main__ import main
+
+        out = str(tmp_path / "mc.json")
+        code = main(["mc", "fault-storm", "--max-executions", "4",
+                     "--max-branch", "2", "--json", out])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "mc:fault-storm" in captured.out
+        assert "mc.executions" in captured.out
+        with open(out) as fh:
+            payload = json.load(fh)
+        assert payload["ok"] is True
+        assert payload["scenarios"]["fault-storm"]["explored"] == 4
+        assert payload["counters"]["mc.executions"] == 4
+
+    def test_negative_control_exits_zero_when_found(self, capsys):
+        from repro.harness.__main__ import main
+
+        code = main(["mc", "fault-storm-bug", "--max-executions", "10",
+                     "--max-branch", "2"])
+        assert code == 0
+        assert "counterexample" in capsys.readouterr().out
+
+    def test_replay_mode(self, capsys):
+        from repro.harness.__main__ import main
+
+        assert main(["mc", "fault-storm", "--replay", "0,0"]) == 0
+        assert "verdict=clean" in capsys.readouterr().out
+
+    def test_unknown_scenario_usage_error(self):
+        from repro.harness.__main__ import main
+
+        with pytest.raises(SystemExit) as exc_info:
+            main(["mc", "bogus"])
+        assert exc_info.value.code == 2
