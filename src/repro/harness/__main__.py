@@ -12,6 +12,18 @@ Examples::
     python -m repro.harness sweep lbm --seeds 0 1 --backend vectorized
     python -m repro.harness figures
     python -m repro.harness campaign
+    python -m repro.harness chaos --workloads all --seeds 0 1 \\
+        --out soak --coordinate 8420
+    python -m repro.harness worker --coordinator http://127.0.0.1:8420
+    python -m repro.harness mc --campaign --workers 2
+    python -m repro.harness chaos --workloads all --seeds 0 1 --dry-run
+
+Campaign subcommands (``all``/``chaos``/``sweep``/``mc --campaign``)
+share one execution tail: ``--dry-run`` prints the cell matrix with
+duration estimates, ``--coordinate PORT`` serves the matrix to remote
+``worker`` processes over HTTP (work-stealing leases, validated
+checkpoint uploads, byte-identical merged output — docs/ROBUSTNESS.md),
+and the default runs shards on local supervisor threads.
 
 The ``trace`` subcommand runs one workload with telemetry enabled and
 writes a Chrome ``trace_event`` JSON (open in chrome://tracing / Perfetto)
@@ -59,6 +71,8 @@ SUBCOMMANDS = (
     "campaign",
     "serve-bench",
     "mc",
+    "worker",
+    "dist-bench",
 )
 
 
@@ -182,6 +196,85 @@ def _add_campaign_flags(parser) -> None:
              "unsupported schemes, non-sweep cells) fall back to the "
              "scalar engine with a logged reason (docs/VECTORIZATION.md)",
     )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="print the cell matrix in canonical (merge) order with "
+             "per-cell duration estimates from the timeout history "
+             "under --out, then exit without executing anything",
+    )
+    parser.add_argument(
+        "--coordinate", type=int, default=None, metavar="PORT",
+        help="instead of running cells locally, serve this campaign to "
+             "remote workers over HTTP on PORT (0 = ephemeral port); "
+             "requires --out — the campaign directory is the workers' "
+             "checkpoint store (docs/ROBUSTNESS.md); start workers with "
+             "'python -m repro.harness worker --coordinator URL'",
+    )
+    parser.add_argument(
+        "--bind", default="127.0.0.1", metavar="HOST",
+        help="coordinator bind address (default: loopback only; bind a "
+             "routable address to accept remote workers — workers fully "
+             "trust the coordinator, see docs/ROBUSTNESS.md)",
+    )
+    parser.add_argument(
+        "--lease-seconds", type=float, default=15.0, metavar="S",
+        help="coordinator lease duration: a cell unacknowledged for this "
+             "long is re-leased to another worker (workers heartbeat at "
+             "a third of it)",
+    )
+
+
+def _campaign_dispatch(args, cells, parser, *, keep_going: bool = True):
+    """The shared execution tail of every cell-building subcommand:
+    ``--dry-run`` prints the matrix and estimates, ``--coordinate``
+    serves the matrix to remote workers (docs/ROBUSTNESS.md), the
+    default runs it on the local parallel runner.  Returns an exit code
+    (int) for dry-run, else the :class:`CampaignResult`."""
+    from .runner import render_dry_run
+
+    if getattr(args, "dry_run", False):
+        print(render_dry_run(cells, args.out))
+        return 0
+    if getattr(args, "coordinate", None) is not None:
+        from .dist import CampaignCoordinator
+
+        if args.out is None:
+            parser.error(
+                "--coordinate requires --out: the campaign directory is "
+                "the checkpoint store workers upload into"
+            )
+        try:
+            coordinator = CampaignCoordinator(
+                cells,
+                out_dir=args.out,
+                resume=args.resume,
+                timeout=getattr(args, "timeout", None),
+                adaptive_timeout=args.adaptive_timeout,
+                max_attempts=args.max_attempts,
+                backoff_base=args.backoff_base,
+                lease_seconds=args.lease_seconds,
+                host=args.bind,
+                port=args.coordinate,
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+        return coordinator.run()
+    try:
+        runner = CampaignRunner(
+            cells,
+            workers=args.workers,
+            out_dir=args.out,
+            resume=args.resume,
+            timeout=getattr(args, "timeout", None),
+            adaptive_timeout=args.adaptive_timeout,
+            max_attempts=args.max_attempts,
+            backoff_base=args.backoff_base,
+            backend=args.backend,
+            keep_going=keep_going,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    return runner.run()
 
 
 def _report_campaign(result, fmt: str = "{:.3f}") -> None:
@@ -252,22 +345,9 @@ def _sweep_main(argv) -> int:
         paging=args.paging,
         chaos=args.chaos,
     )
-    try:
-        runner = CampaignRunner(
-            cells,
-            workers=args.workers,
-            out_dir=args.out,
-            resume=args.resume,
-            timeout=args.timeout,
-            adaptive_timeout=args.adaptive_timeout,
-            max_attempts=args.max_attempts,
-            backoff_base=args.backoff_base,
-            backend=args.backend,
-            keep_going=True,
-        )
-    except ValueError as exc:
-        parser.error(str(exc))
-    result = runner.run()
+    result = _campaign_dispatch(args, cells, parser)
+    if isinstance(result, int):
+        return result
     _report_campaign(result, fmt="{:.0f}")
     if args.json:
         import json
@@ -307,22 +387,9 @@ def _chaos_soak(args, parser) -> int:
         cycle_budget=args.cycle_budget,
         stream_policies=tuple(args.stream_policies),
     )
-    try:
-        runner = CampaignRunner(
-            cells,
-            workers=args.workers,
-            out_dir=args.out,
-            resume=args.resume,
-            timeout=args.timeout,
-            adaptive_timeout=args.adaptive_timeout,
-            max_attempts=args.max_attempts,
-            backoff_base=args.backoff_base,
-            backend=args.backend,
-            keep_going=True,
-        )
-    except ValueError as exc:
-        parser.error(str(exc))
-    result = runner.run()
+    result = _campaign_dispatch(args, cells, parser)
+    if isinstance(result, int):
+        return result
     _report_campaign(result, fmt="{:.1f}")
     table = result.tables.get("chaos")
     clean = table is not None and all(
@@ -556,6 +623,62 @@ def _golden_main(argv) -> int:
     return 0
 
 
+def _worker_main(argv) -> int:
+    """The ``worker`` subcommand: join a coordinator's campaign as N
+    remote supervisors (docs/ROBUSTNESS.md).  Exits 0 when the matrix
+    completed, 3 when the coordinator became unreachable (in-flight
+    cells are cancelled, nothing is left half-written), 2 on a protocol
+    version mismatch."""
+    from .dist import DistWorker
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness worker",
+        description=(
+            "Work a distributed campaign: lease cells from the "
+            "coordinator, run them through the standard crash-isolated "
+            "retry loop, upload validated checkpoints.  The worker "
+            "imports and executes the callables the coordinator names — "
+            "only point it at coordinators you trust "
+            "(docs/ROBUSTNESS.md)."
+        ),
+    )
+    parser.add_argument(
+        "--coordinator", required=True, metavar="URL",
+        help="coordinator base URL (e.g. http://127.0.0.1:8420)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="supervisor threads (each babysits one crash-isolated "
+             "child at a time, exactly like the local runner)",
+    )
+    parser.add_argument(
+        "--name", default=None,
+        help="worker identity in leases/logs (default: host-pid)",
+    )
+    parser.add_argument(
+        "--backend", default="scalar", choices=["scalar", "vectorized"],
+        help="cell execution backend (same routing rules as the local "
+             "runner; docs/VECTORIZATION.md)",
+    )
+    parser.add_argument(
+        "--poll-interval", type=float, default=0.25, metavar="S",
+        help="idle back-off between lease attempts when every cell is "
+             "leased elsewhere",
+    )
+    args = parser.parse_args(argv)
+    try:
+        worker = DistWorker(
+            args.coordinator,
+            workers=args.workers,
+            name=args.name,
+            backend=args.backend,
+            poll_interval=args.poll_interval,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    return worker.run()
+
+
 def _mc_main(argv) -> int:
     """The ``mc`` subcommand: bounded model checking of stream/fault
     schedules (docs/MODELCHECK.md).  Explores each scenario's choice-trace
@@ -614,6 +737,16 @@ def _mc_main(argv) -> int:
              "instead of exploring; requires exactly one scenario; exits "
              "0 iff the replayed execution is clean",
     )
+    parser.add_argument(
+        "--campaign", action="store_true",
+        help="run the scenarios as campaign cells (one shard per "
+             "scenario) through the parallel runner: checkpoints, "
+             "--resume, --workers, --dry-run and --coordinate all apply",
+    )
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="campaign mode: wall-clock timeout in "
+                             "seconds per scenario cell")
+    _add_campaign_flags(parser)
     args = parser.parse_args(argv)
 
     names = list(args.scenarios) or list(DEFAULT_MC_SCENARIOS)
@@ -621,6 +754,32 @@ def _mc_main(argv) -> int:
         if name not in MC_SCENARIOS:
             parser.error(f"unknown mc scenario {name!r}; "
                          f"known: {sorted(MC_SCENARIOS)}")
+
+    if args.campaign:
+        from repro.mc.cells import build_mc_cells
+
+        cells = build_mc_cells(
+            names,
+            max_executions=args.max_executions,
+            max_depth=args.max_depth,
+            max_branch=args.max_branch,
+            scheme=args.scheme,
+            policy=args.policy,
+            time_scale=args.time_scale,
+            cycle_budget=args.cycle_budget,
+        )
+        result = _campaign_dispatch(args, cells, parser)
+        if isinstance(result, int):
+            return result
+        _report_campaign(result, fmt="{:.0f}")
+        table = result.tables.get("mc")
+        met = table is not None and all(
+            row[-1] == 1.0 for row in table.rows.values()
+        )
+        if not met:
+            print("mc campaign: scenario expectation not met",
+                  file=sys.stderr)
+        return 0 if (result.ok and met) else 1
 
     if args.replay is not None:
         if len(names) != 1:
@@ -735,6 +894,12 @@ def main(argv=None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "mc":
         return _mc_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return _worker_main(argv[1:])
+    if argv and argv[0] == "dist-bench":
+        from .dist_bench import main as dist_bench_main
+
+        return dist_bench_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
@@ -793,22 +958,9 @@ def main(argv=None) -> int:
         quick=args.quick,
         workloads=args.workloads,
     )
-    try:
-        runner = CampaignRunner(
-            cells,
-            workers=args.workers,
-            out_dir=args.out,
-            resume=args.resume,
-            timeout=args.timeout,
-            adaptive_timeout=args.adaptive_timeout,
-            max_attempts=args.max_attempts,
-            backoff_base=args.backoff_base,
-            backend=args.backend,
-            keep_going=keep_going,
-        )
-    except ValueError as exc:
-        parser.error(str(exc))
-    result = runner.run()
+    result = _campaign_dispatch(args, cells, parser, keep_going=keep_going)
+    if isinstance(result, int):
+        return result
     _report_campaign(result)
     if result.failures:
         done = None

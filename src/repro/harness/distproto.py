@@ -1,0 +1,180 @@
+"""Wire protocol between the campaign coordinator and its workers.
+
+The protocol is deliberately dumb: JSON request/response bodies over
+plain HTTP (stdlib only — ``urllib`` on the worker side,
+``http.server`` on the coordinator side), four endpoints, no sessions,
+no streaming.  Everything stateful lives in the coordinator's campaign
+directory, which is exactly the local runner's checkpoint store, so the
+protocol only has to move *work* and *checkpoints*:
+
+``GET /campaign``
+    handshake: protocol version, execution policy (timeout, retry
+    knobs), lease duration.  Workers refuse to start on a version
+    mismatch instead of corrupting a campaign.
+``POST /lease``
+    claim the next cell in canonical order.  The response carries the
+    cell in wire form (below), its lease duration and the coordinator's
+    adaptive-timeout hint.  ``{"wait": true}`` means everything is
+    leased but not finished (the worker backs off and retries);
+    ``{"done": true}`` means the matrix is complete (the worker exits).
+``POST /heartbeat``
+    extend the worker's leases; the response lists the keys the worker
+    *still* holds — a key missing from it was stolen (lease expired)
+    and the worker cancels that in-flight cell.
+``POST /upload``
+    deliver one finished cell as the exact checkpoint payload the local
+    runner would have written (:func:`repro.harness.store.build_checkpoint`).
+    The coordinator validates before persisting; duplicate uploads after
+    a lease steal are deduplicated by result hash.
+
+Cells cross the wire as their *construction recipe*, not as pickles: the
+experiment function is named by ``module`` + ``qualname`` (every
+campaign cell function is an importable module-level callable — the
+same constraint the crash-isolation ``spawn`` path already imposes) and
+the declared ``config_hash`` is recomputed after reconstruction, so a
+worker can never silently run a different computation than the
+coordinator hashed.  Consequence of the import-by-name design: a worker
+executes whatever importable callable the coordinator names, so workers
+must only be pointed at *trusted* coordinators (docs/ROBUSTNESS.md).
+"""
+
+from __future__ import annotations
+
+import gzip
+import importlib
+import json
+import urllib.error
+import urllib.request
+from typing import Dict, Optional, Tuple
+
+#: bumped on any incompatible wire change; both sides refuse mismatches
+PROTOCOL_VERSION = 1
+
+#: request bodies above this many bytes are gzip-compressed (checkpoint
+#: uploads carry whole result tables; lease/heartbeat bodies stay tiny)
+COMPRESS_THRESHOLD = 1024
+
+
+class ProtocolError(Exception):
+    """A malformed, unexpected or version-mismatched protocol payload."""
+
+
+def cell_to_wire(cell) -> Dict:
+    """The cell's construction recipe (see module docstring)."""
+    return {
+        "key": cell.key,
+        "fn": {
+            "module": cell.fn.__module__,
+            "qualname": cell.fn.__qualname__,
+        },
+        "kwargs": cell.kwargs,
+        "group": cell.group,
+        "row_prefix": cell.row_prefix,
+        "config_hash": cell.config_hash(),
+    }
+
+
+def cell_from_wire(data: Dict):
+    """Reconstruct a :class:`repro.harness.runner.CampaignCell` from its
+    wire form; raises :class:`ProtocolError` when the function cannot be
+    imported or the recomputed config hash disagrees with the declared
+    one (the worker must never run a cell it cannot re-derive)."""
+    from .runner import CampaignCell
+
+    try:
+        fn_ref = data["fn"]
+        module = importlib.import_module(fn_ref["module"])
+        fn = module
+        for part in fn_ref["qualname"].split("."):
+            fn = getattr(fn, part)
+    except (KeyError, TypeError, ImportError, AttributeError) as exc:
+        raise ProtocolError(f"cannot resolve cell function: {exc}")
+    try:
+        cell = CampaignCell(
+            key=data["key"],
+            fn=fn,
+            kwargs=dict(data.get("kwargs") or {}),
+            group=data.get("group", ""),
+            row_prefix=data.get("row_prefix", ""),
+        )
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"malformed wire cell: {exc}")
+    declared = data.get("config_hash")
+    if cell.config_hash() != declared:
+        raise ProtocolError(
+            f"cell {cell.key!r}: reconstructed config hash "
+            f"{cell.config_hash()} != declared {declared!r}"
+        )
+    return cell
+
+
+def check_version(payload: Dict, side: str) -> None:
+    """Refuse to interoperate across protocol versions."""
+    version = payload.get("protocol")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"{side} speaks protocol {version!r}, "
+            f"this build speaks {PROTOCOL_VERSION}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# HTTP helpers (worker side)
+# ---------------------------------------------------------------------------
+
+def _decode_response(resp) -> Dict:
+    blob = resp.read()
+    if resp.headers.get("Content-Encoding") == "gzip":
+        blob = gzip.decompress(blob)
+    try:
+        return json.loads(blob.decode())
+    except ValueError as exc:
+        raise ProtocolError(f"non-JSON response body: {exc}")
+
+
+def get_json(url: str, timeout: float = 10.0) -> Dict:
+    """GET ``url``; returns the decoded JSON body.  Raises ``OSError``
+    (connection problems) or :class:`ProtocolError` (bad payload)."""
+    req = urllib.request.Request(url, method="GET")
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return _decode_response(resp)
+
+
+def post_json(
+    url: str, payload: Dict, timeout: float = 10.0
+) -> Tuple[int, Dict]:
+    """POST ``payload`` as JSON to ``url``; returns ``(status, body)``.
+    Large bodies (checkpoint uploads) are gzip-compressed with a
+    ``Content-Encoding`` header.  HTTP error statuses are returned, not
+    raised — the caller decides whether 409 (conflict) or 400 (rejected)
+    is fatal; only transport failures raise ``OSError``."""
+    blob = json.dumps(payload, sort_keys=True).encode()
+    headers = {"Content-Type": "application/json"}
+    if len(blob) > COMPRESS_THRESHOLD:
+        blob = gzip.compress(blob, mtime=0)
+        headers["Content-Encoding"] = "gzip"
+    req = urllib.request.Request(url, data=blob, headers=headers,
+                                 method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, _decode_response(resp)
+    except urllib.error.HTTPError as exc:
+        try:
+            body = _decode_response(exc)
+        except (ProtocolError, OSError):
+            body = {"error": f"HTTP {exc.code}"}
+        return exc.code, body
+
+
+def read_request_json(handler) -> Optional[Dict]:
+    """Decode a request body on the coordinator side (gzip-sniffed via
+    the ``Content-Encoding`` header); ``None`` when malformed."""
+    try:
+        length = int(handler.headers.get("Content-Length", "0"))
+        blob = handler.rfile.read(length)
+        if handler.headers.get("Content-Encoding") == "gzip":
+            blob = gzip.decompress(blob)
+        data = json.loads(blob.decode())
+    except (ValueError, OSError):
+        return None
+    return data if isinstance(data, dict) else None

@@ -32,9 +32,15 @@ are still captured but a timeout cannot be enforced.
 from __future__ import annotations
 
 import multiprocessing
+import threading
+import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
+
+#: pipe-poll slice when a supervisor supplied a cancel event: the child
+#: stays killable within this latency even mid-timeout
+POLL_SLICE_S = 0.05
 
 
 @dataclass
@@ -98,10 +104,11 @@ def _run_once(
     args: Tuple,
     kwargs: Dict,
     timeout: Optional[float],
+    cancel: Optional[threading.Event] = None,
 ) -> Tuple[str, object, str, str]:
     """One attempt; returns ``(status, result, message, tb)`` where status
-    is ``"ok"``, ``"error"`` or ``"timeout"`` (result holds the error's
-    type name for ``"error"``)."""
+    is ``"ok"``, ``"error"``, ``"timeout"`` or ``"cancelled"`` (result
+    holds the error's type name for ``"error"``)."""
     ctx = _exec_context()
     if ctx is None:  # pragma: no cover - no start method: in-process
         try:
@@ -115,7 +122,35 @@ def _run_once(
     )
     proc.start()
     child_conn.close()
-    if not parent_conn.poll(timeout):
+    if cancel is None:
+        ready = parent_conn.poll(timeout)
+    else:
+        # Slice the wait so a fired cancel event (lease lost, worker
+        # shutdown) terminates the child within ~POLL_SLICE_S instead of
+        # riding out the full timeout.
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        ready = False
+        while True:
+            if cancel.is_set():
+                proc.terminate()
+                proc.join()
+                parent_conn.close()
+                return (
+                    "cancelled", "Cancelled",
+                    "cancelled by supervisor (lease lost or shutdown)", "",
+                )
+            remaining = (
+                POLL_SLICE_S if deadline is None
+                else min(POLL_SLICE_S, deadline - time.monotonic())
+            )
+            if remaining > 0 and parent_conn.poll(remaining):
+                ready = True
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+    if not ready:
         proc.terminate()
         proc.join()
         parent_conn.close()
@@ -149,6 +184,7 @@ def run_experiment_isolated(
     timeout: Optional[float] = None,
     retries: int = 0,
     reseed: Optional[Callable[[int, Dict], Dict]] = None,
+    cancel: Optional[threading.Event] = None,
 ):
     """Run ``fn(*args, **kwargs)`` crash-isolated; returns the result or
     an :class:`ExperimentFailure`.
@@ -159,12 +195,19 @@ def run_experiment_isolated(
     crashes, invariant violations, timeouts — are never retried: they are
     deterministic under the same inputs or indicate a harness-level
     problem a fresh seed cannot fix.
+
+    ``cancel``, when supplied, is polled while the child runs: a fired
+    event terminates the child and returns a ``Cancelled`` failure
+    immediately (distributed workers cancel in-flight cells whose lease
+    was lost).  ``Cancelled`` is never retried.
     """
     kwargs = dict(kwargs or {})
     attempts = 0
     while True:
         attempts += 1
-        status, result, message, tb = _run_once(fn, args, kwargs, timeout)
+        status, result, message, tb = _run_once(
+            fn, args, kwargs, timeout, cancel
+        )
         if status == "ok":
             return result
         retryable = (
@@ -174,9 +217,15 @@ def run_experiment_isolated(
             and attempts <= retries
         )
         if not retryable:
+            if status == "error":
+                kind = result
+            elif status == "cancelled":
+                kind = "Cancelled"
+            else:
+                kind = "Timeout"
             return ExperimentFailure(
                 name=name,
-                kind=result if status == "error" else "Timeout",
+                kind=kind,
                 message=message,
                 traceback_text=tb,
                 attempts=attempts,

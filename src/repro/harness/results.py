@@ -8,11 +8,18 @@ from typing import Dict, List, Optional, Sequence
 
 
 def geomean(values: Sequence[float]) -> float:
-    """Geometric mean of the positive entries of ``values`` (0.0 if none)."""
+    """Geometric mean of the positive entries of ``values`` (0.0 if none).
+
+    Uses :func:`math.fsum` so the result depends only on the *multiset*
+    of values, never their order: campaign row order may legally differ
+    between a freshly computed table and one rehydrated from a
+    checkpoint (serialization sorts row labels), and the byte-identical
+    merge contract requires the geomean to agree to the last bit anyway.
+    """
     vals = [v for v in values if v > 0]
     if not vals:
         return 0.0
-    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+    return math.exp(math.fsum(math.log(v) for v in vals) / len(vals))
 
 
 @dataclass

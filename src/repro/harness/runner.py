@@ -28,18 +28,29 @@ lands in the cell's *attempt ledger*, persisted with the checkpoint.
 **Checkpoints and resume.**  With an ``out_dir``, every finished cell
 writes a content-addressed checkpoint (``cells/<key>.<config-hash>.json``
 holding the result table, the attempt ledger and the cell's counter
-dump) via atomic rename, plus a campaign ``manifest.json`` rewritten as
-cells finish.  ``resume=True`` restores cells whose checkpoint matches
-their current config hash and succeeded; failed, stale (hash-mismatched)
-or truncated checkpoints are re-executed.  A campaign SIGKILLed mid-run
-therefore resumes from its last completed cell.
+dump) via atomic rename — gzip-compressed, magic-sniffed on read so
+older plain-JSON campaign directories keep restoring — plus a campaign
+``manifest.json`` rewritten as cells finish.  All checkpoint IO goes
+through :mod:`repro.harness.store`, which the distributed coordinator
+(:mod:`repro.harness.dist`) shares, so a checkpoint uploaded by a
+remote worker is byte-compatible with a locally written one.
+``resume=True`` restores cells whose checkpoint matches their current
+config hash and succeeded; failed, stale (hash-mismatched) or truncated
+checkpoints are re-executed.  A campaign SIGKILLed mid-run therefore
+resumes from its last completed cell.
 
 **Deterministic merge.**  Shard tables merge per experiment group in
 **cell order** — fixed by the spec, never by completion order — through
 :func:`repro.harness.results.merge_tables`, so ``--workers N`` output is
-bit-identical to the serial run for any N.  Per-cell counter dumps and
-the campaign's own ``harness.campaign.*`` counters aggregate through
-:func:`repro.telemetry.merge_dumps` into ``counters.json``.
+bit-identical to the serial run for any N (and, via
+:mod:`repro.harness.dist`, for any number of worker *machines*).  The
+merge artifacts split along the determinism contract: ``tables.json``
+and ``counters.json`` (the per-cell counter dumps merged in cell order
+through :func:`repro.telemetry.merge_dumps`) depend only on the matrix
+and its results and are byte-identical across run shapes, while
+``ops_counters.json`` additionally folds in the run-shape counters
+(``harness.campaign.*``, ``harness.dist.*``) that legitimately vary
+with worker count and placement.
 
 **Graceful degradation.**  A platform without any multiprocessing start
 method, or a worker-pool setup failure, degrades to the serial
@@ -61,7 +72,6 @@ routing decisions.
 
 from __future__ import annotations
 
-import json
 import os
 import threading
 import time
@@ -70,6 +80,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.telemetry.counters import CounterRegistry, merge_dumps
 
+from . import store
 from .experiments import (
     ALL_EXPERIMENTS,
     UNSHARDED_EXPERIMENTS,
@@ -82,14 +93,18 @@ from .isolation import (
     run_experiment_isolated,
 )
 from .results import ExperimentTable, merge_tables
+from .store import CHECKPOINT_VERSION, TimeoutHistory
 
 #: failure kinds worth retrying: they depend on scheduling/load, not on
 #: the cell's inputs (a crash or invariant violation is deterministic
 #: under the same inputs and retrying it only burns time)
 TRANSIENT_KINDS = frozenset({"Timeout", "SimulationHang", "ChildCrash"})
 
-#: checkpoint/manifest schema version (bump on incompatible change)
-CHECKPOINT_VERSION = 1
+#: the failure kind of an attempt abandoned because the supervisor's
+#: cancel event fired (distributed workers cancel in-flight cells when
+#: their lease is lost or the coordinator disappears); never retried
+#: and never checkpointed as a real failure
+CANCELLED_KIND = "Cancelled"
 
 #: upper clamp of ``workers="auto"`` — each worker thread babysits one
 #: crash-isolated child process, and the bundled campaigns stop scaling
@@ -187,6 +202,348 @@ class CellOutcome:
         """True when the cell has a result table."""
         return self.table is not None
 
+    @property
+    def cancelled(self) -> bool:
+        """True when the cell was abandoned mid-run (lease lost,
+        shutdown) — neither a result nor a real failure."""
+        return (
+            self.failure is not None and self.failure.kind == CANCELLED_KIND
+        )
+
+
+@dataclass
+class ExecutionPolicy:
+    """Everything that governs how one cell is executed — the piece of
+    the campaign runner a distributed worker reuses verbatim, so a cell
+    run on a remote machine retries, reseeds and escalates exactly like
+    a local one.
+
+    ``timeout`` is the campaign-level wall-clock cap; ``adaptive_timeout``
+    the history-derived starting allowance (doubled on each timeout
+    retry, never past ``timeout``).  ``cancel``, when set, abandons the
+    in-flight attempt (child terminated) and returns a
+    ``CANCELLED_KIND`` outcome instead of retrying.
+    """
+
+    timeout: Optional[float] = None
+    adaptive_timeout: Optional[float] = None
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+    sleep: Callable[[float], None] = time.sleep
+    cancel: Optional[threading.Event] = None
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt + 1`` (exponential,
+        capped)."""
+        return min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
+
+
+def execute_cell(
+    cell: CampaignCell,
+    policy: ExecutionPolicy,
+    kwargs: Optional[Dict] = None,
+) -> CellOutcome:
+    """Run one cell to completion under ``policy``: crash-isolated
+    attempts, transient retries with backoff, hang reseeding, adaptive
+    timeout escalation.  Returns the outcome with its full attempt
+    ledger (never raises).  ``kwargs`` overrides the cell's declared
+    kwargs (the backend dispatcher injects ``backend`` this way without
+    touching the cell's config hash)."""
+    ledger: List[Dict] = []
+    kwargs = dict(cell.kwargs) if kwargs is None else dict(kwargs)
+    started = time.time()
+    failure: Optional[ExperimentFailure] = None
+    table: Optional[ExperimentTable] = None
+    adaptive = policy.adaptive_timeout
+    timeout = adaptive if adaptive is not None else policy.timeout
+    for attempt in range(1, policy.max_attempts + 1):
+        if policy.cancel is not None and policy.cancel.is_set():
+            failure = ExperimentFailure(
+                name=cell.key, kind=CANCELLED_KIND,
+                message="cancelled before attempt", attempts=attempt - 1,
+                kwargs=kwargs,
+            )
+            break
+        outcome = run_experiment_isolated(
+            name=cell.key, fn=cell.fn, kwargs=kwargs,
+            timeout=timeout, cancel=policy.cancel,
+        )
+        if not isinstance(outcome, ExperimentFailure):
+            ledger.append({"attempt": attempt, "status": "ok"})
+            table = outcome
+            failure = None
+            break
+        failure = outcome
+        if outcome.kind == CANCELLED_KIND:
+            break  # abandoned, not failed: no ledger entry, no retry
+        transient = outcome.kind in TRANSIENT_KINDS
+        final = (attempt == policy.max_attempts) or not transient
+        delay = 0.0 if final else policy.backoff(attempt)
+        entry = {
+            "attempt": attempt,
+            "status": "failed",
+            "kind": outcome.kind,
+            "message": outcome.message,
+            "backoff_s": delay,
+        }
+        if adaptive is not None:
+            entry["timeout_s"] = round(timeout, 3)
+        if (
+            not final
+            and outcome.kind == "Timeout"
+            and adaptive is not None
+        ):
+            # An adaptive timeout that fired may simply have been too
+            # tight (machine load, cold caches): double the allowance
+            # for the retry, never past the campaign-level timeout.
+            timeout = timeout * 2.0
+            if policy.timeout is not None:
+                timeout = min(timeout, policy.timeout)
+        if not final and outcome.kind == "SimulationHang" and isinstance(
+            kwargs.get("seed"), int
+        ):
+            kwargs = {**kwargs, "seed": kwargs["seed"] + 1000 * attempt}
+            entry["reseeded"] = kwargs["seed"]
+        ledger.append(entry)
+        if final:
+            failure.attempts = attempt
+            break
+        if delay:
+            policy.sleep(delay)
+    return CellOutcome(
+        cell=cell,
+        table=table,
+        failure=failure,
+        ledger=ledger,
+        duration_s=time.time() - started,
+    )
+
+
+def dispatch_backend(
+    cell: CampaignCell,
+    kwargs: Dict,
+    echo: Callable[[str], None] = _default_echo,
+) -> Tuple[Dict, str]:
+    """Route one cell under ``backend="vectorized"``; returns the
+    (possibly augmented) kwargs and the routing leaf (``"vectorized"``
+    or ``"fallback"``) for the caller's counters.
+
+    Eligible batch-sweep cells get ``backend`` injected into their
+    *local* kwargs (``config_hash`` is unchanged, so checkpoints stay
+    shared across backends — the backends are digest-equivalent by
+    contract); ineligible cells keep the scalar engine and the reason
+    is echoed once, per docs/VECTORIZATION.md.  The decision is a pure
+    function of the cell, so distributed workers route identically to
+    the serial runner.
+    """
+    from repro.batch.spec import classify_cell
+
+    ok, reason = classify_cell(cell.fn, kwargs)
+    if ok:
+        return {**kwargs, "backend": "vectorized"}, "vectorized"
+    echo(
+        f"[campaign] {cell.key}: vectorized backend ineligible "
+        f"({reason}); using scalar engine"
+    )
+    return kwargs, "fallback"
+
+
+def render_dry_run(
+    cells: Sequence[CampaignCell],
+    out_dir: Optional[str] = None,
+) -> str:
+    """The ``--dry-run`` report: the cell matrix in canonical (merge)
+    order with per-cell duration estimates from the shared timeout
+    history under ``out_dir`` — nothing is executed."""
+    entries = load_timeout_history(out_dir)
+    lines: List[str] = []
+    known = 0
+    total = 0.0
+    width = max([len(c.key) for c in cells] or [4])
+    for cell in cells:
+        estimate = TimeoutHistory.estimate(entries, cell)
+        if estimate is None:
+            est = "?"
+        else:
+            known += 1
+            total += estimate
+            est = f"{estimate:.1f}s"
+        lines.append(
+            f"  {cell.key:<{width}}  group={cell.group:<12} "
+            f"hash={cell.config_hash()}  est={est}"
+        )
+    header = (
+        f"[dry-run] {len(cells)} cell(s), {known} with history "
+        "estimates"
+    )
+    if known:
+        header += (
+            f"; known cells total ~{total:.1f}s serial"
+            + (" (others unestimated)" if known < len(cells) else "")
+        )
+    return "\n".join([header] + lines)
+
+
+def derive_adaptive_timeouts(
+    cells: Sequence[CampaignCell],
+    history: Dict[str, Dict],
+    *,
+    timeout: Optional[float],
+) -> Dict[str, float]:
+    """Per-cell wall-clock timeouts from previous-run durations: a cell
+    that completed before (same config hash) gets ``max(floor, duration
+    * margin)``, never above the campaign-level ``timeout``.  Shared by
+    the local runner and the distributed coordinator (which hands the
+    derived allowance to workers with each lease)."""
+    derived: Dict[str, float] = {}
+    for cell in cells:
+        entry = history.get(cell.key)
+        if (
+            entry is None
+            or entry.get("status") not in ("ok", "restored")
+            or entry.get("config_hash") != cell.config_hash()
+        ):
+            continue
+        duration = entry.get("duration_s")
+        if not isinstance(duration, (int, float)) or duration <= 0:
+            continue
+        allowance = max(
+            ADAPTIVE_TIMEOUT_FLOOR, duration * ADAPTIVE_TIMEOUT_MARGIN
+        )
+        if timeout is not None:
+            allowance = min(allowance, timeout)
+        derived[cell.key] = allowance
+    return derived
+
+
+def load_timeout_history(
+    out_dir: Optional[str],
+) -> Dict[str, Dict]:
+    """Combined duration history under ``out_dir``: the previous
+    manifest's entries overlaid with the shared ``timeout_history.json``
+    (which concurrent workers merge into, so it wins when both know a
+    cell).  The result feeds :func:`derive_adaptive_timeouts` and
+    ``--dry-run`` estimates — never checkpoint corroboration, which must
+    use the manifest alone."""
+    if out_dir is None:
+        return {}
+    history = dict(store.load_manifest_entries(out_dir))
+    for key, entry in TimeoutHistory.load(out_dir).items():
+        history[key] = {
+            "status": "ok",
+            "config_hash": entry.get("config_hash"),
+            "duration_s": entry.get("duration_s"),
+        }
+    return history
+
+
+def restore_outcome(
+    cell: CampaignCell,
+    out_dir: str,
+    manifest: Dict[str, Dict],
+) -> Tuple[Optional[CellOutcome], bool]:
+    """Restore a cell from its checkpoint under ``out_dir``; returns
+    ``(outcome, torn)``.  ``outcome`` is ``None`` when the cell must
+    (re)run: no checkpoint, truncated/corrupt JSON, config-hash
+    mismatch, or a recorded failure (failures always re-execute).
+    ``torn`` is True for the special case of a *valid* checkpoint the
+    manifest never corroborated — the driver died between the checkpoint
+    write and the manifest rewrite — which callers surface loudly
+    (counter + log line) instead of silently trusting.  Shared by the
+    local runner and the distributed coordinator so resume semantics
+    cannot drift between them."""
+    path = store.checkpoint_path(out_dir, cell.key, cell.config_hash())
+    try:
+        data = store.read_json(path)
+    except (OSError, ValueError):
+        return None, False
+    if store.validate_checkpoint(data, cell.key, cell.config_hash()):
+        return None, False
+    if data.get("status") != "ok":
+        return None, False  # recorded failures always re-execute
+    try:
+        table = ExperimentTable.from_dict(data["table"])
+    except (KeyError, TypeError, ValueError):
+        return None, False
+    entry = manifest.get(cell.key)
+    if (
+        entry is None
+        or entry.get("status") not in ("ok", "restored")
+        or entry.get("config_hash") != cell.config_hash()
+    ):
+        return None, True
+    return CellOutcome(
+        cell=cell,
+        table=table,
+        failure=None,
+        ledger=list(data.get("ledger", [])),
+        duration_s=float(data.get("duration_s", 0.0)),
+        restored=True,
+    ), False
+
+
+def merge_outcomes(
+    cells: Sequence[CampaignCell],
+    outcomes: Dict[str, CellOutcome],
+) -> Dict:
+    """Deterministic merge of per-cell outcomes in canonical cell order
+    — the result-assembly core shared by the local runner and the
+    distributed coordinator, so N workers on M machines reduce to the
+    same bytes as the serial loop.
+
+    Returns a dict with ``tables`` (group -> merged
+    :class:`ExperimentTable`), ``cell_dumps`` (per-cell counter dumps in
+    cell order), ``group_seconds``, ``failures``, and the
+    ``completed``/``skipped``/``failed``/``not_run``/``failed_groups``
+    key lists."""
+    tables: Dict[str, ExperimentTable] = {}
+    group_shards: Dict[str, List[ExperimentTable]] = {}
+    group_seconds: Dict[str, float] = {}
+    failures: List[ExperimentFailure] = []
+    completed: List[str] = []
+    skipped: List[str] = []
+    failed: List[str] = []
+    not_run: List[str] = []
+    failed_groups: List[str] = []
+    cell_dumps: List[Dict] = []
+    for cell in cells:  # cell order == merge order
+        outcome = outcomes.get(cell.key)
+        if outcome is None:
+            not_run.append(cell.key)
+            if cell.group not in failed_groups:
+                failed_groups.append(cell.group)
+            continue
+        cell_dumps.append(store.cell_counter_dump(outcome))
+        group_seconds[cell.group] = (
+            group_seconds.get(cell.group, 0.0) + outcome.duration_s
+        )
+        if outcome.ok:
+            (skipped if outcome.restored else completed).append(cell.key)
+            group_shards.setdefault(cell.group, []).append(
+                outcome.table.with_row_prefix(cell.row_prefix)
+            )
+        else:
+            failed.append(cell.key)
+            failures.append(outcome.failure)
+            if cell.group not in failed_groups:
+                failed_groups.append(cell.group)
+    for cell in cells:
+        shards = group_shards.get(cell.group)
+        if shards and cell.group not in tables:
+            tables[cell.group] = merge_tables(shards)
+    return {
+        "tables": tables,
+        "cell_dumps": cell_dumps,
+        "group_seconds": group_seconds,
+        "failures": failures,
+        "completed": completed,
+        "skipped": skipped,
+        "failed": failed,
+        "not_run": not_run,
+        "failed_groups": failed_groups,
+    }
+
 
 @dataclass
 class CampaignResult:
@@ -205,7 +562,12 @@ class CampaignResult:
     #: groups with a failed or never-started cell, in cell order
     failed_groups: List[str] = field(default_factory=list)
     manifest_path: Optional[str] = None
+    #: deterministic per-cell counter merge (byte-identical across run
+    #: shapes); the in-memory ``counters`` above is the *full* merge
     counters_path: Optional[str] = None
+    #: run-shape counters (``harness.campaign.*`` + per-cell dumps)
+    ops_counters_path: Optional[str] = None
+    tables_path: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -310,6 +672,7 @@ class CampaignRunner:
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._outcomes: Dict[str, CellOutcome] = {}
+        self._history = TimeoutHistory()
         self._degraded = False
         self.counters = CounterRegistry()
         self.counters.metadata.update(
@@ -327,133 +690,38 @@ class CampaignRunner:
     # checkpoint plumbing
     # ------------------------------------------------------------------
 
-    def _cells_dir(self) -> str:
-        return os.path.join(self.out_dir, "cells")
-
     def _checkpoint_path(self, cell: CampaignCell) -> str:
-        safe = cell.key.replace(os.sep, "__").replace("/", "__")
-        return os.path.join(
-            self._cells_dir(), f"{safe}.{cell.config_hash()}.json"
+        return store.checkpoint_path(
+            self.out_dir, cell.key, cell.config_hash()
         )
-
-    def _manifest_entries(self) -> Dict[str, Dict]:
-        """The previous run's ``manifest.json`` cells keyed by cell key
-        (empty when no readable manifest exists).  Used on resume to
-        corroborate checkpoints: a checkpoint the manifest never
-        acknowledged is a *torn* write — the driver died between the
-        checkpoint write and the manifest rewrite."""
-        path = os.path.join(self.out_dir, "manifest.json")
-        try:
-            with open(path) as fh:
-                data = json.load(fh)
-        except (OSError, ValueError):
-            return {}
-        return {
-            entry["key"]: entry
-            for entry in data.get("cells", [])
-            if isinstance(entry, dict) and "key" in entry
-        }
 
     def _load_checkpoint(
         self, cell: CampaignCell, manifest: Dict[str, Dict]
     ) -> Optional[CellOutcome]:
-        """Restore a cell from its checkpoint, or ``None`` when it must
-        (re)run: no checkpoint, truncated/corrupt JSON, config-hash
-        mismatch, a recorded failure (failures always re-execute), or a
-        torn write — a valid checkpoint the manifest never corroborated
-        (the driver died between the two writes), which is surfaced as
-        stale-and-rerun instead of silently trusted."""
-        path = self._checkpoint_path(cell)
-        try:
-            with open(path) as fh:
-                data = json.load(fh)
-        except (OSError, ValueError):
-            return None
-        if (
-            data.get("version") != CHECKPOINT_VERSION
-            or data.get("config_hash") != cell.config_hash()
-            or data.get("status") != "ok"
-            or not data.get("table")
-        ):
-            return None
-        try:
-            table = ExperimentTable.from_dict(data["table"])
-        except (KeyError, TypeError, ValueError):
-            return None
-        entry = manifest.get(cell.key)
-        if (
-            entry is None
-            or entry.get("status") not in ("ok", "restored")
-            or entry.get("config_hash") != cell.config_hash()
-        ):
+        """Restore a cell via the shared :func:`restore_outcome`; a torn
+        write (valid checkpoint the manifest never corroborated) is
+        surfaced as stale-and-rerun instead of silently trusted."""
+        outcome, torn = restore_outcome(cell, self.out_dir, manifest)
+        if torn:
             self.counters.counter("harness.campaign.torn").add(1)
             self._echo(
                 f"[campaign] {cell.key}: checkpoint not corroborated by "
                 "the manifest (torn write: driver died between checkpoint "
                 "and manifest rewrite); treating as stale and re-running"
             )
-            return None
-        return CellOutcome(
-            cell=cell,
-            table=table,
-            failure=None,
-            ledger=list(data.get("ledger", [])),
-            duration_s=float(data.get("duration_s", 0.0)),
-            restored=True,
-        )
-
-    def _cell_counter_dump(self, outcome: CellOutcome) -> Dict:
-        """The cell's own counter dump (aggregated across the campaign by
-        :func:`repro.telemetry.merge_dumps` into ``counters.json``)."""
-        reg = CounterRegistry()
-        reg.metadata.update(
-            cell=outcome.cell.key,
-            group=outcome.cell.group,
-            config_hash=outcome.cell.config_hash(),
-        )
-        reg.counter("harness.cell.attempts").add(len(outcome.ledger))
-        reg.counter("harness.cell.retries").add(
-            max(0, len(outcome.ledger) - 1)
-        )
-        reg.counter("harness.cell.failures").add(0 if outcome.ok else 1)
-        backoff = sum(e.get("backoff_s", 0.0) for e in outcome.ledger)
-        reg.counter("harness.cell.backoff_seconds").add(backoff)
-        return reg.to_dict()
+        return outcome
 
     def _write_checkpoint(self, outcome: CellOutcome) -> None:
-        """Persist one finished cell atomically (tmp file + rename), so a
-        SIGKILL mid-write can never leave a half-checkpoint that a later
-        ``--resume`` would trust."""
+        """Persist one finished cell atomically (tmp file + rename,
+        gzip-compressed), so a SIGKILL mid-write can never leave a
+        half-checkpoint that a later ``--resume`` would trust."""
         if self.out_dir is None:
             return
-        cell = outcome.cell
-        payload = {
-            "version": CHECKPOINT_VERSION,
-            "key": cell.key,
-            "group": cell.group,
-            "config_hash": cell.config_hash(),
-            "status": "ok" if outcome.ok else "failed",
-            "table": outcome.table.to_dict() if outcome.ok else None,
-            "failure": (
-                None
-                if outcome.failure is None
-                else {
-                    "kind": outcome.failure.kind,
-                    "message": outcome.failure.message,
-                    "attempts": outcome.failure.attempts,
-                    "traceback": outcome.failure.traceback_text,
-                }
-            ),
-            "ledger": outcome.ledger,
-            "counters": self._cell_counter_dump(outcome),
-            "duration_s": outcome.duration_s,
-        }
-        path = self._checkpoint_path(cell)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
-        tmp = f"{path}.tmp.{threading.get_ident()}"
-        with open(tmp, "w") as fh:
-            json.dump(payload, fh, indent=1, sort_keys=True)
-        os.replace(tmp, path)
+        store.write_json(
+            self._checkpoint_path(outcome.cell),
+            store.build_checkpoint(outcome),
+            compress=True,
+        )
 
     def _write_manifest(self) -> Optional[str]:
         """(Re)write ``manifest.json`` reflecting every cell's current
@@ -461,149 +729,37 @@ class CampaignRunner:
         honest partial manifest behind."""
         if self.out_dir is None:
             return None
-        cells = []
-        totals = {"cells": len(self.cells), "completed": 0, "skipped": 0,
-                  "failed": 0, "not_run": 0}
-        for cell in self.cells:
-            outcome = self._outcomes.get(cell.key)
-            if outcome is None:
-                status = "not-run"
-                totals["not_run"] += 1
-            elif not outcome.ok:
-                status = "failed"
-                totals["failed"] += 1
-            elif outcome.restored:
-                status = "restored"
-                totals["skipped"] += 1
-            else:
-                status = "ok"
-                totals["completed"] += 1
-            entry = {
-                "key": cell.key,
-                "group": cell.group,
-                "config_hash": cell.config_hash(),
-                "status": status,
-                "checkpoint": os.path.relpath(
-                    self._checkpoint_path(cell), self.out_dir
-                ),
-            }
-            if outcome is not None:
-                entry["attempts"] = len(outcome.ledger)
-                entry["duration_s"] = round(outcome.duration_s, 3)
-            cells.append(entry)
-        manifest = {
-            "version": CHECKPOINT_VERSION,
-            "workers": self.workers,
-            "degraded": self._degraded,
-            "resume": self.resume,
-            "totals": totals,
-            "cells": cells,
-        }
-        path = os.path.join(self.out_dir, "manifest.json")
-        os.makedirs(self.out_dir, exist_ok=True)
-        tmp = f"{path}.tmp.{threading.get_ident()}"
-        with open(tmp, "w") as fh:
-            json.dump(manifest, fh, indent=1, sort_keys=True)
-        os.replace(tmp, path)
+        payload = store.manifest_payload(
+            self.cells, self._outcomes, out_dir=self.out_dir,
+            workers=self.workers, degraded=self._degraded,
+            resume=self.resume,
+        )
+        path = store.manifest_path(self.out_dir)
+        store.write_json(path, payload)
         return path
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
 
-    def _backoff(self, attempt: int) -> float:
-        """Delay before retry number ``attempt + 1`` (exponential,
-        capped)."""
-        return min(self.backoff_cap, self.backoff_base * 2 ** (attempt - 1))
-
-    def _dispatch_backend(self, cell: CampaignCell, kwargs: Dict) -> Dict:
-        """Route one cell under ``backend="vectorized"``.
-
-        Eligible batch-sweep cells get ``backend`` injected into their
-        *local* kwargs (``config_hash`` is unchanged, so checkpoints stay
-        shared across backends — the backends are digest-equivalent by
-        contract); ineligible cells keep the scalar engine and the
-        reason is echoed once, per docs/VECTORIZATION.md.
-        """
-        from repro.batch.spec import classify_cell
-
-        ok, reason = classify_cell(cell.fn, kwargs)
-        with self._lock:
-            leaf = "vectorized" if ok else "fallback"
-            self.counters.counter(f"harness.campaign.{leaf}").add(1)
-        if ok:
-            return {**kwargs, "backend": "vectorized"}
-        self._echo(
-            f"[campaign] {cell.key}: vectorized backend ineligible "
-            f"({reason}); using scalar engine"
-        )
-        return kwargs
-
     def _run_cell(self, cell: CampaignCell) -> CellOutcome:
-        """Run one cell to completion: crash-isolated attempts, transient
-        retries with backoff, hang reseeding.  Returns the outcome with
-        its full attempt ledger (never raises)."""
-        ledger: List[Dict] = []
+        """Run one cell via the shared :func:`execute_cell` loop (backend
+        routing counted here; the loop itself is policy-driven so
+        distributed workers reuse it verbatim)."""
         kwargs = dict(cell.kwargs)
         if self.backend == "vectorized":
-            kwargs = self._dispatch_backend(cell, kwargs)
-        started = time.time()
-        failure: Optional[ExperimentFailure] = None
-        table: Optional[ExperimentTable] = None
-        adaptive = self._cell_timeouts.get(cell.key)
-        timeout = adaptive if adaptive is not None else self.timeout
-        for attempt in range(1, self.max_attempts + 1):
-            outcome = run_experiment_isolated(
-                name=cell.key, fn=cell.fn, kwargs=kwargs,
-                timeout=timeout,
-            )
-            if not isinstance(outcome, ExperimentFailure):
-                ledger.append({"attempt": attempt, "status": "ok"})
-                table = outcome
-                failure = None
-                break
-            failure = outcome
-            transient = outcome.kind in TRANSIENT_KINDS
-            final = (attempt == self.max_attempts) or not transient
-            delay = 0.0 if final else self._backoff(attempt)
-            entry = {
-                "attempt": attempt,
-                "status": "failed",
-                "kind": outcome.kind,
-                "message": outcome.message,
-                "backoff_s": delay,
-            }
-            if adaptive is not None:
-                entry["timeout_s"] = round(timeout, 3)
-            if (
-                not final
-                and outcome.kind == "Timeout"
-                and adaptive is not None
-            ):
-                # An adaptive timeout that fired may simply have been too
-                # tight (machine load, cold caches): double the allowance
-                # for the retry, never past the campaign-level timeout.
-                timeout = timeout * 2.0
-                if self.timeout is not None:
-                    timeout = min(timeout, self.timeout)
-            if not final and outcome.kind == "SimulationHang" and isinstance(
-                kwargs.get("seed"), int
-            ):
-                kwargs = {**kwargs, "seed": kwargs["seed"] + 1000 * attempt}
-                entry["reseeded"] = kwargs["seed"]
-            ledger.append(entry)
-            if final:
-                failure.attempts = attempt
-                break
-            if delay:
-                self._sleep(delay)
-        return CellOutcome(
-            cell=cell,
-            table=table,
-            failure=failure,
-            ledger=ledger,
-            duration_s=time.time() - started,
+            kwargs, leaf = dispatch_backend(cell, kwargs, self._echo)
+            with self._lock:
+                self.counters.counter(f"harness.campaign.{leaf}").add(1)
+        policy = ExecutionPolicy(
+            timeout=self.timeout,
+            adaptive_timeout=self._cell_timeouts.get(cell.key),
+            max_attempts=self.max_attempts,
+            backoff_base=self.backoff_base,
+            backoff_cap=self.backoff_cap,
+            sleep=self._sleep,
         )
+        return execute_cell(cell, policy, kwargs)
 
     def _record(self, outcome: CellOutcome) -> None:
         """Book one finished cell: shared state, counters, checkpoint,
@@ -626,6 +782,8 @@ class CampaignRunner:
                 ctr("harness.campaign.failed").add(1)
             if not outcome.restored:
                 self._write_checkpoint(outcome)
+                if outcome.ok:
+                    self._history.record(outcome.cell, outcome.duration_s)
             self._write_manifest()
             if outcome.restored:
                 self._echo(f"[campaign] {outcome.cell.key}: restored "
@@ -673,25 +831,10 @@ class CampaignRunner:
         timeout.  Cells without usable history keep the global timeout."""
         if not self.adaptive_timeout:
             return
-        derived = 0
-        for cell in self.cells:
-            entry = manifest.get(cell.key)
-            if (
-                entry is None
-                or entry.get("status") not in ("ok", "restored")
-                or entry.get("config_hash") != cell.config_hash()
-            ):
-                continue
-            duration = entry.get("duration_s")
-            if not isinstance(duration, (int, float)) or duration <= 0:
-                continue
-            timeout = max(
-                ADAPTIVE_TIMEOUT_FLOOR, duration * ADAPTIVE_TIMEOUT_MARGIN
-            )
-            if self.timeout is not None:
-                timeout = min(timeout, self.timeout)
-            self._cell_timeouts[cell.key] = timeout
-            derived += 1
+        self._cell_timeouts = derive_adaptive_timeouts(
+            self.cells, manifest, timeout=self.timeout
+        )
+        derived = len(self._cell_timeouts)
         if derived:
             self.counters.counter(
                 "harness.campaign.adaptive_timeouts"
@@ -706,11 +849,14 @@ class CampaignRunner:
         :class:`CampaignResult` (never raises for cell failures — they
         are data, reported in ``failures``)."""
         self.counters.counter("harness.campaign.cells").add(len(self.cells))
-        history = (
-            self._manifest_entries() if self.out_dir is not None else {}
+        self._seed_adaptive_timeouts(load_timeout_history(self.out_dir))
+        # Checkpoint corroboration on resume uses the manifest alone —
+        # a synthesized timeout-history entry must never vouch for a
+        # torn checkpoint.
+        manifest = (
+            store.load_manifest_entries(self.out_dir)
+            if self.resume else {}
         )
-        self._seed_adaptive_timeouts(history)
-        manifest = history if self.resume else {}
         pending: List[CampaignCell] = []
         for cell in self.cells:
             restored = (
@@ -758,63 +904,37 @@ class CampaignRunner:
     # ------------------------------------------------------------------
 
     def _collect(self) -> CampaignResult:
-        """Merge outcomes deterministically (cell order) and write the
-        aggregated counter dump."""
-        tables: Dict[str, ExperimentTable] = {}
-        group_shards: Dict[str, List[ExperimentTable]] = {}
-        group_seconds: Dict[str, float] = {}
-        failures: List[ExperimentFailure] = []
-        completed: List[str] = []
-        skipped: List[str] = []
-        failed: List[str] = []
-        not_run: List[str] = []
-        failed_groups: List[str] = []
-        dumps: List[Dict] = [self.counters.to_dict()]
-        for cell in self.cells:  # cell order == merge order
-            outcome = self._outcomes.get(cell.key)
-            if outcome is None:
-                not_run.append(cell.key)
-                if cell.group not in failed_groups:
-                    failed_groups.append(cell.group)
-                continue
-            dumps.append(self._cell_counter_dump(outcome))
-            group_seconds[cell.group] = (
-                group_seconds.get(cell.group, 0.0) + outcome.duration_s
-            )
-            if outcome.ok:
-                (skipped if outcome.restored else completed).append(cell.key)
-                group_shards.setdefault(cell.group, []).append(
-                    outcome.table.with_row_prefix(cell.row_prefix)
-                )
-            else:
-                failed.append(cell.key)
-                failures.append(outcome.failure)
-                if cell.group not in failed_groups:
-                    failed_groups.append(cell.group)
-        for cell in self.cells:
-            shards = group_shards.get(cell.group)
-            if shards and cell.group not in tables:
-                tables[cell.group] = merge_tables(shards)
-        counters = merge_dumps(dumps)
+        """Merge outcomes deterministically via the shared
+        :func:`merge_outcomes` and write the merge artifacts
+        (``tables.json``/``counters.json`` deterministic,
+        ``ops_counters.json`` run-shape — module docstring)."""
+        merged = merge_outcomes(self.cells, self._outcomes)
+        cell_dumps = merged["cell_dumps"]
+        counters = merge_dumps([self.counters.to_dict()] + cell_dumps)
         manifest_path = self._write_manifest()
-        counters_path = None
+        counters_path = ops_counters_path = tables_path = None
         if self.out_dir is not None:
-            counters_path = os.path.join(self.out_dir, "counters.json")
-            tmp = f"{counters_path}.tmp.{threading.get_ident()}"
-            with open(tmp, "w") as fh:
-                json.dump(counters, fh, indent=1, sort_keys=True)
-            os.replace(tmp, counters_path)
+            self._history.flush(self.out_dir)
+            paths = store.write_merge_artifacts(
+                self.out_dir, merged["tables"], cell_dumps,
+                [self.counters.to_dict()],
+            )
+            tables_path = paths["tables"]
+            counters_path = paths["counters"]
+            ops_counters_path = paths["ops_counters"]
         return CampaignResult(
-            tables=tables,
-            failures=failures,
-            completed=completed,
-            skipped=skipped,
-            failed=failed,
-            not_run=not_run,
-            group_seconds=group_seconds,
+            tables=merged["tables"],
+            failures=merged["failures"],
+            completed=merged["completed"],
+            skipped=merged["skipped"],
+            failed=merged["failed"],
+            not_run=merged["not_run"],
+            group_seconds=merged["group_seconds"],
             degraded=self._degraded,
             counters=counters,
-            failed_groups=failed_groups,
+            failed_groups=merged["failed_groups"],
             manifest_path=manifest_path,
             counters_path=counters_path,
+            ops_counters_path=ops_counters_path,
+            tables_path=tables_path,
         )

@@ -15,6 +15,7 @@ import types
 
 import pytest
 
+from repro.harness import store
 from repro.harness.results import ExperimentTable, merge_tables
 from repro.harness.runner import (
     CampaignCell,
@@ -310,10 +311,20 @@ class TestCheckpointResume:
             "not_run": 0,
         }
         assert [c["status"] for c in manifest["cells"]] == ["ok", "ok"]
+        # counters.json is the deterministic merge: per-cell dumps only,
+        # in cell order — identical bytes for any worker count/placement.
         counters = json.load(open(result.counters_path))
-        assert counters["counters"]["harness.campaign.completed"] == 2
         assert counters["counters"]["harness.cell.attempts"] == 2
-        assert counters["metadata"]["merged_dumps"] == 3  # campaign + 2
+        assert "harness.campaign.completed" not in counters["counters"]
+        assert counters["metadata"]["merged_dumps"] == 2
+        # ops_counters.json folds in the run-shape campaign counters.
+        ops = json.load(open(result.ops_counters_path))
+        assert ops["counters"]["harness.campaign.completed"] == 2
+        assert ops["counters"]["harness.cell.attempts"] == 2
+        assert ops["metadata"]["merged_dumps"] == 3  # campaign + 2 cells
+        # tables.json is the canonical merged-table artifact.
+        tables = json.load(open(result.tables_path))
+        assert set(tables) == set(result.tables)
 
     def test_torn_manifest_reruns_uncorroborated_checkpoint(self, tmp_path):
         """A driver killed between the checkpoint write and the manifest
@@ -467,7 +478,7 @@ class TestRetryBackoff:
                                 backoff_base=0.1, sleep=lambda _: None,
                                 echo=lambda _: None)
         runner.run()
-        ckpt = json.load(open(runner._checkpoint_path(cells[0])))
+        ckpt = store.read_json(runner._checkpoint_path(cells[0]))
         assert [e["status"] for e in ckpt["ledger"]] == ["failed", "ok"]
         assert ckpt["ledger"][0]["kind"] == "ChildCrash"
         assert ckpt["ledger"][0]["backoff_s"] == 0.1
