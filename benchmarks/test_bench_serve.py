@@ -1,18 +1,21 @@
 """Serving-layer perf guard: BENCH_serve.json vs. this tree.
 
 Mirrors ``benchmarks/test_bench_campaign.py`` (docs/PERFORMANCE.md),
-with one twist: the containment section of the committed record is
-*deterministic*, so it is re-verified everywhere by exact digest —
-same seed, bit-identical virtual-time run — while only the wall-clock
-throughput section hides behind the ``REPRO_PERF_GATE=1``
-±`GATE_TOLERANCE` calibration-normalized gate.
+with one twist: the containment and fairness sections of the committed
+record are *deterministic*, so they are re-verified everywhere by
+exact digest — same seed, bit-identical virtual-time run — while only
+the wall-clock throughput section hides behind the
+``REPRO_PERF_GATE=1`` ±`GATE_TOLERANCE` calibration-normalized gate.
 
 - record sanity runs everywhere: the committed record must be complete,
   containment must hold (storm tenant quarantined with structured
-  rejections, every steady tenant's p99 within the bound), and the
-  normalized throughput arithmetic must be self-consistent;
-- the containment-reproduction test re-runs the committed seed through
-  the virtual-time driver and requires digest equality with the record;
+  rejections, every steady tenant's p99 within the bound), fairness
+  must hold (weighted-fair grants keep every steady tenant's p99
+  within the bound under the storm, with zero storm-induced cache
+  evictions), and the normalized throughput arithmetic must be
+  self-consistent;
+- the reproduction tests re-run the committed seeds through the
+  virtual-time driver and require digest equality with the record;
 - the perf gate re-measures normalized throughput on this machine and
   compares against the committed record.
 """
@@ -34,7 +37,7 @@ def record():
 
 class TestCommittedRecord:
     def test_entries_present_and_complete(self, record):
-        assert record.get("schema") == 1
+        assert record.get("schema") == 2
         t = record.get("throughput")
         assert t, "BENCH_serve.json is missing the throughput section"
         for field in ("raw_seconds", "spin_seconds", "normalized",
@@ -48,6 +51,13 @@ class TestCommittedRecord:
                       "cache_hit_rate", "baseline_digest",
                       "chaotic_digest"):
             assert field in c, f"containment.{field} missing"
+        f = record.get("fairness")
+        assert f, "BENCH_serve.json is missing the fairness section"
+        for field in ("seed", "p99_bound", "fair_contained", "steady",
+                      "storm_completions", "cache_hit_rate",
+                      "baseline_digest", "contended_digest",
+                      "fifo_digest"):
+            assert field in f, f"fairness.{field} missing"
 
     def test_containment_holds_in_committed_record(self, record):
         """The committed record must document successful containment: a
@@ -62,6 +72,25 @@ class TestCommittedRecord:
         for name, s in c["steady"].items():
             assert s["within_bound"], f"{name} outside the p99 bound"
             assert s["ratio"] <= c["p99_bound"]
+
+    def test_fairness_holds_in_committed_record(self, record):
+        """The committed record must document weighted-fair isolation:
+        every steady tenant's p99 within the bound under the storm,
+        zero storm-induced evictions in steady cache partitions, and a
+        storm tenant that still completes work (fair, not starved)."""
+        f = record["fairness"]
+        assert f["fair_contained"] is True
+        assert f["storm_completions"] > 0
+        assert f["steady"], "no steady tenants recorded"
+        for name, s in f["steady"].items():
+            assert s["within_bound"], f"{name} outside the p99 bound"
+            assert s["ratio"] <= f["p99_bound"]
+            assert s["storm_induced_evictions"] == 0, (
+                f"{name} lost cache entries to the storm tenant"
+            )
+            # the FIFO counterfactual is recorded for contrast (what
+            # the convoy does without DRR) but never gated
+            assert "fifo_ratio" in s
 
     def test_cache_hit_rate_recorded(self, record):
         rate = record["containment"]["cache_hit_rate"]
@@ -88,6 +117,21 @@ class TestContainmentReproduction:
         assert measured["steady"] == c["steady"]
         assert measured["storm_rejections"] == c["storm_rejections"]
         assert measured["cache_hit_rate"] == c["cache_hit_rate"]
+
+
+class TestFairnessReproduction:
+    def test_committed_seed_reproduces_bit_identically(self, record):
+        """Re-run the committed fairness experiment: same seed must
+        give byte-identical closed-loop virtual-time reports for all
+        three runs (baseline, weighted-fair storm, FIFO storm)."""
+        f = record["fairness"]
+        measured = sb.measure_fairness({"seed": f["seed"]})
+        assert measured["baseline_digest"] == f["baseline_digest"]
+        assert measured["contended_digest"] == f["contended_digest"]
+        assert measured["fifo_digest"] == f["fifo_digest"]
+        assert measured["steady"] == f["steady"]
+        assert measured["storm_completions"] == f["storm_completions"]
+        assert measured["cache_hit_rate"] == f["cache_hit_rate"]
 
 
 @pytest.mark.skipif(not GATE, reason="set REPRO_PERF_GATE=1 (CI perf-guard)")

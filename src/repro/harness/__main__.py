@@ -69,6 +69,7 @@ SUBCOMMANDS = (
     "sweep",
     "figures",
     "campaign",
+    "serve",
     "serve-bench",
     "mc",
     "worker",
@@ -623,6 +624,154 @@ def _golden_main(argv) -> int:
     return 0
 
 
+def _parse_tenant_spec(value: str):
+    """``--tenant`` values: ``NAME[:WEIGHT[:PRIORITY]]``."""
+    parts = value.split(":")
+    if not parts[0] or len(parts) > 3:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME[:WEIGHT[:PRIORITY]], got {value!r}"
+        )
+    try:
+        weight = int(parts[1]) if len(parts) > 1 else 1
+        priority = int(parts[2]) if len(parts) > 2 else 0
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"WEIGHT and PRIORITY must be integers in {value!r}"
+        )
+    return parts[0], weight, priority
+
+
+def _serve_smoke() -> int:
+    """The ``serve --smoke`` self-test: daemon on a temp unix socket,
+    one client registers a tenant, runs a kernel round-trip over the
+    wire, reads stats, drains the daemon.  Exit 0 iff all of it worked
+    (the CI serve-wire-smoke step)."""
+    import tempfile
+
+    from repro.serve import GpuService, ServeClient, ServeDaemon
+
+    with tempfile.TemporaryDirectory() as tmp:
+        service = GpuService(isolated=False, gpu_slots=2)
+        daemon = ServeDaemon(service, path=f"{tmp}/serve.sock")
+        with daemon:
+            with ServeClient(daemon.address) as client:
+                client.ping()
+                client.register("smoke", weight=2, max_streams=2)
+                spec = {
+                    "workload": "saxpy",
+                    "scheme": "replay-queue",
+                    "time_scale": 2.0,
+                    "seed": 0,
+                }
+                result = client.request("smoke", spec, wait=60.0)
+                stats = client.stats()
+        if not result["ok"]:
+            print(f"serve smoke: kernel failed: {result['failure']}",
+                  file=sys.stderr)
+            return 1
+        wire = stats["wire"]
+        print(
+            "serve smoke: ok — 1 kernel over the wire "
+            f"(cycles={result['value'].get('cycles', 0):.0f}, "
+            f"frames_in={wire['frames_in']:.0f}, "
+            f"frames_out={wire['frames_out']:.0f}), clean drain"
+        )
+        return 0
+
+
+def _serve_main(argv) -> int:
+    """The ``serve`` subcommand: run the NDJSON wire daemon over the
+    multi-tenant service (docs/SERVING.md), or the ``--smoke``
+    self-test."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness serve",
+        description=(
+            "Serve the multi-tenant GPU service over a unix socket or "
+            "loopback TCP (newline-delimited JSON frames).  Clients "
+            "connect with repro.serve.ServeClient; tenants may be "
+            "pre-registered here or via the wire 'register' op.  See "
+            "docs/SERVING.md for the protocol and a walkthrough."
+        ),
+    )
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--socket", metavar="PATH", default=None,
+                       help="serve on this unix socket path")
+    group.add_argument("--port", type=int, metavar="N", default=None,
+                       help="serve on loopback TCP (0 = ephemeral port)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="TCP bind address (default: loopback only)")
+    parser.add_argument(
+        "--tenant", action="append", type=_parse_tenant_spec, default=[],
+        metavar="NAME[:WEIGHT[:PRIORITY]]",
+        help="pre-register a tenant (repeatable); weight defaults to 1, "
+             "priority to 0",
+    )
+    parser.add_argument("--max-streams", type=int, default=2,
+                        help="per-tenant concurrent stream slots")
+    parser.add_argument("--queue-depth", type=int, default=8,
+                        help="per-tenant admitted wait-queue bound")
+    parser.add_argument(
+        "--gpu-slots", type=int, default=None, metavar="N",
+        help="shared GPU pool size; grants go in weighted-fair "
+             "(DRR + priority) order (default: unbounded)",
+    )
+    parser.add_argument(
+        "--no-isolated", action="store_true",
+        help="execute kernels in-process instead of forked children "
+             "(faster, no timeout enforcement — tests/smoke only)",
+    )
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="per-kernel wall-clock timeout (isolated "
+                             "execution only)")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="self-test: temp unix-socket daemon + one client "
+             "round-trip, then exit (CI serve-wire-smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return _serve_smoke()
+    if (args.socket is None) == (args.port is None):
+        parser.error("exactly one of --socket PATH or --port N is "
+                     "required (or --smoke)")
+
+    from repro.serve import (
+        GpuService, ServeDaemon, TenantPolicy,
+    )
+
+    service = GpuService(
+        isolated=not args.no_isolated,
+        timeout=args.timeout,
+        gpu_slots=args.gpu_slots,
+    )
+    for name, weight, priority in args.tenant:
+        service.register_tenant(name, TenantPolicy(
+            max_streams=args.max_streams,
+            max_queue_depth=args.queue_depth,
+            weight=weight,
+            priority=priority,
+        ))
+    if args.socket is not None:
+        daemon = ServeDaemon(service, path=args.socket)
+    else:
+        daemon = ServeDaemon(service, host=args.host, port=args.port)
+    daemon.start()
+    addr = daemon.address
+    shown = addr if isinstance(addr, str) else f"{addr[0]}:{addr[1]}"
+    tenants = ", ".join(t[0] for t in args.tenant) or "none (register "\
+        "via the wire 'register' op)"
+    print(f"serving on {shown} — tenants: {tenants}", flush=True)
+    print("Ctrl-C (or the wire 'shutdown' op) drains and exits",
+          flush=True)
+    try:
+        daemon.join()
+    except KeyboardInterrupt:
+        print("\ndraining...", flush=True)
+        daemon.shutdown(drain=True)
+    return 0
+
+
 def _worker_main(argv) -> int:
     """The ``worker`` subcommand: join a coordinator's campaign as N
     remote supervisors (docs/ROBUSTNESS.md).  Exits 0 when the matrix
@@ -888,6 +1037,8 @@ def main(argv=None) -> int:
         from .campaign_bench import main as campaign_main
 
         return campaign_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     if argv and argv[0] == "serve-bench":
         from .serve_bench import main as serve_main
 

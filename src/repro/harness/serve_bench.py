@@ -1,8 +1,8 @@
-"""Serving benchmark: throughput, latency percentiles, containment.
+"""Serving benchmark: throughput, containment, weighted-fair isolation.
 
 ``python -m repro.harness serve-bench`` measures the multi-tenant
-serving layer (:mod:`repro.serve`, docs/ROBUSTNESS.md "Serving") and
-maintains the committed ``BENCH_serve.json``.  Two sections:
+serving layer (:mod:`repro.serve`, docs/SERVING.md) and maintains the
+committed ``BENCH_serve.json``.  Three committed sections:
 
 **throughput** — wall-clock-free kernels-per-spin through the real
 asyncio :class:`~repro.serve.service.GpuService`: three tenants drain a
@@ -21,6 +21,25 @@ every steady tenant's p99 latency stays within ``p99_bound`` x its
 no-chaos baseline.  Every number in this section is bit-reproducible
 from the seed — the CI gate asserts digest equality, not tolerance.
 
+**fairness** — the deterministic closed-loop experiment
+(:func:`repro.serve.loadgen.fairness_experiment`): weight-2 steady
+tenants with think time vs. a weight-1 zero-think storm tenant
+flooding unique specs, three runs from one seed (no storm / storm
+under weighted-fair grants / storm under the legacy FIFO
+counterfactual).  Committed criteria: under DRR every steady tenant's
+p99 stays within ``p99_bound`` x its no-storm baseline, steady cache
+partitions take **zero** storm-induced evictions, and the storm tenant
+still completes work.  Bit-reproducible, digest-gated like
+containment; the FIFO ratios are recorded for contrast, never gated.
+
+``--wire`` adds an *uncommitted* wall-clock section: the same
+fairness-shaped closed-loop load driven through the real NDJSON socket
+daemon (:mod:`repro.serve.wire`) by per-client threads — two phases
+(steady alone, then steady + storm) so the storm-induced p99 inflation
+over the wire is visible.  Wall-clock numbers are machine-dependent,
+so this section is printed and exported via ``--json`` but never
+recorded or gated.
+
 Regenerate the committed record (from the repo root)::
 
     PYTHONPATH=src python -m repro.harness serve-bench --update
@@ -32,7 +51,7 @@ import asyncio
 import json
 import os
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from .hotloop_bench import calibration_spin
 
@@ -54,6 +73,25 @@ THROUGHPUT_CASE = {
 CONTAINMENT_CASE = {
     "seed": 0,
     "p99_bound": 1.5,
+}
+
+#: the fairness case (see repro.serve.loadgen for the experiment)
+FAIRNESS_CASE = {
+    "seed": 0,
+    "p99_bound": 1.5,
+}
+
+#: the --wire case: fairness-shaped closed-loop load over the socket
+#: daemon (wall clock, never committed)
+WIRE_CASE = {
+    "steady_tenants": 2,
+    "clients_per_tenant": 2,
+    "requests_per_client": 6,
+    "think_mean_seconds": 0.002,
+    "storm_clients": 2,
+    "storm_requests_per_client": 10,
+    "gpu_slots": 2,
+    "seed": 0,
 }
 
 
@@ -187,15 +225,199 @@ def measure_containment(case: Optional[Dict] = None) -> Dict:
     }
 
 
+def measure_fairness(case: Optional[Dict] = None) -> Dict:
+    """The committed fairness section: deterministic closed-loop runs,
+    recorded exactly (digests included) rather than within a
+    tolerance."""
+    from repro.serve import fairness_experiment
+
+    case = dict(FAIRNESS_CASE, **(case or {}))
+    rep = fairness_experiment(
+        case.pop("seed"), p99_bound=case.pop("p99_bound"), **case
+    )
+    contended = rep["contended"]
+    return {
+        "seed": rep["seed"],
+        "p99_bound": rep["p99_bound"],
+        "fair_contained": rep["fair_contained"],
+        "storm_completions": rep["storm_completions"],
+        "steady": rep["fair"],
+        "cache_hit_rate": round(contended["cache"]["hit_rate"], 4),
+        "makespan_cycles": contended["makespan_cycles"],
+        "baseline_digest": rep["baseline"]["digest"],
+        "contended_digest": contended["digest"],
+        "fifo_digest": rep["fifo"]["digest"],
+    }
+
+
+def _wire_percentile(sorted_vals: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list (0 if empty)."""
+    if not sorted_vals:
+        return 0.0
+    idx = min(len(sorted_vals) - 1, int(q * len(sorted_vals)))
+    return sorted_vals[idx]
+
+
+def _wire_client_loop(
+    address, tenant: str, client_id: int, menu: List[Dict],
+    requests: int, think_mean_s: float, seed: int, out: List,
+):
+    """One closed-loop wire client on its own thread: think, submit,
+    block for the result, repeat.  Appends (tenant, latencies_s,
+    completed, rejected) to ``out``."""
+    import random
+
+    from repro.serve import ServeClient
+    from repro.serve.core import ServeRejection
+
+    rng = random.Random(f"{seed}/{tenant}/{client_id}")
+    latencies: List[float] = []
+    completed = rejected = 0
+    with ServeClient(address) as client:
+        for i in range(requests):
+            if think_mean_s > 0:
+                time.sleep(min(0.05, rng.expovariate(1.0 / think_mean_s)))
+            spec = dict(menu[i % len(menu)])
+            t0 = time.perf_counter()
+            try:
+                client.request(tenant, spec, wait=60.0)
+                latencies.append(time.perf_counter() - t0)
+                completed += 1
+            except ServeRejection:
+                rejected += 1
+    out.append((tenant, latencies, completed, rejected))
+
+
+def _wire_phase(case: Dict, storm: bool) -> Dict:
+    """One wall-clock phase over the wire: fresh daemon on a temp unix
+    socket, per-client threads, per-tenant latency stats."""
+    import tempfile
+    import threading
+
+    from repro.serve import GpuService, ServeClient, ServeDaemon
+    from repro.serve.loadgen import steady_menu, storm_flood_menu
+
+    with tempfile.TemporaryDirectory() as tmp:
+        service = GpuService(
+            isolated=False, gpu_slots=case["gpu_slots"]
+        )
+        with ServeDaemon(service, path=f"{tmp}/serve.sock") as daemon:
+            with ServeClient(daemon.address) as admin:
+                for i in range(case["steady_tenants"]):
+                    admin.register(
+                        f"steady-{i}", weight=2, max_streams=2,
+                        max_queue_depth=32, fault_budget=10**9,
+                    )
+                if storm:
+                    admin.register(
+                        "storm", weight=1, max_streams=4,
+                        max_queue_depth=64, fault_budget=10**9,
+                    )
+            out: List = []
+            threads = []
+            for i in range(case["steady_tenants"]):
+                menu = steady_menu(base_seed=100 * (i + 1))
+                for c in range(case["clients_per_tenant"]):
+                    threads.append(threading.Thread(
+                        target=_wire_client_loop,
+                        args=(daemon.address, f"steady-{i}", c, menu,
+                              case["requests_per_client"],
+                              case["think_mean_seconds"],
+                              case["seed"], out),
+                    ))
+            if storm:
+                for c in range(case["storm_clients"]):
+                    threads.append(threading.Thread(
+                        target=_wire_client_loop,
+                        args=(daemon.address, "storm", c,
+                              storm_flood_menu(c),
+                              case["storm_requests_per_client"],
+                              0.0, case["seed"], out),
+                    ))
+            t0 = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            wall = time.perf_counter() - t0
+            with ServeClient(daemon.address) as admin:
+                stats = admin.stats()
+    tenants: Dict[str, Dict] = {}
+    for tenant, latencies, completed, rejected in out:
+        agg = tenants.setdefault(
+            tenant, {"latencies": [], "completed": 0, "rejected": 0}
+        )
+        agg["latencies"].extend(latencies)
+        agg["completed"] += completed
+        agg["rejected"] += rejected
+    report = {}
+    for tenant, agg in sorted(tenants.items()):
+        lat = sorted(agg["latencies"])
+        report[tenant] = {
+            "completed": agg["completed"],
+            "rejected": agg["rejected"],
+            "p50_ms": round(_wire_percentile(lat, 0.50) * 1e3, 2),
+            "p99_ms": round(_wire_percentile(lat, 0.99) * 1e3, 2),
+        }
+    return {
+        "tenants": report,
+        "wall_seconds": round(wall, 3),
+        "wire_frames": {
+            "in": stats["wire"]["frames_in"],
+            "out": stats["wire"]["frames_out"],
+        },
+    }
+
+
+def measure_wire(case: Optional[Dict] = None) -> Dict:
+    """The ``--wire`` section: the fairness shape driven through the
+    real socket daemon, wall clock.  Never committed or gated — the
+    point is exercising the wire path end to end and showing the
+    storm's p99 effect on a live daemon."""
+    case = dict(WIRE_CASE, **(case or {}))
+    baseline = _wire_phase(case, storm=False)
+    contended = _wire_phase(case, storm=True)
+    steady = {}
+    completed_all = True
+    expect = case["clients_per_tenant"] * case["requests_per_client"]
+    for name, stats in contended["tenants"].items():
+        if name == "storm":
+            continue
+        base_p99 = baseline["tenants"][name]["p99_ms"]
+        ratio = stats["p99_ms"] / base_p99 if base_p99 else 0.0
+        completed_all = completed_all and stats["completed"] == expect
+        steady[name] = {
+            "baseline_p99_ms": base_p99,
+            "storm_p99_ms": stats["p99_ms"],
+            "ratio": round(ratio, 3),
+            "completed": stats["completed"],
+        }
+    return {
+        "case": dict(case),
+        "steady": steady,
+        "steady_completed_all": completed_all,
+        "storm_completed": contended["tenants"]
+        .get("storm", {}).get("completed", 0),
+        "baseline": baseline,
+        "contended": contended,
+    }
+
+
 def measure(repeats: int = 3, quick: bool = False) -> Dict:
-    """Measure both sections and fold the record."""
+    """Measure the committed sections and fold the record."""
     tcase = {"requests_per_tenant": 8} if quick else None
     ccase = (
         {"requests_per_tenant": 40, "storm_requests": 20} if quick else None
     )
+    fcase = (
+        {"clients_per_tenant": 2, "requests_per_client": 10,
+         "storm_clients": 2, "storm_requests_per_client": 12}
+        if quick else None
+    )
     return {
         "throughput": measure_throughput(repeats, tcase),
         "containment": measure_containment(ccase),
+        "fairness": measure_fairness(fcase),
     }
 
 
@@ -248,6 +470,12 @@ def main(argv=None) -> int:
         help="also write the measurement (plus the committed record, "
              "when present) to FILE — used by the CI artifact",
     )
+    parser.add_argument(
+        "--wire", action="store_true",
+        help="also drive the fairness-shaped closed-loop load through "
+             "the real socket daemon (wall clock; printed and exported "
+             "via --json, never committed or gated)",
+    )
     args = parser.parse_args(argv)
     if args.update and args.quick:
         parser.error("--update records the full case; drop --quick")
@@ -276,8 +504,40 @@ def main(argv=None) -> int:
             f"{s['baseline_p99_cycles']:.0f} cycles "
             f"(ratio {s['ratio']:.2f}, bound {c['p99_bound']})"
         )
+    f = rec["fairness"]
+    print(
+        f"serve fairness [seed {f['seed']}]: "
+        f"contained={f['fair_contained']} "
+        f"storm_completions={f['storm_completions']} "
+        f"cache_hit_rate={f['cache_hit_rate']}"
+    )
+    for name, s in sorted(f["steady"].items()):
+        print(
+            f"  {name}: p99 {s['storm_p99_cycles']:.0f} vs baseline "
+            f"{s['baseline_p99_cycles']:.0f} cycles "
+            f"(fair ratio {s['ratio']:.2f}, fifo ratio "
+            f"{s['fifo_ratio']:.2f}, bound {f['p99_bound']}) "
+            f"induced_evictions={s['storm_induced_evictions']}"
+        )
+    wire = None
+    if args.wire:
+        wire = measure_wire(
+            {"requests_per_client": 4, "storm_requests_per_client": 6}
+            if args.quick else None
+        )
+        print(
+            f"serve wire [wall clock, uncommitted]: "
+            f"steady_completed_all={wire['steady_completed_all']} "
+            f"storm_completed={wire['storm_completed']} "
+            f"contended_wall={wire['contended']['wall_seconds']}s"
+        )
+        for name, s in sorted(wire["steady"].items()):
+            print(
+                f"  {name}: p99 {s['storm_p99_ms']}ms vs baseline "
+                f"{s['baseline_p99_ms']}ms (ratio {s['ratio']})"
+            )
     if args.update:
-        record = {"schema": 1, **rec}
+        record = {"schema": 2, **rec}
         path = save_record(record)
         print(f"updated {path}")
     if args.json:
@@ -285,9 +545,12 @@ def main(argv=None) -> int:
             committed = load_record()
         except FileNotFoundError:
             committed = None
+        measured = dict(rec)
+        if wire is not None:
+            measured["wire"] = wire
         with open(args.json, "w") as fh:
-            json.dump({"committed": committed, "measured": rec}, fh,
-                      indent=1, sort_keys=True)
+            json.dump({"committed": committed, "measured": measured},
+                      fh, indent=1, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.json}")
     return 0

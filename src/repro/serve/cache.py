@@ -8,10 +8,19 @@ canonical-JSON sha256 scheme the campaign checkpoints use
 (``cells/<key>.<hash>.json``), so a spec tweak *anywhere* changes the
 key and can never serve a stale result.
 
-The cache is a bounded LRU.  A hit returns the exact dict a cold run
-produced (bit-identical tables — the acceptance criterion in
+:class:`ResultCache` is a bounded LRU.  A hit returns the exact dict a
+cold run produced (bit-identical tables — the acceptance criterion in
 BENCH_serve.json), costs the tenant no stream slot, and counts into
 ``serve.tenant[<t>].cache_hits``.
+
+:class:`PartitionedResultCache` divides one capacity budget into
+per-tenant LRU partitions (shares proportional to the tenant policy's
+``cache_share``, which defaults to its fair-queue weight).  Isolation
+is structural: a tenant's misses insert only into its own partition, so
+one tenant churning through a huge spec space can *never* evict another
+tenant's working set — the property the fairness experiment asserts as
+"zero storm-induced evictions" and exports through the
+``serve.tenant[<t>].cache.*`` gauges.
 """
 
 from __future__ import annotations
@@ -83,4 +92,96 @@ class ResultCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "hit_rate": self.hit_rate,
+        }
+
+
+class PartitionedResultCache:
+    """Per-tenant LRU partitions over one shared capacity budget.
+
+    Each registered tenant owns a private :class:`ResultCache` sized
+    ``max(1, floor(total * share / sum_shares))``.  Re-registration
+    rebalances partition capacities; a shrunken partition trims lazily
+    on its next ``put`` (the LRU loop already evicts past capacity).
+
+    The aggregate ``stats()`` keeps the flat ``ResultCache`` schema
+    (``entries``/``capacity``/``hits``/``misses``/``evictions``/
+    ``hit_rate``) so reports stay drop-in compatible, and nests the
+    per-tenant partition stats under ``"tenants"``.
+    """
+
+    def __init__(self, total_capacity: int = DEFAULT_CAPACITY) -> None:
+        if total_capacity < 1:
+            raise ValueError("total_capacity must be positive")
+        self.total_capacity = total_capacity
+        self._lock = threading.Lock()
+        self._partitions: "OrderedDict[str, ResultCache]" = OrderedDict()
+        self._shares: Dict[str, int] = {}
+
+    key = staticmethod(ResultCache.key)
+
+    def register_tenant(self, tenant: str, share: int = 1) -> ResultCache:
+        """Create (or return) the tenant's partition and rebalance all
+        partition capacities to the new share distribution."""
+        if share < 1:
+            raise ValueError("share must be >= 1")
+        with self._lock:
+            if tenant not in self._partitions:
+                self._partitions[tenant] = ResultCache(capacity=1)
+                self._shares[tenant] = int(share)
+                self._rebalance()
+            return self._partitions[tenant]
+
+    def _rebalance(self) -> None:
+        total_shares = sum(self._shares.values())
+        for tenant, part in self._partitions.items():
+            part.capacity = max(
+                1,
+                self.total_capacity * self._shares[tenant] // total_shares,
+            )
+
+    def partition(self, tenant: str) -> ResultCache:
+        """The tenant's private partition; raises ``KeyError``."""
+        part = self._partitions.get(tenant)
+        if part is None:
+            raise KeyError(f"no cache partition for tenant {tenant!r}")
+        return part
+
+    def get(self, tenant: str, key: str) -> Optional[Dict]:
+        return self.partition(tenant).get(key)
+
+    def put(self, tenant: str, key: str, value: Dict) -> None:
+        self.partition(tenant).put(key, value)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._partitions.values())
+
+    @property
+    def hits(self) -> int:
+        return sum(p.hits for p in self._partitions.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(p.misses for p in self._partitions.values())
+
+    @property
+    def evictions(self) -> int:
+        return sum(p.evictions for p in self._partitions.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict:
+        """Aggregate counters plus per-tenant partition stats."""
+        return {
+            "entries": len(self),
+            "capacity": self.total_capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "tenants": {
+                t: p.stats() for t, p in sorted(self._partitions.items())
+            },
         }

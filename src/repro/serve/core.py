@@ -27,9 +27,25 @@ sliding window; submissions from a quarantined tenant are rejected with
 running.  After a cooldown the breaker goes HALF_OPEN and admits a
 bounded number of probes; a clean probe closes it again.
 
+**Weighted-fair execution grants** — the shared GPU pool is granted in
+deficit-round-robin order over per-tenant pending queues
+(:class:`~repro.serve.fair.DeficitRoundRobin`): strict priority
+classes first, then weight-proportional shares within a class, instead
+of the PR 7 FIFO a backlogged tenant could convoy.  Both the
+virtual-time driver and the asyncio shell route GPU grants through
+:meth:`ServiceCore.queue_for_execution` /
+:meth:`ServiceCore.next_for_execution`.
+
+**Cache partitioning** — when a
+:class:`~repro.serve.cache.PartitionedResultCache` is attached
+(:meth:`ServiceCore.attach_cache`), registering a tenant carves out its
+private partition (share = ``cache_share`` or the fair-queue weight)
+and binds the ``serve.tenant[<t>].cache.*`` gauges.
+
 **Telemetry** — ``serve.tenant[<t>].{submits,faults,rejections,
 cache_hits,p99_cycles}`` rollups plus the ``serve.slo.*`` service-level
-counters (docs/OBSERVABILITY.md).
+counters (docs/OBSERVABILITY.md; the authoritative name list is
+``repro.serve.metrics.SERVE_COUNTERS``).
 """
 
 from __future__ import annotations
@@ -37,9 +53,12 @@ from __future__ import annotations
 import math
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.telemetry.counters import CounterRegistry
+
+from .cache import PartitionedResultCache
+from .fair import DeficitRoundRobin
 
 
 def percentile(samples: List[float], q: float) -> float:
@@ -58,20 +77,32 @@ def percentile(samples: List[float], q: float) -> float:
 class ServeRejection(Exception):
     """A submission the service refused — structured, never a hang.
 
-    Carries the machine-readable ``code``/``tenant``/``detail`` triple
-    (``to_dict``) so clients and the load generator can classify sheds
-    without parsing messages."""
+    Carries the machine-readable ``code`` plus a per-class ``reason``
+    phrase and the instance ``tenant``/``detail`` (``to_dict``), so
+    clients — including wire clients, which reconstruct the typed
+    exception from the code (docs/SERVING.md "Rejection codes") — can
+    classify sheds without parsing messages.  Every subclass MUST carry
+    a distinct ``code`` and a distinct ``reason``: earlier revisions
+    let unknown-tenant and queue-depth sheds surface the same generic
+    reason string, which made wire-side triage guesswork
+    (``tests/test_serve.py`` asserts distinctness)."""
 
     code = "rejected"
+    reason = "request rejected"
 
     def __init__(self, tenant: str, detail: str) -> None:
         self.tenant = tenant
         self.detail = detail
-        super().__init__(f"[{self.code}] tenant {tenant!r}: {detail}")
+        super().__init__(
+            f"[{self.code}] {self.reason} — tenant {tenant!r}: {detail}"
+        )
 
     def to_dict(self) -> Dict[str, str]:
         return {
-            "code": self.code, "tenant": self.tenant, "detail": self.detail
+            "code": self.code,
+            "reason": self.reason,
+            "tenant": self.tenant,
+            "detail": self.detail,
         }
 
 
@@ -79,18 +110,29 @@ class UnknownTenant(ServeRejection):
     """Submission from a tenant that was never registered."""
 
     code = "unknown-tenant"
+    reason = "tenant is not registered with the service"
 
 
 class QueueFull(ServeRejection):
     """Stream quota and wait queue both exhausted: the request is shed."""
 
     code = "queue-full"
+    reason = "stream quota and wait queue are both exhausted"
 
 
 class TenantQuarantined(ServeRejection):
     """The tenant's circuit breaker is open (fault/hang budget blown)."""
 
     code = "quarantined"
+    reason = "tenant circuit breaker is open"
+
+
+class ServiceUnavailable(ServeRejection):
+    """The service refused before tenant admission — e.g. a draining
+    wire daemon sheds new submissions while in-flight work finishes."""
+
+    code = "unavailable"
+    reason = "service is not accepting new submissions"
 
 
 # ---------------------------------------------------------------------------
@@ -124,6 +166,16 @@ class TenantPolicy:
     cooldown: float = 1_000_000.0
     #: probe submissions admitted while HALF_OPEN
     half_open_probes: int = 1
+    #: deficit-round-robin share of the shared GPU pool (>= 1); a
+    #: weight-2 tenant drains its pending queue twice as fast as a
+    #: weight-1 tenant while both are backlogged
+    weight: int = 1
+    #: strict priority class for execution grants — higher classes are
+    #: served before lower ones regardless of weight
+    priority: int = 0
+    #: share of the partitioned result cache; ``None`` inherits
+    #: ``weight`` so fair tenants get fair cache real estate by default
+    cache_share: Optional[int] = None
 
 
 class CircuitBreaker:
@@ -276,15 +328,54 @@ class ServiceCore:
     Every method taking ``now`` expects simulated cycles — the caller
     owns the clock."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self, cache: Optional[PartitionedResultCache] = None
+    ) -> None:
         self._lock = threading.Lock()
         self._tenants: Dict[str, TenantState] = {}
+        self._exec = DeficitRoundRobin()
+        self._cache: Optional[PartitionedResultCache] = None
         self.counters = CounterRegistry()
         self.counters.metadata.update(service="repro.serve")
         for leaf in SLO_LEAVES:
             self.counters.counter(f"serve.slo.{leaf}")
+        if cache is not None:
+            self.attach_cache(cache)
 
     # -- registration ---------------------------------------------------
+
+    def attach_cache(self, cache: PartitionedResultCache) -> None:
+        """Bind the partitioned result cache (idempotent for the same
+        instance).  Partitions and ``serve.tenant[<t>].cache.*`` gauges
+        are carved out for already-registered tenants and for every
+        tenant registered afterwards."""
+        with self._lock:
+            if self._cache is cache:
+                return
+            if self._cache is not None:
+                raise ValueError(
+                    "a different PartitionedResultCache is already "
+                    "attached to this core"
+                )
+            self._cache = cache
+            for tenant, state in self._tenants.items():
+                self._bind_cache_partition(tenant, state)
+
+    def _bind_cache_partition(
+        self, tenant: str, state: TenantState
+    ) -> None:
+        """Carve the tenant's partition + gauges (lock held)."""
+        share = state.policy.cache_share
+        if share is None:
+            share = state.policy.weight
+        part = self._cache.register_tenant(tenant, share=share)
+        prefix = f"serve.tenant[{tenant}].cache"
+        reg = self.counters
+        reg.gauge(f"{prefix}.hits", lambda p=part: p.hits)
+        reg.gauge(f"{prefix}.misses", lambda p=part: p.misses)
+        reg.gauge(f"{prefix}.evictions", lambda p=part: p.evictions)
+        reg.gauge(f"{prefix}.entries", lambda p=part: len(p))
+        reg.gauge(f"{prefix}.capacity", lambda p=part: p.capacity)
 
     def register_tenant(
         self, tenant: str, policy: Optional[TenantPolicy] = None
@@ -302,6 +393,11 @@ class ServiceCore:
                 breaker=CircuitBreaker(policy or TenantPolicy()),
             )
             self._tenants[tenant] = state
+            self._exec.register(
+                tenant,
+                weight=state.policy.weight,
+                priority=state.policy.priority,
+            )
             prefix = f"serve.tenant[{tenant}]"
             reg = self.counters
             for leaf in (
@@ -316,18 +412,58 @@ class ServiceCore:
             reg.gauge(
                 f"{prefix}.quarantines", lambda s=state: s.breaker.opens
             )
+            reg.gauge(
+                f"{prefix}.queue_depth", lambda s=state: s.queued
+            )
+            reg.gauge(
+                f"{prefix}.exec_queued",
+                lambda q=self._exec, t=tenant: q.depth(t),
+            )
+            if self._cache is not None:
+                self._bind_cache_partition(tenant, state)
             return state
 
     def tenant(self, tenant: str) -> TenantState:
         """The tenant's state; raises :class:`UnknownTenant`."""
         state = self._tenants.get(tenant)
         if state is None:
-            raise UnknownTenant(tenant, "tenant is not registered")
+            raise UnknownTenant(
+                tenant,
+                f"no registration for tenant {tenant!r}; call "
+                f"register_tenant (or the wire 'register' op) first",
+            )
         return state
 
     def tenants(self) -> List[str]:
         """Registered tenant names, sorted."""
         return sorted(self._tenants)
+
+    # -- weighted-fair execution grants ---------------------------------
+
+    def queue_for_execution(self, tenant: str, token: Any) -> None:
+        """Park a slot-holding request until a shared GPU frees up; it
+        will be released by :meth:`next_for_execution` in weighted-fair
+        order rather than global FIFO."""
+        with self._lock:
+            self.tenant(tenant)
+            self._exec.push(tenant, token)
+
+    def next_for_execution(self) -> Optional[Tuple[str, Any]]:
+        """The next ``(tenant, token)`` to grant a freed GPU to — strict
+        priority classes first, deficit-round-robin by weight within a
+        class — or ``None`` when nothing is pending."""
+        with self._lock:
+            return self._exec.pop()
+
+    def execution_backlog(self, tenant: str) -> int:
+        """Requests parked in the tenant's execution queue."""
+        with self._lock:
+            return self._exec.depth(tenant)
+
+    def execution_snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-tenant fair-queue state (weight/priority/depth/deficit)."""
+        with self._lock:
+            return self._exec.snapshot()
 
     # -- admission ------------------------------------------------------
 
@@ -479,6 +615,8 @@ class ServiceCore:
         state = self.tenant(tenant)
         return {
             "tenant": tenant,
+            "weight": state.policy.weight,
+            "priority": state.policy.priority,
             "submits": state.submits,
             "completions": state.completions,
             "failures": state.failures,

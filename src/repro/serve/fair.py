@@ -1,0 +1,143 @@
+"""Weighted-fair queueing for shared execution slots.
+
+PR 7's serving layer granted the shared GPU pool in strict FIFO order:
+whoever queued first ran first, so a single greedy tenant that keeps
+its own (per-tenant) stream quota saturated could park a convoy of
+requests in front of everyone else.  :class:`DeficitRoundRobin`
+replaces that FIFO with the classic deficit-round-robin discipline
+(Shreedhar & Varghese) extended with strict priority classes:
+
+- every tenant belongs to a **priority class** (``priority``, higher
+  classes are served strictly first — a latency-sensitive class can buy
+  precedence the way the partial-protection literature prices
+  protection levels);
+- within a class, tenants share in proportion to their **weight**: each
+  round a tenant's deficit counter is topped up by ``quantum * weight``
+  and it may dequeue one request per unit of deficit, so a weight-2
+  tenant drains twice as fast as a weight-1 tenant over any backlogged
+  interval;
+- unit cost is one request (service times are memoized simulated
+  cycles, unknowable at grant time), so fairness is in *grant slots*,
+  which is exactly the resource a storm tenant was able to monopolize.
+
+The structure is pure bookkeeping — no clock, no randomness, no I/O —
+and iteration order is registration order, so a schedule of
+``push``/``pop`` calls is bit-reproducible.  Both the virtual-time
+driver and the asyncio shell route their GPU grants through the same
+instance owned by :class:`~repro.serve.core.ServiceCore`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+
+class DeficitRoundRobin:
+    """Priority classes strictly first; DRR by weight within a class."""
+
+    def __init__(self, quantum: float = 1.0) -> None:
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.quantum = quantum
+        self._order: List[str] = []
+        self._weight: Dict[str, int] = {}
+        self._priority: Dict[str, int] = {}
+        self._queues: Dict[str, Deque[Any]] = {}
+        self._deficit: Dict[str, float] = {}
+        #: priority -> members in registration order
+        self._classes: Dict[int, List[str]] = {}
+        self._cursor: Dict[int, int] = {}
+        #: has the tenant under the cursor been topped up this visit?
+        self._topped: Dict[int, bool] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def register(
+        self, name: str, *, weight: int = 1, priority: int = 0
+    ) -> None:
+        """Add one queue (idempotent; weight/priority fixed at first
+        registration)."""
+        if name in self._weight:
+            return
+        if weight < 1:
+            raise ValueError("weight must be >= 1")
+        self._order.append(name)
+        self._weight[name] = int(weight)
+        self._priority[name] = int(priority)
+        self._queues[name] = deque()
+        self._deficit[name] = 0.0
+        members = self._classes.setdefault(int(priority), [])
+        members.append(name)
+        self._cursor.setdefault(int(priority), 0)
+        self._topped.setdefault(int(priority), False)
+
+    def registered(self, name: str) -> bool:
+        return name in self._weight
+
+    # -- queue ops ------------------------------------------------------
+
+    def push(self, name: str, item: Any) -> None:
+        """Enqueue one item for ``name`` (must be registered)."""
+        self._queues[name].append(item)
+
+    def depth(self, name: str) -> int:
+        """Items currently queued for ``name`` (0 if unregistered)."""
+        q = self._queues.get(name)
+        return len(q) if q is not None else 0
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def _advance(self, priority: int, members: List[str]) -> None:
+        self._cursor[priority] = (self._cursor[priority] + 1) % len(members)
+        self._topped[priority] = False
+
+    def _pop_from_class(self, priority: int) -> Optional[Tuple[str, Any]]:
+        members = self._classes[priority]
+        if not any(self._queues[n] for n in members):
+            return None
+        while True:
+            name = members[self._cursor[priority] % len(members)]
+            queue = self._queues[name]
+            if not queue:
+                # an idle tenant carries no deficit into its next burst
+                self._deficit[name] = 0.0
+                self._advance(priority, members)
+                continue
+            if not self._topped[priority]:
+                self._deficit[name] += self.quantum * self._weight[name]
+                self._topped[priority] = True
+            if self._deficit[name] >= 1.0:
+                self._deficit[name] -= 1.0
+                item = queue.popleft()
+                if not queue:
+                    self._deficit[name] = 0.0
+                    self._advance(priority, members)
+                return name, item
+            self._advance(priority, members)
+
+    def pop(self) -> Optional[Tuple[str, Any]]:
+        """Dequeue the next ``(name, item)`` in weighted-fair order, or
+        ``None`` when every queue is empty.  Higher priority classes are
+        always drained first; within a class each tenant gets ``weight``
+        consecutive grants per round while backlogged."""
+        for priority in sorted(self._classes, reverse=True):
+            out = self._pop_from_class(priority)
+            if out is not None:
+                return out
+        return None
+
+    # -- reporting ------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """JSON-able per-queue state (deterministic key order)."""
+        return {
+            name: {
+                "weight": self._weight[name],
+                "priority": self._priority[name],
+                "depth": len(self._queues[name]),
+                "deficit": self._deficit[name],
+            }
+            for name in sorted(self._order)
+        }

@@ -1,0 +1,64 @@
+"""The authoritative name list for ``serve.*`` telemetry.
+
+``tools/check_doc_links.py`` parses this tuple *textually* (the same
+way it parses the harness ``SUBCOMMANDS`` tuple) and rejects any
+``serve.*`` counter a doc names that is not listed here — so a counter
+renamed in code but not in docs/OBSERVABILITY.md fails CI instead of
+rotting.  The reverse direction is enforced at runtime by
+``tests/test_serve.py``: a service with a registered tenant and a wire
+front-end must register exactly these paths (with ``[*]`` standing for
+the tenant index).
+
+Keep this tuple a plain literal — one double-quoted string per line,
+no computed entries — so the textual parse stays trivial.
+"""
+
+from __future__ import annotations
+
+#: every counter/gauge path the serving layer registers; ``[*]``
+#: matches any bracket index (tenant name) in the live registry
+SERVE_COUNTERS = (
+    # service-level (SLO) counters, registered up front by ServiceCore
+    "serve.slo.submitted",
+    "serve.slo.admitted",
+    "serve.slo.rejected",
+    "serve.slo.completed",
+    "serve.slo.failed",
+    "serve.slo.retries",
+    "serve.slo.quarantines",
+    "serve.slo.cache_hits",
+    "serve.slo.cache_misses",
+    "serve.slo.hangs",
+    # per-tenant rollups, registered by register_tenant
+    "serve.tenant[*].submits",
+    "serve.tenant[*].faults",
+    "serve.tenant[*].rejections",
+    "serve.tenant[*].cache_hits",
+    "serve.tenant[*].hangs",
+    "serve.tenant[*].completions",
+    "serve.tenant[*].failures",
+    "serve.tenant[*].retries",
+    "serve.tenant[*].p99_cycles",
+    "serve.tenant[*].quarantines",
+    # admission-queue gauges (stream-slot wait + fair execution queue)
+    "serve.tenant[*].queue_depth",
+    "serve.tenant[*].exec_queued",
+    # per-tenant cache-partition gauges, bound by attach_cache
+    "serve.tenant[*].cache.hits",
+    "serve.tenant[*].cache.misses",
+    "serve.tenant[*].cache.evictions",
+    "serve.tenant[*].cache.entries",
+    "serve.tenant[*].cache.capacity",
+    # wire front-end counters, registered by ServeDaemon
+    "serve.wire.connections",
+    "serve.wire.disconnects",
+    "serve.wire.frames_in",
+    "serve.wire.frames_out",
+    "serve.wire.submits",
+    "serve.wire.rejections",
+    "serve.wire.results",
+    "serve.wire.errors",
+    "serve.wire.malformed",
+    "serve.wire.oversized",
+    "serve.wire.version_mismatch",
+)

@@ -39,7 +39,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 from repro.chaos.watchdog import DEFAULT_CYCLE_BUDGET
 from repro.harness.isolation import ExperimentFailure, run_experiment_isolated
 
-from .cache import ResultCache
+from .cache import PartitionedResultCache
 from .core import (
     ServeRejection, ServiceCore, TenantPolicy, TenantQuarantined,
 )
@@ -86,19 +86,24 @@ class GpuService:
     def __init__(
         self,
         core: Optional[ServiceCore] = None,
-        cache: Optional[ResultCache] = None,
+        cache: Optional[PartitionedResultCache] = None,
         *,
         timeout: Optional[float] = 60.0,
         max_attempts: int = 3,
         backoff_base: float = 0.02,
         backoff_cap: float = 1.0,
         isolated: bool = True,
+        gpu_slots: Optional[int] = None,
         executor: Callable[[Dict], Dict] = execute_request,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if gpu_slots is not None and gpu_slots < 1:
+            raise ValueError("gpu_slots must be positive")
         self.core = core or ServiceCore()
-        self.cache = cache or ResultCache()
+        # explicit None test: an empty cache is falsy (it has __len__)
+        self.cache = cache if cache is not None else PartitionedResultCache()
+        self.core.attach_cache(self.cache)
         self.timeout = timeout
         self.max_attempts = max_attempts
         self.backoff_base = backoff_base
@@ -107,6 +112,11 @@ class GpuService:
         self.executor = executor
         self._now = 0.0
         self._sems: Dict[str, asyncio.Semaphore] = {}
+        #: optional shared GPU pool: when set, executions additionally
+        #: contend for this many slots, granted in the core's
+        #: weighted-fair (DRR + priority) order — the asyncio analogue
+        #: of the virtual-time driver's ``num_gpus``
+        self._gpu_free = gpu_slots
 
     # -- tenants --------------------------------------------------------
 
@@ -154,7 +164,7 @@ class GpuService:
         :class:`~repro.serve.core.ServeRejection` when shed."""
         self.core.check_admission(tenant, self._now)
         key = self.cache.key(spec)
-        hit = self.cache.get(key)
+        hit = self.cache.get(tenant, key)
         if hit is not None:
             self.core.record_cache_hit(tenant)
             return ServeResult(
@@ -178,9 +188,43 @@ class GpuService:
                 )
             self.core.promote(tenant)
         try:
-            return await self._execute(tenant, key, spec)
+            await self._acquire_gpu(tenant)
+            try:
+                return await self._execute(tenant, key, spec)
+            finally:
+                self._release_gpu()
         finally:
             sem.release()
+
+    # -- shared GPU pool (weighted-fair grants) -------------------------
+
+    async def _acquire_gpu(self, tenant: str) -> None:
+        """Claim a shared GPU slot; waits in the core's weighted-fair
+        execution queue when the pool is exhausted.  No-op when the
+        service was built without ``gpu_slots``."""
+        if self._gpu_free is None:
+            return
+        if self._gpu_free > 0:
+            self._gpu_free -= 1
+            return
+        grant = asyncio.get_running_loop().create_future()
+        self.core.queue_for_execution(tenant, grant)
+        await grant
+
+    def _release_gpu(self) -> None:
+        """Hand the freed slot to the next waiter in DRR order (skipping
+        cancelled waiters), or return it to the pool."""
+        if self._gpu_free is None:
+            return
+        while True:
+            nxt = self.core.next_for_execution()
+            if nxt is None:
+                self._gpu_free += 1
+                return
+            grant = nxt[1]
+            if not grant.done():
+                grant.set_result(None)
+                return
 
     async def _execute(
         self, tenant: str, key: str, spec: Dict
@@ -195,7 +239,7 @@ class GpuService:
             )
             if not isinstance(outcome, ExperimentFailure):
                 value = outcome
-                self.cache.put(key, value)
+                self.cache.put(tenant, key, value)
                 self._now += float(value.get("cycles", 0.0))
                 self.core.complete(
                     tenant,

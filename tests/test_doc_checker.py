@@ -2,8 +2,9 @@
 
 The link/anchor checks are exercised against the real tree by
 tests/test_docs_and_api.py; these tests build tiny synthetic repos under
-``tmp_path`` to pin the two structural checks the vectorization PR
-added: orphaned-docs detection and harness-subcommand validation.
+``tmp_path`` to pin the structural checks: orphaned-docs detection,
+harness-subcommand validation, and serve-counter validation against the
+``SERVE_COUNTERS`` manifest.
 """
 
 import importlib.util
@@ -18,9 +19,23 @@ sys.modules["check_doc_links"] = checker
 spec.loader.exec_module(checker)
 
 
-def make_repo(tmp_path, readme="# Repo\n", docs=None, harness_src=True):
+#: the synthetic manifest the serve-counter tests parse (note the
+#: parenthesized comment — the real manifest has those too)
+METRICS_SRC = (
+    "SERVE_COUNTERS = (\n"
+    "    # slo counters (service level)\n"
+    '    "serve.slo.completed",\n'
+    '    "serve.tenant[*].submits",\n'
+    '    "serve.tenant[*].cache.hits",\n'
+    '    "serve.wire.frames_in",\n'
+    ")\n"
+)
+
+
+def make_repo(tmp_path, readme="# Repo\n", docs=None, harness_src=True,
+              metrics_src=False):
     """A minimal repo tree: README.md, docs/*.md, and (optionally) the
-    two harness source files the subcommand check parses."""
+    harness/metrics source files the textual checks parse."""
     (tmp_path / "README.md").write_text(readme)
     (tmp_path / "docs").mkdir()
     for name, text in (docs or {}).items():
@@ -35,6 +50,10 @@ def make_repo(tmp_path, readme="# Repo\n", docs=None, harness_src=True):
             'ALL_EXPERIMENTS = {\n    "fig10": run_fig10,\n'
             '    "table2": run_table2,\n}\n'
         )
+    if metrics_src:
+        pkg = tmp_path / "src" / "repro" / "serve"
+        pkg.mkdir(parents=True)
+        (pkg / "metrics.py").write_text(METRICS_SRC)
     return tmp_path
 
 
@@ -128,6 +147,111 @@ class TestHarnessCommandValidation:
             harness_src=False,
         )
         assert checker.known_subcommands(root) is None
+        assert checker.main([str(root)]) == 0
+
+
+class TestServeCounterValidation:
+    def test_manifest_is_parsed_past_comment_parens(self, tmp_path):
+        """The tuple parse must span inline comments that contain
+        parentheses (the real manifest has them)."""
+        root = make_repo(tmp_path, metrics_src=True)
+        known = checker.known_serve_counters(root)
+        assert known == {
+            "serve.slo.completed",
+            "serve.tenant[*].submits",
+            "serve.tenant[*].cache.hits",
+            "serve.wire.frames_in",
+        }
+
+    def test_valid_counters_pass(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme=(
+                "# Repo\n\nCounted in `serve.slo.completed` and\n"
+                "`serve.tenant[t].submits`; see `serve.wire.frames_in`.\n"
+            ),
+            metrics_src=True,
+        )
+        assert checker.main([str(root)]) == 0
+
+    def test_concrete_index_normalizes_to_wildcard(self, tmp_path):
+        """``serve.tenant[storm].submits`` in a doc means the manifest's
+        ``serve.tenant[*].submits`` slot."""
+        root = make_repo(
+            tmp_path,
+            readme="# Repo\n\n`serve.tenant[storm].submits`\n",
+            metrics_src=True,
+        )
+        assert checker.main([str(root)]) == 0
+
+    def test_brace_shorthand_expands(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme=(
+                "# Repo\n\n`serve.tenant[t].{submits,cache.hits}`\n"
+            ),
+            metrics_src=True,
+        )
+        assert checker.main([str(root)]) == 0
+
+    def test_wildcard_and_namespace_references_pass(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme=(
+                "# Repo\n\nAll of `serve.*`; the `serve.wire` family;\n"
+                "`serve.tenant[t].cache.*` gauges.\n"
+            ),
+            metrics_src=True,
+        )
+        assert checker.main([str(root)]) == 0
+
+    def test_unknown_counter_fails(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme="# Repo\n\nSee `serve.slo.nonexistent`.\n",
+            metrics_src=True,
+        )
+        assert checker.main([str(root)]) == 1
+
+    def test_unknown_counter_in_code_fence_fails(self, tmp_path):
+        """Counter names live inside fences and tables — the check must
+        NOT strip fences the way the link check does."""
+        root = make_repo(
+            tmp_path,
+            readme="# Repo\n\n```\nserve.wire.frames_inn\n```\n",
+            metrics_src=True,
+        )
+        found = list(checker.check_serve_counters(
+            root / "README.md", checker.known_serve_counters(root)
+        ))
+        assert len(found) == 1
+        assert "frames_inn" in found[0][1]
+
+    def test_module_paths_do_not_match(self, tmp_path):
+        """``repro.serve.core`` is a module path, not a counter."""
+        root = make_repo(
+            tmp_path,
+            readme="# Repo\n\nSee `repro.serve.core` for details.\n",
+            metrics_src=True,
+        )
+        assert checker.main([str(root)]) == 0
+
+    def test_filesystem_paths_do_not_match(self, tmp_path):
+        """``/tmp/serve.sock`` is a socket path, not a counter."""
+        root = make_repo(
+            tmp_path,
+            readme="# Repo\n\n```\nserve --socket /tmp/serve.sock\n```\n",
+            metrics_src=True,
+        )
+        assert checker.main([str(root)]) == 0
+
+    def test_missing_manifest_skips_check(self, tmp_path):
+        root = make_repo(
+            tmp_path,
+            readme="# Repo\n\n`serve.slo.nonexistent`\n",
+            metrics_src=False,
+        )
+        assert checker.known_serve_counters(root) is None
         assert checker.main([str(root)]) == 0
 
 

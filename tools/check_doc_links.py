@@ -8,7 +8,7 @@ target exists on disk, and when the link carries a fragment
 (``file.md#section`` or the in-file ``#section``) that the target file
 has a heading whose GitHub slug matches.
 
-Two structural checks ride along:
+Three structural checks ride along:
 
 - **orphan detection** — every ``docs/*.md`` page must be reachable from
   ``README.md`` by following relative markdown links (a page nothing
@@ -20,7 +20,16 @@ Two structural checks ride along:
   ``SUBCOMMANDS`` tuple) and ``src/repro/harness/experiments.py`` (the
   ``ALL_EXPERIMENTS`` keys) — no import, because the CI docs-link-check
   job installs no numpy.  When the source tree is absent the check is
-  skipped.
+  skipped;
+- **serve-counter validation** — every ``serve.*`` metric name in the
+  docs (code fences included) must exist in the authoritative manifest,
+  parsed textually from ``src/repro/serve/metrics.py`` (the
+  ``SERVE_COUNTERS`` tuple).  ``{a,b}`` shorthand is brace-expanded,
+  any ``[...]`` index normalizes to the manifest's ``[*]``, and both
+  ``prefix.*`` wildcards and bare namespace references (e.g.
+  ``serve.wire``) are accepted when the manifest has counters under
+  them.  A runtime test (tests/test_serve.py) keeps the manifest
+  itself honest against what the service actually registers.
 
 Run:  python tools/check_doc_links.py [repo-root]
 Exits nonzero listing every broken link.  CI runs this on each push
@@ -155,6 +164,64 @@ def check_harness_commands(md, known):
             yield m.group(0), f"unknown harness subcommand {token!r}"
 
 
+#: a ``serve.*`` counter name in prose or a code fence; the lookbehind
+#: keeps module paths (``repro.serve.core``) and filesystem paths
+#: (``/tmp/serve.sock``) from matching
+SERVE_COUNTER_RE = re.compile(r"(?<![\w./])serve\.[\w.\[\]{},*\-]+")
+
+
+def known_serve_counters(root):
+    """The authoritative ``serve.*`` counter names, parsed textually
+    from the ``SERVE_COUNTERS`` tuple in ``src/repro/serve/metrics.py``
+    (no import — same constraint as :func:`known_subcommands`).
+    Returns ``None`` when the manifest is absent, meaning "skip"."""
+    metrics_py = root / "src" / "repro" / "serve" / "metrics.py"
+    if not metrics_py.exists():
+        return None
+    # span to the closing paren at line start: inline comments inside
+    # the tuple may themselves contain parentheses
+    m = re.search(r"SERVE_COUNTERS\s*=\s*\((.*?)\n\)",
+                  metrics_py.read_text(encoding="utf-8"), re.S)
+    if not m:
+        return None
+    return set(re.findall(r"\"(serve\.[^\"]+)\"", m.group(1)))
+
+
+def _expand_braces(token):
+    """``a.{x,y}`` -> ``a.x``, ``a.y`` (recursively)."""
+    m = re.search(r"\{([^}]*)\}", token)
+    if not m:
+        return [token]
+    out = []
+    for alt in m.group(1).split(","):
+        out.extend(_expand_braces(
+            token[:m.start()] + alt.strip() + token[m.end():]
+        ))
+    return out
+
+
+def check_serve_counters(md, known):
+    """Yield ``(snippet, reason)`` for every documented ``serve.*``
+    counter the manifest doesn't know.  Runs on the *raw* text —
+    counter names live inside code fences and tables.  A ``prefix.*``
+    wildcard or a bare namespace (``serve.tenant[t]``) passes when the
+    manifest has counters beneath it."""
+    text = md.read_text(encoding="utf-8")
+    for m in SERVE_COUNTER_RE.finditer(text):
+        raw = m.group(0).rstrip(".,;:`")
+        for token in _expand_braces(raw):
+            # any concrete index ([t], [storm]) means the per-tenant
+            # wildcard slot in the manifest
+            token = re.sub(r"\[[^\]]*\]", "[*]", token)
+            if token in known:
+                continue
+            prefix = token[:-2] if token.endswith(".*") else token
+            if any(k.startswith(prefix + ".") or k == prefix
+                   for k in known):
+                continue
+            yield raw, f"unknown serve counter {token!r}"
+
+
 def reachable_from_readme(root):
     """Every markdown file reachable from README.md by following
     relative links (resolved paths), code fences excluded."""
@@ -196,12 +263,17 @@ def main(argv=None):
         files.extend(sorted(root.glob(pattern)))
     broken = 0
     known = known_subcommands(root)
+    counters = known_serve_counters(root)
     for md in files:
         for target, reason in check_file(md, root):
             print(f"{md.relative_to(root)}: [{target}] -> {reason}")
             broken += 1
         if known is not None:
             for snippet, reason in check_harness_commands(md, known):
+                print(f"{md.relative_to(root)}: [{snippet}] -> {reason}")
+                broken += 1
+        if counters is not None:
+            for snippet, reason in check_serve_counters(md, counters):
                 print(f"{md.relative_to(root)}: [{snippet}] -> {reason}")
                 broken += 1
     for md in orphaned_docs(root):
